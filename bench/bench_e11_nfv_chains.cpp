@@ -1,0 +1,58 @@
+// E11 — NFV "allows for the implementation of security, firewalls, routing
+// schemes and other functions separately ... via software allowing for
+// increased control, flexibility and scalability" (paper Sec IV.A.2).
+//
+// Service chains of growing length are evaluated as software NFV on one
+// commodity server and as fixed-function appliance chains. Expected shape:
+// appliances keep line-rate throughput but capex explodes with chain
+// length; NFV throughput degrades 1/length at ~10x lower capex, and its
+// latency inflates near saturation.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/nfv.hpp"
+
+int main() {
+  using namespace rb;
+  bench::heading("E11", "NFV service chains vs fixed-function appliances");
+
+  using FK = net::FunctionKind;
+  const std::vector<std::vector<FK>> chains = {
+      {FK::kFirewall},
+      {FK::kFirewall, FK::kNat},
+      {FK::kFirewall, FK::kNat, FK::kLoadBalancer},
+      {FK::kFirewall, FK::kNat, FK::kLoadBalancer, FK::kVpnEncrypt},
+      {FK::kFirewall, FK::kNat, FK::kLoadBalancer, FK::kVpnEncrypt,
+       FK::kDeepPacketInspection},
+  };
+
+  std::printf("%-8s | %12s %12s %10s | %12s %12s %10s\n", "chain",
+              "nfv Mpps", "nfv lat(us)", "nfv $", "appl Mpps",
+              "appl lat(us)", "appl $");
+  for (const auto& chain : chains) {
+    const auto idle_nfv = net::evaluate_nfv_chain(chain, 0.0);
+    const auto nfv =
+        net::evaluate_nfv_chain(chain, idle_nfv.max_throughput_pps * 0.7);
+    const auto appl = net::evaluate_appliance_chain(
+        chain, idle_nfv.max_throughput_pps * 0.7);
+    std::printf("%-8zu | %12.2f %12.2f %10.0f | %12.2f %12.2f %10.0f\n",
+                chain.size(), nfv.max_throughput_pps / 1e6,
+                sim::to_microseconds(nfv.latency), nfv.capex,
+                appl.max_throughput_pps / 1e6,
+                sim::to_microseconds(appl.latency), appl.capex);
+  }
+
+  std::printf("\n-- NFV latency vs offered load (4-function chain) --\n");
+  const auto& chain = chains[3];
+  const auto cap = net::evaluate_nfv_chain(chain, 0.0).max_throughput_pps;
+  std::printf("%-10s %14s\n", "load", "latency(us)");
+  for (const double load : {0.1, 0.3, 0.5, 0.7, 0.9, 0.95}) {
+    const auto out = net::evaluate_nfv_chain(chain, cap * load);
+    std::printf("%-10.2f %14.2f\n", load, sim::to_microseconds(out.latency));
+  }
+  bench::note("paper shape: software NFV trades peak throughput for ~10x");
+  bench::note("lower capex and per-function flexibility.");
+  return 0;
+}

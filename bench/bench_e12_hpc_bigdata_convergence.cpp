@@ -1,0 +1,76 @@
+// E12 — "take advantage of the convergence of High Performance Computing
+// and Big Data interests ... encouraging dual-purpose products that bring
+// these different communities together" (paper Rec 2).
+//
+// An HPC stencil campaign and a Big Data analytics mix run on (a) two
+// dedicated half-size clusters and (b) one shared dual-purpose cluster of
+// the same total hardware. Expected shape: the shared fleet finishes the
+// combined workload sooner (statistical multiplexing of bursty demand) and
+// at equal capex — the "sell to a bigger market, lower the risk" argument.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sched/policies.hpp"
+
+namespace {
+
+using namespace rb;
+
+std::vector<sched::JobArrival> hpc_trace() {
+  // A burst of campaign jobs submitted together (the HPC batch-queue case).
+  std::vector<sched::JobArrival> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({dataflow::make_stencil_job(32 * sim::kGiB, 6, 32),
+                    i * sim::kSecond / 4});
+  }
+  return jobs;
+}
+
+std::vector<sched::JobArrival> bigdata_trace() {
+  std::vector<sched::JobArrival> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({dataflow::make_wordcount_job(16 * sim::kGiB, 64),
+                    i * sim::kSecond / 4});
+    jobs.push_back({dataflow::make_kmeans_job(4 * sim::kGiB, 4, 16),
+                    i * sim::kSecond / 4});
+  }
+  return jobs;
+}
+
+double run_on(const sched::Cluster& cluster,
+              std::vector<sched::JobArrival> jobs) {
+  sched::HeteroAwarePolicy policy;
+  return sim::to_seconds(
+      sched::run_jobs(cluster, std::move(jobs), policy).makespan);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E12", "HPC / Big Data convergence: dedicated vs dual-purpose");
+
+  const auto gpus = std::vector<node::DeviceKind>{node::DeviceKind::kGpu};
+  const auto half = sched::make_hetero_cluster(4, gpus, 2, 8);
+  const auto full = sched::make_hetero_cluster(8, gpus, 2, 8);
+
+  const double hpc_dedicated = run_on(half, hpc_trace());
+  const double bd_dedicated = run_on(half, bigdata_trace());
+
+  auto combined = hpc_trace();
+  for (auto& j : bigdata_trace()) combined.push_back(std::move(j));
+  const double shared = run_on(full, std::move(combined));
+
+  std::printf("%-34s %12s\n", "configuration", "makespan(s)");
+  std::printf("%-34s %12.2f\n", "dedicated HPC half-cluster", hpc_dedicated);
+  std::printf("%-34s %12.2f\n", "dedicated BigData half-cluster",
+              bd_dedicated);
+  std::printf("%-34s %12.2f\n", "dedicated total (max of the two)",
+              std::max(hpc_dedicated, bd_dedicated));
+  std::printf("%-34s %12.2f\n", "shared dual-purpose cluster", shared);
+  std::printf("\nshared fleet speedup over dedicated split: %.2fx\n",
+              std::max(hpc_dedicated, bd_dedicated) / shared);
+  bench::note("paper shape: one dual-purpose fleet outperforms two siloed");
+  bench::note("half-fleets on the same hardware budget.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E2 — accelerators deliver "a factor of ten or more" on appropriate
+// applications (paper Rec 4), and much less - or a slowdown - on
+// data-movement-bound analytics (the ROI uncertainty of Finding 2).
+//
+// For every accelerated building block (Rec 10) we print the end-to-end
+// node-level time on each device (PCIe + launch included) and the best
+// choice. Expected shape: compute-dense blocks (inference, k-means) exceed
+// 10x on ASIC/GPU; streaming blocks (scan, join) stay on the CPU.
+
+#include <cstdio>
+
+#include "accel/offload.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace rb;
+  bench::heading("E2", "Accelerated building blocks: node-level speedups (Recs 4, 10)");
+
+  const auto catalog = node::standard_catalog();
+  constexpr std::uint64_t kRows = 8'000'000;
+
+  std::printf("%-16s", "block");
+  for (const auto& d : catalog) std::printf(" %14s", d.name.c_str());
+  std::printf(" %14s %8s\n", "best", "speedup");
+
+  for (const auto block : accel::all_blocks()) {
+    std::printf("%-16s", to_string(block).c_str());
+    for (const auto& d : catalog) {
+      if (!accel::supports(d.kind, block)) {
+        std::printf(" %14s", "-");
+        continue;
+      }
+      const auto path = d.kind == node::DeviceKind::kCpu
+                            ? accel::CodePath::kDeviceTuned
+                            : accel::CodePath::kDeviceTuned;
+      const auto t = accel::block_time(d, block, kRows, path);
+      std::printf(" %12.3fms", sim::to_milliseconds(t));
+    }
+    const auto best = accel::best_device(catalog, block, kRows,
+                                         accel::CodePath::kDeviceTuned);
+    std::printf(" %14s %7.1fx\n", best.device.name.c_str(),
+                best.speedup_vs_host);
+  }
+  bench::note("paper shape: >=10x on compute-dense analytics blocks;");
+  bench::note("PCIe-bound streaming blocks do not benefit (ROI risk).");
+  return 0;
+}

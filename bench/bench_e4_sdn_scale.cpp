@@ -1,0 +1,39 @@
+// E4 — SDN "can make 10,000 switches look like one" (paper Sec IV.A.2,
+// quoting Google [17]).
+//
+// One network-wide policy change is applied to fleets of 10..10,000
+// switches under (a) box-by-box distributed management and (b) a central
+// SDN controller. Expected shape: admin operations and completion time grow
+// linearly for per-switch management and stay near-constant for SDN; the
+// probability of at least one misconfiguration approaches 1 for manual
+// fleets and stays negligible for the controller.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "net/sdn.hpp"
+
+int main() {
+  using namespace rb;
+  bench::heading("E4", "Control-plane scaling: per-switch management vs SDN");
+
+  std::printf("%-10s | %12s %12s %10s | %12s %12s %10s\n", "switches",
+              "manual ops", "manual(h)", "P(err)", "sdn ops", "sdn(s)",
+              "P(err)");
+  for (const std::uint64_t n : {10ULL, 100ULL, 1000ULL, 10'000ULL}) {
+    const int diameter = n <= 100 ? 3 : 5;
+    const auto manual = net::apply_policy_change(
+        net::ControlPlane::kDistributedPerSwitch, n, diameter);
+    const auto sdn = net::apply_policy_change(
+        net::ControlPlane::kSdnCentral, n, diameter);
+    std::printf("%-10llu | %12.0f %12.2f %10.3f | %12.0f %12.2f %10.5f\n",
+                static_cast<unsigned long long>(n), manual.admin_operations,
+                sim::to_seconds(manual.completion_time) / 3600.0,
+                manual.error_probability, sdn.admin_operations,
+                sim::to_seconds(sdn.completion_time),
+                sdn.error_probability);
+  }
+  bench::note("paper shape: O(N) human effort vs O(1); at 10k switches the");
+  bench::note("controller finishes in seconds where manual takes days.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E6 — System-in-Package vs monolithic SoC (paper Sec IV.B.3, EUROSERVER):
+// "market-specific products can be built from commodity compute chiplets
+// with specialized chiplets ... without designing an entire SoC", giving
+// "smaller companies a better opportunity to compete".
+//
+// Unit cost of a 400 mm^2-class server part at volumes 10k..10M, as (a) a
+// monolithic leading-edge SoC and (b) a SiP of three chiplets (leading-edge
+// compute + mature-node I/O and accelerator, the I/O chiplet reused across
+// products). Expected shape: SiP wins at SME volumes (NRE amortisation +
+// yield), SoC only competitive at very high volume.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "node/integration.hpp"
+
+int main() {
+  using namespace rb;
+  bench::heading("E6", "Silicon economics: monolithic SoC vs SiP chiplets");
+
+  const auto soc_process = node::leading_edge_16nm();
+  const std::vector<node::ChipletSpec> chiplets = {
+      {{"compute", 150.0, node::leading_edge_16nm()}, 0.0},
+      {{"io", 120.0, node::mature_28nm()}, 1e7},   // reused commodity part
+      {{"accel", 130.0, node::mature_28nm()}, 1e6},
+  };
+  constexpr double kSocArea = 400.0;
+
+  std::printf("yield(16nm, 400mm2) = %.2f; yield(16nm, 150mm2) = %.2f; "
+              "yield(28nm, 130mm2) = %.2f\n\n",
+              node::die_yield(kSocArea, soc_process),
+              node::die_yield(150.0, soc_process),
+              node::die_yield(130.0, node::mature_28nm()));
+
+  std::printf("%-10s | %10s %10s %10s | %10s %10s %10s\n", "volume",
+              "soc si", "soc nre", "soc total", "sip si+pkg", "sip nre",
+              "sip total");
+  for (const double volume : {1e4, 5e4, 1e5, 5e5, 1e6, 1e7}) {
+    const auto soc = node::soc_unit_cost(kSocArea, soc_process, volume);
+    const auto sip = node::sip_unit_cost(chiplets, volume);
+    std::printf("%-10.0f | %10.1f %10.1f %10.1f | %10.1f %10.1f %10.1f\n",
+                volume, soc.silicon, soc.nre_amortized, soc.total(),
+                sip.silicon + sip.packaging, sip.nre_amortized, sip.total());
+  }
+  const double crossover =
+      node::soc_sip_crossover_volume(kSocArea, soc_process, chiplets);
+  std::printf("\nSoC/SiP crossover volume: %.2e units\n", crossover);
+  bench::note("paper shape: SiP cheaper at SME volumes; monolithic SoC needs");
+  bench::note("vertical-scale volume to amortize leading-edge NRE and yield.");
+  return 0;
+}

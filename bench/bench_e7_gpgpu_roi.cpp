@@ -1,0 +1,57 @@
+// E7 — GPGPU ROI vs utilization (paper Sec IV.B.2 and Key Finding 2):
+// "small to medium-sized data center operators are unwilling to deploy
+// GPGPUs at large scale, as the power consumption is too high and
+// utilization too low to justify the investment".
+//
+// ROI of adding one GPU to a server, swept over utilization and kernel
+// speedup, plus the break-even utilization per accelerator type (porting
+// effort included). Expected shape: ROI negative at low utilization for
+// every device; break-even rises with porting cost (GPU < FPGA < ASIC).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "node/tco.hpp"
+
+int main() {
+  using namespace rb;
+  bench::heading("E7", "Accelerator ROI vs utilization (Finding 2)");
+
+  node::RoiParams base;
+  base.host = node::find_device(node::DeviceKind::kCpu);
+  base.accelerator = node::find_device(node::DeviceKind::kGpu);
+
+  std::printf("-- ROI of one GPU (3-year horizon) --\n");
+  std::printf("%-12s", "speedup\\util");
+  for (const double u : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    std::printf(" %8.2f", u);
+  }
+  std::printf("\n");
+  for (const double s : {3.0, 5.0, 10.0, 20.0, 30.0}) {
+    std::printf("%-12.0f", s);
+    for (const double u : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+      auto p = base;
+      p.speedup = s;
+      p.utilization = u;
+      std::printf(" %+8.2f", node::accelerator_roi(p).roi);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- break-even utilization at speedup 8x --\n");
+  std::printf("%-24s %12s %14s\n", "device", "break-even", "porting (pm)");
+  for (const auto kind : {node::DeviceKind::kGpu, node::DeviceKind::kFpga,
+                          node::DeviceKind::kAsic,
+                          node::DeviceKind::kNeuromorphic}) {
+    auto p = base;
+    p.accelerator = node::find_device(kind);
+    p.speedup = 8.0;
+    const double be = node::breakeven_utilization(p);
+    std::printf("%-24s %11.1f%% %14.0f\n", p.accelerator.name.c_str(),
+                be > 1.0 ? 100.0 : be * 100.0,
+                p.accelerator.porting_person_months);
+  }
+  bench::note("paper shape: negative ROI below ~10-40% utilization; higher");
+  bench::note("porting effort (FPGA/ASIC/neuromorphic) raises the bar.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E8 — "OpenCL only ensures correctness of the computation on each
+// platform. It does not ensure that the computation has been optimized"
+// (paper Sec IV.C.3; Rec 6 funds FPGA programmability to close the gap).
+//
+// The same kernels run on each device via (a) a generic portable code path
+// and (b) a device-tuned path. Expected shape: the tuned/generic gap widens
+// with device specialization — modest on CPU, ~2x on GPU, >5x on FPGA.
+
+#include <cstdio>
+
+#include "accel/offload.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace rb;
+  bench::heading("E8", "Performance portability: generic vs device-tuned kernels");
+
+  constexpr std::uint64_t kRows = 4'000'000;
+  const auto devices = {node::DeviceKind::kCpu, node::DeviceKind::kGpu,
+                        node::DeviceKind::kFpga};
+
+  for (const auto block :
+       {accel::BlockKind::kKMeans, accel::BlockKind::kHashJoin,
+        accel::BlockKind::kDnnInference}) {
+    std::printf("\n-- %s --\n", to_string(block).c_str());
+    std::printf("%-10s %14s %14s %10s\n", "device", "generic(ms)",
+                "tuned(ms)", "gap");
+    for (const auto kind : devices) {
+      const auto device = node::find_device(kind);
+      if (!accel::supports(kind, block)) continue;
+      const auto generic = accel::block_time(
+          device, block, kRows, accel::CodePath::kGenericPortable);
+      const auto tuned = accel::block_time(device, block, kRows,
+                                           accel::CodePath::kDeviceTuned);
+      std::printf("%-10s %14.3f %14.3f %9.2fx\n",
+                  node::to_string(kind).c_str(),
+                  sim::to_milliseconds(generic), sim::to_milliseconds(tuned),
+                  static_cast<double>(generic) / static_cast<double>(tuned));
+    }
+  }
+  bench::note("paper shape: portable abstractions are correct everywhere but");
+  bench::note("leave most of an FPGA's roofline unused - the Rec 6 gap.");
+  return 0;
+}

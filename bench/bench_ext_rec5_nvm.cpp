@@ -1,0 +1,64 @@
+// EXT-R5 — evidence for Recommendation 5 ("encourage system co-design ...
+// integrating more subsystems into the processor device as well as new
+// non-volatile memories and I/O interfaces").
+//
+// For Big Data working sets that outgrow affordable DRAM, tiering NVM under
+// DRAM is the co-design the roadmap points at. Sweeps: (1) average access
+// latency vs working set for DRAM-only / DRAM+NVM / DRAM+NVM+flash at a
+// fixed memory budget; (2) the budget optimizer's choice as the working set
+// grows. Expected shape: DRAM-only wins while it covers the working set,
+// then loses catastrophically to the overflow penalty; tiered configs
+// degrade gracefully.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "node/memory.hpp"
+
+int main() {
+  using namespace rb;
+  bench::heading("EXT-R5", "NVM tiering under a fixed memory budget (Rec 5)");
+
+  constexpr double kBudget = 2000.0;  // dollars of memory per node
+  const auto dram = node::dram_ddr4();
+  const auto nvm = node::nvm_xpoint();
+  const auto flash = node::flash_nvme();
+
+  const node::TieredMemory dram_only{
+      {{dram, kBudget / dram.dollars_per_gib}}};
+  const node::TieredMemory dram_nvm{
+      {{dram, kBudget * 0.4 / dram.dollars_per_gib},
+       {nvm, kBudget * 0.6 / nvm.dollars_per_gib}}};
+  const node::TieredMemory three_tier{
+      {{dram, kBudget * 0.4 / dram.dollars_per_gib},
+       {nvm, kBudget * 0.4 / nvm.dollars_per_gib},
+       {flash, kBudget * 0.2 / flash.dollars_per_gib}}};
+
+  std::printf("budget $%.0f buys: %.0f GiB DRAM-only, %.0f GiB DRAM+NVM, "
+              "%.0f GiB with flash\n\n",
+              kBudget, dram_only.total_capacity_gib(),
+              dram_nvm.total_capacity_gib(), three_tier.total_capacity_gib());
+
+  std::printf("%-14s %16s %16s %16s\n", "working set", "dram-only(ns)",
+              "dram+nvm(ns)", "+flash(ns)");
+  for (const double ws : {128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0}) {
+    const auto a = node::evaluate_memory(dram_only, ws, 0.5);
+    const auto b = node::evaluate_memory(dram_nvm, ws, 0.5);
+    const auto c = node::evaluate_memory(three_tier, ws, 0.5);
+    std::printf("%-11.0fGiB %16.0f %16.0f %16.0f\n", ws, a.avg_latency_ns,
+                b.avg_latency_ns, c.avg_latency_ns);
+  }
+
+  std::printf("\n-- budget optimizer's pick vs working set --\n");
+  std::printf("%-14s %-16s %14s %12s\n", "working set", "pick",
+              "latency(ns)", "covered");
+  for (const double ws : {128.0, 512.0, 2048.0, 8192.0}) {
+    const auto plan = node::best_memory_under_budget(kBudget, ws, 0.5);
+    std::printf("%-11.0fGiB %-16s %14.0f %11.1f%%\n", ws, plan.label.c_str(),
+                plan.evaluation.avg_latency_ns,
+                plan.evaluation.hit_fraction_covered * 100.0);
+  }
+  bench::note("shape: DRAM-only until the working set outgrows it, then");
+  bench::note("NVM tiers win by orders of magnitude over paging (Rec 5).");
+  return 0;
+}

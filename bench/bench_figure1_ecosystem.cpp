@@ -1,0 +1,13 @@
+// F1 — reproduces Figure 1 of the paper (the ETP/PPP collaboration
+// landscape) from the structured registry (see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "roadmap/report.hpp"
+
+int main() {
+  rb::bench::heading("F1", "ETP/PPP collaboration landscape (paper Figure 1)");
+  std::printf("%s\n", rb::roadmap::render_ecosystem_figure().c_str());
+  return 0;
+}

@@ -1,0 +1,13 @@
+// T1 — reproduces Table 1 of the paper verbatim from the structured
+// registry (see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "roadmap/report.hpp"
+
+int main() {
+  rb::bench::heading("T1", "RETHINK big Project Consortium (paper Table 1)");
+  std::printf("%s\n", rb::roadmap::render_consortium_table().c_str());
+  return 0;
+}

@@ -1,0 +1,21 @@
+#pragma once
+// Small formatting helpers shared by the experiment benches. Each bench is a
+// standalone binary that prints the paper-style table(s) for one experiment
+// (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the shapes).
+
+#include <cstdio>
+#include <string>
+
+namespace rb::bench {
+
+inline void heading(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace rb::bench

@@ -1,0 +1,60 @@
+// Accelerator advisor: the roadmap's Finding-2 question answered for a
+// specific company — "should we buy accelerators, and which one?".
+//
+// Feeds a company profile through the scenario engine: per-workload device
+// recommendations, ROI, break-even utilization, and vendor-switch NRE.
+
+#include <cstdio>
+
+#include "node/tco.hpp"
+#include "roadmap/scenario.hpp"
+
+int main() {
+  using namespace rb;
+
+  roadmap::CompanyProfile company;
+  company.name = "eu-analytics-sme";
+  company.accel_utilization = 0.3;
+  company.engineering_budget_pm = 15;
+
+  std::printf("company: %s (utilization %.0f%%, budget %.0f person-months)\n\n",
+              company.name.c_str(), company.accel_utilization * 100.0,
+              company.engineering_budget_pm);
+
+  std::printf("-- per-workload scenarios --\n");
+  const std::vector<std::pair<node::DeviceKind, accel::BlockKind>> cases = {
+      {node::DeviceKind::kGpu, accel::BlockKind::kKMeans},
+      {node::DeviceKind::kGpu, accel::BlockKind::kSort},
+      {node::DeviceKind::kFpga, accel::BlockKind::kPatternMatch},
+      {node::DeviceKind::kFpga, accel::BlockKind::kKMeans},
+      {node::DeviceKind::kAsic, accel::BlockKind::kDnnInference},
+  };
+  for (const auto& [device, workload] : cases) {
+    roadmap::TechnologyScenario scenario;
+    scenario.device = device;
+    scenario.workload = workload;
+    std::printf("  %s\n",
+                roadmap::evaluate_scenario(company, scenario).summary.c_str());
+  }
+
+  std::printf("\n-- break-even utilization (speedup 8x assumed) --\n");
+  node::RoiParams roi;
+  roi.host = node::find_device(node::DeviceKind::kCpu);
+  roi.speedup = 8.0;
+  for (const auto kind : {node::DeviceKind::kGpu, node::DeviceKind::kFpga,
+                          node::DeviceKind::kAsic}) {
+    roi.accelerator = node::find_device(kind);
+    const double be = node::breakeven_utilization(roi);
+    std::printf("  %-16s %s\n", roi.accelerator.name.c_str(),
+                be > 1.0 ? "never pays back at 8x"
+                         : (std::to_string(be * 100.0) + "%").c_str());
+  }
+
+  std::printf("\n-- vendor lock-in: cost of switching GPU vendors --\n");
+  const auto gpu = node::find_device(node::DeviceKind::kGpu);
+  for (const double distance : {0.3, 0.6, 1.0}) {
+    std::printf("  ecosystem distance %.1f -> NRE $%.0f\n", distance,
+                node::vendor_switch_nre(gpu, gpu, distance));
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: the 60-second tour of rethinkbig.
+//
+// 1. Generate a synthetic web-scale document (workloads).
+// 2. Run a real multithreaded WordCount on the dataflow framework.
+// 3. Ask the offload engine which device should run each building block.
+// 4. Ask the ROI model whether buying that device pays off.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "accel/offload.hpp"
+#include "accel/text.hpp"
+#include "dataflow/dataset.hpp"
+#include "node/tco.hpp"
+#include "workloads/generators.hpp"
+
+int main() {
+  using namespace rb;
+
+  // --- 1. Data ---
+  const auto doc = workloads::zipf_document(200'000, 20'000, 1.05, 42);
+  std::printf("generated %zu bytes of Zipf text\n", doc.size());
+
+  // --- 2. WordCount on the dataflow framework ---
+  dataflow::Context ctx;  // one partition per hardware thread
+  std::vector<std::string> words;
+  for (const auto& token : accel::tokenize(doc)) words.emplace_back(token);
+  auto dataset = dataflow::Dataset<std::string>::from_vector(ctx, words);
+  auto pairs = dataset.map(
+      [](const std::string& w) { return std::make_pair(w, std::uint64_t{1}); });
+  auto counts = dataflow::reduce_by_key(
+      pairs, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  std::printf("wordcount: %zu distinct words over %zu partitions "
+              "(%llu rows shuffled)\n",
+              counts.size(), counts.partition_count(),
+              static_cast<unsigned long long>(ctx.shuffled_rows()));
+
+  // --- 3. Where should each building block run? ---
+  const auto catalog = node::standard_catalog();
+  std::printf("\noffload decisions for 8M-row blocks:\n");
+  for (const auto block :
+       {accel::BlockKind::kSelectScan, accel::BlockKind::kKMeans,
+        accel::BlockKind::kDnnInference}) {
+    const auto best = accel::best_device(catalog, block, 8'000'000,
+                                         accel::CodePath::kDeviceTuned);
+    std::printf("  %-14s -> %-16s (%.1fx vs CPU)\n",
+                to_string(block).c_str(), best.device.name.c_str(),
+                best.speedup_vs_host);
+  }
+
+  // --- 4. Should you buy the accelerator? ---
+  node::RoiParams roi;
+  roi.host = node::find_device(node::DeviceKind::kCpu);
+  roi.accelerator = node::find_device(node::DeviceKind::kGpu);
+  roi.speedup = 8.0;
+  roi.utilization = 0.35;
+  const auto verdict = node::accelerator_roi(roi);
+  std::printf("\nGPU at 35%% utilization over 3 years: ROI %+.2f -> %s\n",
+              verdict.roi, verdict.worthwhile() ? "buy" : "wait");
+  std::printf("break-even utilization: %.0f%%\n",
+              node::breakeven_utilization(roi) * 100.0);
+  return 0;
+}

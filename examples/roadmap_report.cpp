@@ -1,0 +1,19 @@
+// Generate the full roadmap report: the paper's exhibits (Table 1,
+// Figure 1), the four findings, the twelve model-scored recommendations,
+// and the adoption timeline — the whole paper as one executable.
+
+#include <cstdio>
+
+#include "roadmap/report.hpp"
+
+int main() {
+  using namespace rb::roadmap;
+  std::printf("%s\n", render_consortium_table().c_str());
+  std::printf("%s\n", render_ecosystem_figure().c_str());
+  std::printf("%s\n", render_findings().c_str());
+  std::printf("%s\n", render_recommendation_matrix().c_str());
+  std::printf("%s\n", render_adoption_timeline(2016, 2030).c_str());
+  std::printf("%s\n", render_market_outlook().c_str());
+  std::printf("%s\n", render_funding_plan(100e6).c_str());
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "accel/compression.hpp"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace rb::accel {
+
+std::vector<RleRun> rle_encode(std::span<const std::uint64_t> values) {
+  std::vector<RleRun> runs;
+  for (const auto v : values) {
+    if (!runs.empty() && runs.back().value == v &&
+        runs.back().length < std::numeric_limits<std::uint32_t>::max()) {
+      ++runs.back().length;
+    } else {
+      runs.push_back(RleRun{v, 1});
+    }
+  }
+  return runs;
+}
+
+std::vector<std::uint64_t> rle_decode(std::span<const RleRun> runs) {
+  std::vector<std::uint64_t> out;
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.length;
+  out.reserve(total);
+  for (const auto& run : runs) {
+    out.insert(out.end(), run.length, run.value);
+  }
+  return out;
+}
+
+std::size_t rle_bytes(std::span<const RleRun> runs) noexcept {
+  return runs.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+}
+
+std::size_t DictionaryColumn::bytes() const noexcept {
+  std::size_t total = codes.size() * sizeof(std::uint32_t);
+  for (const auto& s : dictionary) total += s.size() + sizeof(std::uint32_t);
+  return total;
+}
+
+DictionaryColumn dictionary_encode(std::span<const std::string> values) {
+  DictionaryColumn column;
+  // Keys are owned copies: views into column.dictionary would dangle when
+  // the vector reallocates and SSO string buffers move.
+  std::unordered_map<std::string, std::uint32_t> lookup;
+  column.codes.reserve(values.size());
+  for (const auto& v : values) {
+    const auto [it, inserted] = lookup.try_emplace(
+        v, static_cast<std::uint32_t>(column.dictionary.size()));
+    if (inserted) column.dictionary.push_back(v);
+    column.codes.push_back(it->second);
+  }
+  return column;
+}
+
+std::vector<std::string> dictionary_decode(const DictionaryColumn& column) {
+  std::vector<std::string> out;
+  out.reserve(column.codes.size());
+  for (const auto code : column.codes) {
+    out.push_back(column.dictionary.at(code));
+  }
+  return out;
+}
+
+int bits_needed(std::uint32_t max_value) noexcept {
+  return max_value == 0 ? 1 : std::bit_width(max_value);
+}
+
+std::vector<std::uint64_t> bitpack(std::span<const std::uint32_t> values,
+                                   int bits) {
+  if (bits < 1 || bits > 32)
+    throw std::invalid_argument{"bitpack: bits out of [1, 32]"};
+  const std::uint64_t mask =
+      bits == 64 ? ~0ULL : ((std::uint64_t{1} << bits) - 1);
+  std::vector<std::uint64_t> packed(
+      (values.size() * static_cast<std::size_t>(bits) + 63) / 64, 0);
+  std::size_t bitpos = 0;
+  for (const auto v : values) {
+    if ((static_cast<std::uint64_t>(v) & ~mask) != 0)
+      throw std::invalid_argument{"bitpack: value exceeds bit width"};
+    const std::size_t word = bitpos / 64;
+    const int offset = static_cast<int>(bitpos % 64);
+    packed[word] |= static_cast<std::uint64_t>(v) << offset;
+    if (offset + bits > 64) {
+      packed[word + 1] |= static_cast<std::uint64_t>(v) >> (64 - offset);
+    }
+    bitpos += static_cast<std::size_t>(bits);
+  }
+  return packed;
+}
+
+std::vector<std::uint32_t> bitunpack(std::span<const std::uint64_t> packed,
+                                     std::size_t count, int bits) {
+  if (bits < 1 || bits > 32)
+    throw std::invalid_argument{"bitunpack: bits out of [1, 32]"};
+  if (packed.size() * 64 < count * static_cast<std::size_t>(bits))
+    throw std::invalid_argument{"bitunpack: buffer too small"};
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t word = bitpos / 64;
+    const int offset = static_cast<int>(bitpos % 64);
+    std::uint64_t v = packed[word] >> offset;
+    if (offset + bits > 64) {
+      v |= packed[word + 1] << (64 - offset);
+    }
+    out.push_back(static_cast<std::uint32_t>(v & mask));
+    bitpos += static_cast<std::size_t>(bits);
+  }
+  return out;
+}
+
+}  // namespace rb::accel

@@ -1,0 +1,55 @@
+#pragma once
+// Columnar compression building blocks (Rec 10): run-length encoding,
+// dictionary encoding, and fixed-width bit-packing — the codecs every
+// hardware-conscious column store (CWI's lineage in Table 1) pushes to
+// accelerators first, because they are branch-light and stream-friendly.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rb::accel {
+
+/// --- Run-length encoding for 64-bit columns ---
+
+struct RleRun {
+  std::uint64_t value = 0;
+  std::uint32_t length = 0;
+};
+
+std::vector<RleRun> rle_encode(std::span<const std::uint64_t> values);
+std::vector<std::uint64_t> rle_decode(std::span<const RleRun> runs);
+
+/// Compressed size in bytes of an RLE encoding (12 bytes per run).
+std::size_t rle_bytes(std::span<const RleRun> runs) noexcept;
+
+/// --- Dictionary encoding for string columns ---
+
+struct DictionaryColumn {
+  std::vector<std::string> dictionary;  // code -> value
+  std::vector<std::uint32_t> codes;     // row -> code
+
+  std::size_t bytes() const noexcept;
+};
+
+DictionaryColumn dictionary_encode(std::span<const std::string> values);
+std::vector<std::string> dictionary_decode(const DictionaryColumn& column);
+
+/// --- Fixed-width bit packing for 32-bit integers ---
+
+/// Minimum bits needed to represent `max_value` (>= 1).
+int bits_needed(std::uint32_t max_value) noexcept;
+
+/// Pack each value into `bits` bits (little-endian within 64-bit words).
+/// Throws std::invalid_argument if any value needs more than `bits` bits.
+std::vector<std::uint64_t> bitpack(std::span<const std::uint32_t> values,
+                                   int bits);
+
+/// Unpack `count` values of `bits` bits each.
+std::vector<std::uint32_t> bitunpack(std::span<const std::uint64_t> packed,
+                                     std::size_t count, int bits);
+
+}  // namespace rb::accel

@@ -1,0 +1,69 @@
+#include "accel/gemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rb::accel {
+
+namespace {
+
+void check_sizes(std::size_t a, std::size_t b, std::size_t c, std::size_t m,
+                 std::size_t k, std::size_t n) {
+  if (m == 0 || k == 0 || n == 0)
+    throw std::invalid_argument{"gemm: zero dimension"};
+  if (a != m * k || b != k * n || c != m * n)
+    throw std::invalid_argument{"gemm: buffer size mismatch"};
+}
+
+}  // namespace
+
+void gemm_naive(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, std::size_t m, std::size_t k,
+                std::size_t n) {
+  check_sizes(a.size(), b.size(), c.size(), m, k, n);
+  std::fill(c.begin(), c.end(), 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        sum += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = sum;
+    }
+  }
+}
+
+void gemm_blocked(std::span<const float> a, std::span<const float> b,
+                  std::span<float> c, std::size_t m, std::size_t k,
+                  std::size_t n, std::size_t tile) {
+  check_sizes(a.size(), b.size(), c.size(), m, k, n);
+  if (tile == 0) throw std::invalid_argument{"gemm_blocked: zero tile"};
+  std::fill(c.begin(), c.end(), 0.0f);
+  for (std::size_t ii = 0; ii < m; ii += tile) {
+    const std::size_t i_end = std::min(m, ii + tile);
+    for (std::size_t pp = 0; pp < k; pp += tile) {
+      const std::size_t p_end = std::min(k, pp + tile);
+      for (std::size_t jj = 0; jj < n; jj += tile) {
+        const std::size_t j_end = std::min(n, jj + tile);
+        // i-p-j order keeps the B tile streaming and C row hot.
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t p = pp; p < p_end; ++p) {
+            const float av = a[i * k + p];
+            for (std::size_t j = jj; j < j_end; ++j) {
+              c[i * n + j] += av * b[p * n + j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> gemm(std::span<const float> a, std::span<const float> b,
+                        std::size_t m, std::size_t k, std::size_t n) {
+  std::vector<float> c(m * n);
+  gemm_blocked(a, b, c, m, k, n);
+  return c;
+}
+
+}  // namespace rb::accel

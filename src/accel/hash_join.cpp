@@ -1,0 +1,91 @@
+#include "accel/hash_join.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rb::accel {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Partition rows by the low `bits` of the mixed key. Counting sort layout:
+/// one pass to histogram, one to scatter.
+std::vector<std::vector<Row>> radix_partition(std::span<const Row> rows,
+                                              int bits) {
+  const std::size_t parts = std::size_t{1} << bits;
+  std::vector<std::vector<Row>> out(parts);
+  std::vector<std::size_t> counts(parts, 0);
+  for (const auto& r : rows) ++counts[mix(r.key) & (parts - 1)];
+  for (std::size_t p = 0; p < parts; ++p) out[p].reserve(counts[p]);
+  for (const auto& r : rows) out[mix(r.key) & (parts - 1)].push_back(r);
+  return out;
+}
+
+/// Chained-bucket join of one (sub)partition: build on left, probe right.
+template <typename Emit>
+void join_partition(std::span<const Row> left, std::span<const Row> right,
+                    Emit emit) {
+  if (left.empty() || right.empty()) return;
+  // Build: open addressing with chaining via next[] for duplicate keys.
+  const std::size_t cap = std::bit_ceil(left.size() * 2);
+  const std::size_t mask = cap - 1;
+  std::vector<std::int32_t> heads(cap, -1);
+  std::vector<std::int32_t> next(left.size(), -1);
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    const std::size_t h = static_cast<std::size_t>(mix(left[i].key)) & mask;
+    next[i] = heads[h];
+    heads[h] = static_cast<std::int32_t>(i);
+  }
+  for (const auto& r : right) {
+    const std::size_t h = static_cast<std::size_t>(mix(r.key)) & mask;
+    for (std::int32_t i = heads[h]; i >= 0; i = next[static_cast<std::size_t>(i)]) {
+      const auto& l = left[static_cast<std::size_t>(i)];
+      if (l.key == r.key) emit(l, r);
+    }
+  }
+}
+
+template <typename Emit>
+void run_join(std::span<const Row> left, std::span<const Row> right,
+              const JoinParams& params, Emit emit) {
+  if (params.radix_bits < 0 || params.radix_bits > 16)
+    throw std::invalid_argument{"hash_join: radix_bits out of [0, 16]"};
+  if (params.radix_bits == 0) {
+    join_partition(left, right, emit);
+    return;
+  }
+  const auto lparts = radix_partition(left, params.radix_bits);
+  const auto rparts = radix_partition(right, params.radix_bits);
+  for (std::size_t p = 0; p < lparts.size(); ++p) {
+    join_partition(std::span<const Row>{lparts[p]},
+                   std::span<const Row>{rparts[p]}, emit);
+  }
+}
+
+}  // namespace
+
+std::vector<JoinedRow> hash_join(std::span<const Row> left,
+                                 std::span<const Row> right,
+                                 const JoinParams& params) {
+  std::vector<JoinedRow> out;
+  run_join(left, right, params, [&out](const Row& l, const Row& r) {
+    out.push_back(JoinedRow{l.key, l.payload, r.payload});
+  });
+  return out;
+}
+
+std::size_t hash_join_count(std::span<const Row> left,
+                            std::span<const Row> right,
+                            const JoinParams& params) {
+  std::size_t n = 0;
+  run_join(left, right, params, [&n](const Row&, const Row&) { ++n; });
+  return n;
+}
+
+}  // namespace rb::accel

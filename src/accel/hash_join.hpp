@@ -1,0 +1,41 @@
+#pragma once
+// Hash-join building block (Rec 10). Radix-partitioned build+probe: both
+// inputs are partitioned by key radix so each partition's build table fits
+// in cache, then joined partition-by-partition — the hardware-conscious
+// database style (CWI's expertise in the consortium, Table 1).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rb::accel {
+
+struct Row {
+  std::uint64_t key = 0;
+  std::uint64_t payload = 0;
+};
+
+struct JoinedRow {
+  std::uint64_t key = 0;
+  std::uint64_t left_payload = 0;
+  std::uint64_t right_payload = 0;
+};
+
+struct JoinParams {
+  /// log2 of partition count for the radix pass; 0 disables partitioning
+  /// (single global build table) — the ablation baseline.
+  int radix_bits = 6;
+};
+
+/// Inner join of `left` and `right` on key. Output order is unspecified but
+/// deterministic for fixed inputs and params.
+std::vector<JoinedRow> hash_join(std::span<const Row> left,
+                                 std::span<const Row> right,
+                                 const JoinParams& params = {});
+
+/// Count-only variant (no materialization) for benchmarks.
+std::size_t hash_join_count(std::span<const Row> left,
+                            std::span<const Row> right,
+                            const JoinParams& params = {});
+
+}  // namespace rb::accel

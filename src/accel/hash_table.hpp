@@ -1,0 +1,81 @@
+#pragma once
+// Open-addressing hash table specialized for 64-bit keys — the shared
+// engine under the hash-join and group-aggregate building blocks.
+//
+// Linear probing with a power-of-two capacity and multiplicative hashing;
+// key 0 is reserved as the empty slot marker, so the table transparently
+// remaps user key 0 to a sentinel.
+
+#include <cstdint>
+#include <vector>
+
+namespace rb::accel {
+
+/// Maps uint64 keys to uint64 values with upsert-by-combine semantics.
+class HashTable64 {
+ public:
+  /// `expected` sizes the table at ~2x occupancy headroom.
+  explicit HashTable64(std::size_t expected = 16);
+
+  /// Insert key->value, or combine with the existing value via `op(old, v)`.
+  template <typename Op>
+  void upsert(std::uint64_t key, std::uint64_t value, Op op) {
+    if (size_ * 2 >= slots_.size()) grow();
+    const std::uint64_t k = encode(key);
+    std::size_t i = probe_start(k);
+    for (;;) {
+      auto& slot = slots_[i];
+      if (slot.key == kEmpty) {
+        slot.key = k;
+        slot.value = value;
+        ++size_;
+        return;
+      }
+      if (slot.key == k) {
+        slot.value = op(slot.value, value);
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Returns pointer to the value for `key`, or nullptr when absent.
+  const std::uint64_t* find(std::uint64_t key) const noexcept;
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// Visit every (key, value) pair.
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.key != kEmpty) fn(decode(slot.key), slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::uint64_t value;
+  };
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kZeroSentinel = 0x8000'0000'0000'0000ULL;
+
+  static std::uint64_t encode(std::uint64_t key) noexcept {
+    return key == 0 ? kZeroSentinel : key;
+  }
+  static std::uint64_t decode(std::uint64_t stored) noexcept {
+    return stored == kZeroSentinel ? 0 : stored;
+  }
+
+  std::size_t probe_start(std::uint64_t k) const noexcept {
+    return static_cast<std::size_t>(k * 0x9e3779b97f4a7c15ULL) & mask_;
+  }
+
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rb::accel

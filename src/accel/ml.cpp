@@ -1,0 +1,169 @@
+#include "accel/ml.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace rb::accel {
+
+namespace {
+
+double sq_distance(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& points, std::size_t k, int max_iters,
+                    std::uint64_t seed, double tol) {
+  if (points.rows == 0 || points.cols == 0)
+    throw std::invalid_argument{"kmeans: empty point set"};
+  if (k == 0 || k > points.rows)
+    throw std::invalid_argument{"kmeans: k out of range"};
+  if (max_iters <= 0)
+    throw std::invalid_argument{"kmeans: max_iters must be positive"};
+
+  sim::Rng rng{seed};
+  KMeansResult result;
+  result.centroids.rows = k;
+  result.centroids.cols = points.cols;
+  result.centroids.values.resize(k * points.cols);
+  result.labels.assign(points.rows, 0);
+
+  // k-means++ seeding: first centroid uniform, then D^2-weighted.
+  std::vector<double> dist2(points.rows,
+                            std::numeric_limits<double>::infinity());
+  std::size_t first = rng.uniform_index(points.rows);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t chosen = first;
+    if (c > 0) {
+      double total = std::accumulate(dist2.begin(), dist2.end(), 0.0);
+      if (total <= 0.0) {
+        chosen = rng.uniform_index(points.rows);
+      } else {
+        double target = rng.uniform() * total;
+        chosen = points.rows - 1;
+        for (std::size_t i = 0; i < points.rows; ++i) {
+          target -= dist2[i];
+          if (target <= 0.0) {
+            chosen = i;
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t d = 0; d < points.cols; ++d) {
+      result.centroids.values[c * points.cols + d] = points.at(chosen, d);
+    }
+    for (std::size_t i = 0; i < points.rows; ++i) {
+      dist2[i] = std::min(dist2[i],
+                          sq_distance(points.row(i), result.centroids.row(c)));
+    }
+  }
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  std::vector<double> sums(k * points.cols);
+  std::vector<std::size_t> counts(k);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    result.iterations_run = iter + 1;
+    // Assign.
+    double inertia = 0.0;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < points.rows; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(points.row(i), result.centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      result.labels[i] = best_c;
+      inertia += best;
+      ++counts[best_c];
+      for (std::size_t d = 0; d < points.cols; ++d) {
+        sums[best_c * points.cols + d] += points.at(i, d);
+      }
+    }
+    // Update.
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep empty cluster's old centroid
+      for (std::size_t d = 0; d < points.cols; ++d) {
+        result.centroids.values[c * points.cols + d] =
+            sums[c * points.cols + d] / static_cast<double>(counts[c]);
+      }
+    }
+    result.inertia = inertia;
+    if (prev_inertia - inertia <= tol * std::max(1.0, prev_inertia)) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+LogisticModel sgd_logistic(const Matrix& points,
+                           std::span<const std::uint8_t> labels, int epochs,
+                           double learning_rate, std::uint64_t seed) {
+  if (points.rows == 0 || points.cols == 0)
+    throw std::invalid_argument{"sgd_logistic: empty point set"};
+  if (labels.size() != points.rows)
+    throw std::invalid_argument{"sgd_logistic: label count mismatch"};
+  if (epochs <= 0)
+    throw std::invalid_argument{"sgd_logistic: epochs must be positive"};
+  if (learning_rate <= 0.0)
+    throw std::invalid_argument{"sgd_logistic: learning rate must be > 0"};
+
+  sim::Rng rng{seed};
+  LogisticModel model;
+  model.weights.assign(points.cols + 1, 0.0);
+
+  std::vector<std::size_t> order(points.rows);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    model.epochs_run = epoch + 1;
+    // Fisher-Yates shuffle for per-epoch sample order.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    double loss = 0.0;
+    for (const std::size_t i : order) {
+      const auto x = points.row(i);
+      double z = model.weights[points.cols];  // bias
+      for (std::size_t d = 0; d < points.cols; ++d) {
+        z += model.weights[d] * x[d];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double y = static_cast<double>(labels[i]);
+      const double err = p - y;
+      for (std::size_t d = 0; d < points.cols; ++d) {
+        model.weights[d] -= learning_rate * err * x[d];
+      }
+      model.weights[points.cols] -= learning_rate * err;
+      const double eps = 1e-12;
+      loss += -(y * std::log(p + eps) + (1.0 - y) * std::log(1.0 - p + eps));
+    }
+    model.final_loss = loss / static_cast<double>(points.rows);
+  }
+  return model;
+}
+
+double logistic_predict(const LogisticModel& model,
+                        std::span<const double> features) {
+  if (features.size() + 1 != model.weights.size())
+    throw std::invalid_argument{"logistic_predict: dimension mismatch"};
+  double z = model.weights.back();
+  for (std::size_t d = 0; d < features.size(); ++d) {
+    z += model.weights[d] * features[d];
+  }
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace rb::accel

@@ -1,0 +1,59 @@
+#pragma once
+// Machine-learning building blocks (Sec IV.C.2: frameworks ship "suitable ML
+// code higher-level libraries (MLlib)"; Rec 10 proposes hardware-accelerating
+// such blocks). Real, deterministic CPU implementations of the two kernels
+// the roadmap's analytics discussion keeps returning to: k-means clustering
+// and SGD-trained logistic regression.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rb::accel {
+
+/// Dense row-major point set: `values.size() == points * dims`.
+struct Matrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> values;
+
+  double at(std::size_t r, std::size_t c) const {
+    return values[r * cols + c];
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {values.data() + r * cols, cols};
+  }
+};
+
+struct KMeansResult {
+  Matrix centroids;                   // k x dims
+  std::vector<std::uint32_t> labels;  // per point
+  double inertia = 0.0;               // sum of squared distances
+  int iterations_run = 0;
+};
+
+/// Lloyd's algorithm with k-means++-style seeding from `seed`.
+/// Stops at `max_iters` or when inertia improves by < `tol` (relative).
+KMeansResult kmeans(const Matrix& points, std::size_t k, int max_iters,
+                    std::uint64_t seed, double tol = 1e-6);
+
+struct LogisticModel {
+  std::vector<double> weights;  // includes bias as the last element
+  double final_loss = 0.0;
+  int epochs_run = 0;
+};
+
+/// Mini-batch SGD logistic regression. `labels` in {0, 1}; features are
+/// `points` rows. Deterministic for a fixed seed.
+LogisticModel sgd_logistic(const Matrix& points,
+                           std::span<const std::uint8_t> labels, int epochs,
+                           double learning_rate, std::uint64_t seed);
+
+/// Predicted probability of class 1 for one feature row.
+double logistic_predict(const LogisticModel& model,
+                        std::span<const double> features);
+
+}  // namespace rb::accel

@@ -1,0 +1,162 @@
+#include "accel/offload.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rb::accel {
+
+std::string to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kSelectScan: return "select-scan";
+    case BlockKind::kHashJoin: return "hash-join";
+    case BlockKind::kSort: return "sort";
+    case BlockKind::kGroupAggregate: return "group-aggregate";
+    case BlockKind::kKMeans: return "kmeans";
+    case BlockKind::kSgdLogistic: return "sgd-logistic";
+    case BlockKind::kPatternMatch: return "pattern-match";
+    case BlockKind::kDnnInference: return "dnn-inference";
+    case BlockKind::kPageRank: return "pagerank";
+    case BlockKind::kCompression: return "compression";
+  }
+  return "?";
+}
+
+std::vector<BlockKind> all_blocks() {
+  return {BlockKind::kSelectScan,   BlockKind::kHashJoin,
+          BlockKind::kSort,         BlockKind::kGroupAggregate,
+          BlockKind::kKMeans,       BlockKind::kSgdLogistic,
+          BlockKind::kPatternMatch, BlockKind::kDnnInference,
+          BlockKind::kPageRank,     BlockKind::kCompression};
+}
+
+node::KernelProfile block_profile(BlockKind kind, std::uint64_t rows,
+                                  double bytes_per_row) {
+  if (bytes_per_row <= 0.0)
+    throw std::invalid_argument{"block_profile: bytes_per_row must be > 0"};
+  const double n = static_cast<double>(rows);
+  const double bytes = n * bytes_per_row;
+  // {flops, DRAM bytes, parallel fraction, PCIe bytes}. PCIe bytes model
+  // what actually crosses the bus: raw input once (and resident state for
+  // iterative kernels), not the multi-pass device-DRAM traffic.
+  switch (kind) {
+    case BlockKind::kSelectScan:
+      // One compare per row; pure streaming, everything crosses the bus.
+      return {n * 2.0, bytes, 0.995, bytes};
+    case BlockKind::kHashJoin:
+      // Partition + build + probe: ~3 DRAM passes; tables ship once.
+      return {n * 12.0, bytes * 3.0, 0.97, bytes};
+    case BlockKind::kSort:
+      // ~8 counting passes over device memory; data ships once.
+      return {n * 25.0, bytes * 8.0, 0.98, bytes};
+    case BlockKind::kGroupAggregate:
+      return {n * 8.0, bytes * 1.5, 0.97, bytes};
+    case BlockKind::kKMeans:
+      // 10 Lloyd iterations resident on the device: k*dims MACs per point
+      // per iteration (32 flops per input byte per pass); points ship once.
+      return {bytes * 320.0, bytes * 10.0, 0.995, bytes};
+    case BlockKind::kSgdLogistic:
+      // 5 epochs, 2 flops per byte; sequential updates limit parallelism.
+      return {bytes * 10.0, bytes * 5.0, 0.92, bytes};
+    case BlockKind::kPatternMatch:
+      return {n * 4.0, bytes, 0.99, bytes};
+    case BlockKind::kDnnInference:
+      // Dense GEMM-like (256 flops per activation byte); weights stay
+      // resident, activations cross the bus.
+      return {bytes * 256.0, bytes, 0.999, bytes * 0.1};
+    case BlockKind::kPageRank:
+      // 10 power iterations over a device-resident edge list: irregular,
+      // bandwidth-bound gather/scatter (1 flop/byte per pass).
+      return {bytes * 10.0, bytes * 10.0, 0.98, bytes};
+    case BlockKind::kCompression:
+      // RLE/dictionary/bit-packing: ~2 passes, few ops per byte.
+      return {n * 3.0, bytes * 2.0, 0.99, bytes};
+  }
+  throw std::invalid_argument{"block_profile: unknown block"};
+}
+
+std::string to_string(CodePath path) {
+  switch (path) {
+    case CodePath::kGenericPortable: return "generic-portable";
+    case CodePath::kDeviceTuned: return "device-tuned";
+  }
+  return "?";
+}
+
+double path_efficiency(node::DeviceKind device, CodePath path) noexcept {
+  // Correctness is portable; performance is not (Sec IV.C.3).
+  const bool tuned = path == CodePath::kDeviceTuned;
+  switch (device) {
+    case node::DeviceKind::kCpu: return tuned ? 0.90 : 0.70;
+    case node::DeviceKind::kGpu: return tuned ? 0.80 : 0.35;
+    case node::DeviceKind::kFpga: return tuned ? 0.85 : 0.15;
+    case node::DeviceKind::kAsic: return tuned ? 0.95 : 0.10;
+    case node::DeviceKind::kNeuromorphic: return tuned ? 0.60 : 0.05;
+  }
+  return 0.5;
+}
+
+bool supports(node::DeviceKind device, BlockKind kind) noexcept {
+  switch (device) {
+    case node::DeviceKind::kCpu:
+    case node::DeviceKind::kGpu:
+    case node::DeviceKind::kFpga:
+      return true;  // programmable
+    case node::DeviceKind::kAsic:
+      return kind == BlockKind::kDnnInference;  // fixed function
+    case node::DeviceKind::kNeuromorphic:
+      return kind == BlockKind::kDnnInference ||
+             kind == BlockKind::kPatternMatch ||
+             kind == BlockKind::kPageRank;  // event/spike-friendly
+  }
+  return false;
+}
+
+sim::SimTime block_time(const node::DeviceModel& device, BlockKind kind,
+                        std::uint64_t rows, CodePath path,
+                        double bytes_per_row) {
+  if (!supports(device.kind, kind))
+    throw std::invalid_argument{"block_time: block unsupported on device"};
+  node::KernelProfile profile = block_profile(kind, rows, bytes_per_row);
+  // Path inefficiency burns compute capability: scale flops up by 1/eff.
+  const double eff = path_efficiency(device.kind, path);
+  node::DeviceModel derated = device;
+  derated.peak_gflops *= eff;
+  derated.mem_bw_gbs *= (0.5 + 0.5 * eff);  // tuning also helps locality
+  return node::offload_time(derated, profile);
+}
+
+OffloadDecision best_device(const std::vector<node::DeviceModel>& catalog,
+                            BlockKind kind, std::uint64_t rows, CodePath path,
+                            double bytes_per_row) {
+  const node::DeviceModel* host = nullptr;
+  for (const auto& d : catalog) {
+    if (d.kind == node::DeviceKind::kCpu) {
+      host = &d;
+      break;
+    }
+  }
+  if (host == nullptr)
+    throw std::invalid_argument{"best_device: catalog lacks a host CPU"};
+
+  const sim::SimTime host_time =
+      block_time(*host, kind, rows, CodePath::kDeviceTuned, bytes_per_row);
+
+  OffloadDecision best;
+  best.device = *host;
+  best.time = host_time;
+  for (const auto& d : catalog) {
+    if (d.kind == node::DeviceKind::kCpu || !supports(d.kind, kind)) continue;
+    const sim::SimTime t = block_time(d, kind, rows, path, bytes_per_row);
+    if (t < best.time) {
+      best.device = d;
+      best.time = t;
+    }
+  }
+  best.speedup_vs_host = best.time > 0
+                             ? static_cast<double>(host_time) /
+                                   static_cast<double>(best.time)
+                             : 1.0;
+  return best;
+}
+
+}  // namespace rb::accel

@@ -1,0 +1,79 @@
+#pragma once
+// Offload engine: maps building blocks onto device models (Recs 4, 10).
+//
+// Each building block gets an analytic roofline profile as a function of
+// input size; a code-path efficiency captures the roadmap's observation that
+// portable abstractions "only ensure correctness of the computation on each
+// platform ... not that the computation has been optimized" (Sec IV.C.3):
+// a generic-portable kernel reaches a small fraction of an accelerator's
+// roofline, a device-tuned one most of it. best_device() then implements the
+// node-level offload decision, including PCIe transfer and launch costs.
+
+#include <string>
+#include <vector>
+
+#include "node/device.hpp"
+#include "node/roofline.hpp"
+
+namespace rb::accel {
+
+enum class BlockKind : std::uint8_t {
+  kSelectScan,
+  kHashJoin,
+  kSort,
+  kGroupAggregate,
+  kKMeans,
+  kSgdLogistic,
+  kPatternMatch,
+  kDnnInference,
+  kPageRank,
+  kCompression,
+};
+
+std::string to_string(BlockKind kind);
+
+/// All block kinds, for sweeps.
+std::vector<BlockKind> all_blocks();
+
+/// Roofline profile of one invocation of `kind` over `rows` input rows of
+/// `bytes_per_row` bytes. Profiles are calibrated against the real CPU
+/// implementations in this library (tests cross-check the ordering).
+node::KernelProfile block_profile(BlockKind kind, std::uint64_t rows,
+                                  double bytes_per_row = 16.0);
+
+enum class CodePath : std::uint8_t {
+  kGenericPortable,  // OpenCL-style: correct everywhere, tuned nowhere
+  kDeviceTuned,      // hand-optimized for the specific device
+};
+
+std::string to_string(CodePath path);
+
+/// Fraction of the device's roofline the code path achieves, in (0, 1].
+double path_efficiency(node::DeviceKind device, CodePath path) noexcept;
+
+/// Whether the block maps well onto the device at all (an ASIC only runs
+/// the function it was built for; neuromorphic parts only inference-like
+/// blocks). Unsupported combinations return false and must not be offloaded.
+bool supports(node::DeviceKind device, BlockKind kind) noexcept;
+
+/// End-to-end time of `kind` on `device` for `rows` rows via `path`
+/// (launch + PCIe + compute at path-scaled roofline).
+/// Throws std::invalid_argument if !supports(device.kind, kind).
+sim::SimTime block_time(const node::DeviceModel& device, BlockKind kind,
+                        std::uint64_t rows, CodePath path,
+                        double bytes_per_row = 16.0);
+
+struct OffloadDecision {
+  node::DeviceModel device;
+  sim::SimTime time = 0;
+  double speedup_vs_host = 1.0;
+};
+
+/// Pick the fastest device in `catalog` for the block (host CPU included as
+/// the fallback); `path` applies to accelerators, the host always runs its
+/// own tuned code.
+OffloadDecision best_device(const std::vector<node::DeviceModel>& catalog,
+                            BlockKind kind, std::uint64_t rows, CodePath path,
+                            double bytes_per_row = 16.0);
+
+}  // namespace rb::accel

@@ -1,0 +1,30 @@
+#pragma once
+// Predicate scan building block (Rec 10: "identify often-required functional
+// building blocks ... and replace these blocks with (partially) hardware-
+// accelerated implementations"). Selection scans are the canonical block:
+// every query starts with one, and they are the first thing pushed to FPGAs.
+//
+// The CPU implementation is branch-free (predication), the style a compiler
+// vectorizes well; correctness-checked against a naive branching loop in the
+// tests.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rb::accel {
+
+/// Indices of elements v with lo <= v < hi, in order (branch-free inner loop).
+std::vector<std::uint32_t> select_between(std::span<const std::int64_t> values,
+                                          std::int64_t lo, std::int64_t hi);
+
+/// Count of elements v with lo <= v < hi.
+std::size_t count_between(std::span<const std::int64_t> values,
+                          std::int64_t lo, std::int64_t hi) noexcept;
+
+/// Sum of selected[i] ? values[i] : 0 over a selection bitmap produced by
+/// select_between (gather-aggregate fusion used by the bench).
+std::int64_t sum_selected(std::span<const std::int64_t> values,
+                          std::span<const std::uint32_t> indices);
+
+}  // namespace rb::accel

@@ -1,0 +1,52 @@
+#include "accel/topk.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "accel/aggregate.hpp"
+
+namespace rb::accel {
+
+std::vector<std::uint64_t> top_k(std::span<const std::uint64_t> values,
+                                 std::size_t k) {
+  std::vector<std::uint64_t> out;
+  if (k == 0) return out;
+  // Bounded min-heap: the heap top is the smallest of the current top-k.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      heap;
+  for (const auto v : values) {
+    if (heap.size() < k) {
+      heap.push(v);
+    } else if (v > heap.top()) {
+      heap.pop();
+      heap.push(v);
+    }
+  }
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<GroupResult> top_k_groups(std::span<const Row> rows,
+                                      std::size_t k) {
+  auto groups = group_aggregate(rows, AggOp::kSum);
+  const auto by_sum_desc = [](const GroupResult& a, const GroupResult& b) {
+    return a.value != b.value ? a.value > b.value : a.key < b.key;
+  };
+  if (groups.size() > k) {
+    std::partial_sort(groups.begin(),
+                      groups.begin() + static_cast<std::ptrdiff_t>(k),
+                      groups.end(), by_sum_desc);
+    groups.resize(k);
+  } else {
+    std::sort(groups.begin(), groups.end(), by_sum_desc);
+  }
+  return groups;
+}
+
+}  // namespace rb::accel

@@ -1,0 +1,24 @@
+#pragma once
+// Top-k building block (Rec 10): every dashboard, ranking and heavy-hitter
+// query ends in one. Bounded min-heap selection — O(n log k) time, O(k)
+// space — plus a heavy-hitter variant over the aggregate block.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/aggregate.hpp"  // Row, GroupResult
+
+namespace rb::accel {
+
+/// The k largest values, descending. k == 0 returns empty; k >= n returns
+/// all values sorted descending.
+std::vector<std::uint64_t> top_k(std::span<const std::uint64_t> values,
+                                 std::size_t k);
+
+/// The k (key, aggregated payload sum) pairs with the largest sums,
+/// descending by sum (ties broken by smaller key first).
+std::vector<GroupResult> top_k_groups(std::span<const Row> rows,
+                                      std::size_t k);
+
+}  // namespace rb::accel

@@ -1,0 +1,25 @@
+#include "dataflow/streaming.hpp"
+
+namespace rb::dataflow {
+
+std::vector<EventTime> WindowSpec::windows_for(EventTime t) const {
+  validate();
+  std::vector<EventTime> starts;
+  const EventTime step = kind == WindowKind::kTumbling ? size_ms : slide_ms;
+  // Floor-division window index that is correct for negative times too.
+  const auto floor_div = [](EventTime a, EventTime b) {
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+  };
+  if (kind == WindowKind::kTumbling) {
+    starts.push_back(floor_div(t, step) * step);
+    return starts;
+  }
+  // Sliding: every window with start in (t - size, t] aligned to the slide.
+  const EventTime last_start = floor_div(t, step) * step;
+  for (EventTime start = last_start; start > t - size_ms; start -= step) {
+    starts.push_back(start);
+  }
+  return starts;
+}
+
+}  // namespace rb::dataflow

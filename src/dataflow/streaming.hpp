@@ -1,0 +1,188 @@
+#pragma once
+// Windowed stream processing (Sec IV.C.3: "MapReduce and its successors for
+// batch and stream processing implemented by the Apache Spark and Apache
+// Flink projects"). The dataflow module's batch Dataset covers the Spark
+// side; this is the Flink side: keyed, event-time windowed aggregation with
+// watermarks, out-of-order arrival, allowed lateness, and deterministic
+// window firing.
+//
+// The engine is single-threaded by design (one operator instance); the
+// cluster-level parallelism story is the same hash-partitioning the batch
+// shuffles use — each key partition gets its own WindowedAggregator.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace rb::dataflow {
+
+/// Event time in milliseconds since an arbitrary epoch.
+using EventTime = std::int64_t;
+
+enum class WindowKind : std::uint8_t { kTumbling, kSliding };
+
+struct WindowSpec {
+  WindowKind kind = WindowKind::kTumbling;
+  EventTime size_ms = 60'000;
+  /// Slide for sliding windows; ignored (== size) for tumbling.
+  EventTime slide_ms = 60'000;
+  /// Events later than watermark - allowed_lateness are dropped.
+  EventTime allowed_lateness_ms = 0;
+
+  void validate() const {
+    if (size_ms <= 0) throw std::invalid_argument{"WindowSpec: size <= 0"};
+    if (kind == WindowKind::kSliding && slide_ms <= 0)
+      throw std::invalid_argument{"WindowSpec: slide <= 0"};
+    if (kind == WindowKind::kSliding && slide_ms > size_ms)
+      throw std::invalid_argument{"WindowSpec: slide > size"};
+    if (allowed_lateness_ms < 0)
+      throw std::invalid_argument{"WindowSpec: negative lateness"};
+  }
+
+  /// Start times of every window containing `t`.
+  std::vector<EventTime> windows_for(EventTime t) const;
+};
+
+/// A fired window result for one key.
+template <typename K, typename Acc>
+struct WindowResult {
+  K key;
+  EventTime window_start = 0;
+  EventTime window_end = 0;
+  Acc value{};
+  std::uint64_t count = 0;
+};
+
+/// Watermark generator with bounded out-of-orderness: watermark = max event
+/// time seen - bound. Watermarks are monotone even if event times regress.
+class BoundedOutOfOrdernessWatermark {
+ public:
+  explicit BoundedOutOfOrdernessWatermark(EventTime bound_ms)
+      : bound_{bound_ms} {
+    if (bound_ms < 0)
+      throw std::invalid_argument{"watermark bound must be >= 0"};
+  }
+
+  /// Observe an event; returns the current watermark.
+  EventTime observe(EventTime event_time) {
+    if (event_time > max_seen_) max_seen_ = event_time;
+    return watermark();
+  }
+
+  EventTime watermark() const {
+    return max_seen_ == kMinTime ? kMinTime : max_seen_ - bound_;
+  }
+
+  static constexpr EventTime kMinTime =
+      std::numeric_limits<EventTime>::min();
+
+ private:
+  EventTime bound_;
+  EventTime max_seen_ = kMinTime;
+};
+
+/// Keyed windowed aggregation. `Combine` is Acc(Acc, V) — the per-window
+/// accumulator update. Window results fire in (window_start, key) order the
+/// moment the watermark passes window_end + allowed_lateness.
+template <typename K, typename V, typename Acc>
+class WindowedAggregator {
+ public:
+  using Combine = std::function<Acc(Acc, const V&)>;
+  using FireFn = std::function<void(const WindowResult<K, Acc>&)>;
+
+  WindowedAggregator(WindowSpec spec, Acc init, Combine combine, FireFn fire)
+      : spec_{spec},
+        init_{std::move(init)},
+        combine_{std::move(combine)},
+        fire_{std::move(fire)} {
+    spec_.validate();
+    if (!combine_) throw std::invalid_argument{"combine required"};
+    if (!fire_) throw std::invalid_argument{"fire callback required"};
+  }
+
+  /// Ingest one event at `event_time`. Returns false if the event was
+  /// dropped as too late.
+  bool on_event(const K& key, const V& value, EventTime event_time) {
+    ++events_seen_;
+    if (watermark_ != BoundedOutOfOrdernessWatermark::kMinTime &&
+        event_time < watermark_ - spec_.allowed_lateness_ms) {
+      ++late_dropped_;
+      return false;
+    }
+    for (const EventTime start : spec_.windows_for(event_time)) {
+      // Skip panes that have already fired (late-but-allowed events whose
+      // earlier windows are gone).
+      if (start + spec_.size_ms + spec_.allowed_lateness_ms <= watermark_) {
+        continue;
+      }
+      auto [it, inserted] =
+          panes_.try_emplace(PaneKey{start, key}, Pane{init_, 0});
+      it->second.acc = combine_(std::move(it->second.acc), value);
+      ++it->second.count;
+    }
+    return true;
+  }
+
+  /// Advance the watermark (monotone; lower values are ignored) and fire
+  /// every complete window.
+  void advance_watermark(EventTime watermark) {
+    if (watermark <= watermark_) return;
+    watermark_ = watermark;
+    // Panes are ordered by (window_start, key); fire all whose end (plus
+    // lateness grace) has passed.
+    auto it = panes_.begin();
+    while (it != panes_.end()) {
+      const EventTime end = it->first.start + spec_.size_ms;
+      if (end + spec_.allowed_lateness_ms > watermark_) break;
+      fire_(WindowResult<K, Acc>{it->first.key, it->first.start, end,
+                                 it->second.acc, it->second.count});
+      ++windows_fired_;
+      it = panes_.erase(it);
+    }
+  }
+
+  /// Flush every pending pane regardless of watermark (end of stream).
+  void close() {
+    for (const auto& [pane_key, pane] : panes_) {
+      fire_(WindowResult<K, Acc>{pane_key.key, pane_key.start,
+                                 pane_key.start + spec_.size_ms, pane.acc,
+                                 pane.count});
+      ++windows_fired_;
+    }
+    panes_.clear();
+  }
+
+  std::uint64_t events_seen() const noexcept { return events_seen_; }
+  std::uint64_t late_dropped() const noexcept { return late_dropped_; }
+  std::uint64_t windows_fired() const noexcept { return windows_fired_; }
+  std::size_t open_panes() const noexcept { return panes_.size(); }
+  EventTime watermark() const noexcept { return watermark_; }
+
+ private:
+  struct PaneKey {
+    EventTime start;
+    K key;
+    bool operator<(const PaneKey& o) const {
+      return start != o.start ? start < o.start : key < o.key;
+    }
+  };
+  struct Pane {
+    Acc acc;
+    std::uint64_t count = 0;
+  };
+
+  WindowSpec spec_;
+  Acc init_;
+  Combine combine_;
+  FireFn fire_;
+  std::map<PaneKey, Pane> panes_;
+  EventTime watermark_ = BoundedOutOfOrdernessWatermark::kMinTime;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t late_dropped_ = 0;
+  std::uint64_t windows_fired_ = 0;
+};
+
+}  // namespace rb::dataflow

@@ -1,0 +1,65 @@
+#pragma once
+// Fixed-size worker pool used by the dataflow executor.
+//
+// The roadmap (Sec IV.C.3) observes that "the unit of parallelization
+// supported [by MapReduce-style frameworks] is an operating system thread";
+// this pool is exactly that substrate: node-level multicore parallelism on
+// which the dataset operators run.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rb::dataflow {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it completes. Exceptions
+  /// thrown by the task propagate through the future.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    {
+      const std::scoped_lock lock{mutex_};
+      if (stopping_) throw std::runtime_error{"ThreadPool: stopped"};
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run fn(i) for i in [0, n), blocking until all complete. Exceptions are
+  /// collected and the first one rethrown.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool (created on first use, hardware concurrency).
+ThreadPool& default_pool();
+
+}  // namespace rb::dataflow

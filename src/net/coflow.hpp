@@ -1,0 +1,61 @@
+#pragma once
+// Coflow scheduling over the flow-level fabric.
+//
+// A "coflow" is the group of flows one computation stage emits (a shuffle);
+// the job only advances when the whole group is done. The roadmap's
+// networking sections argue for Big-Data-aware network software; coflow
+// scheduling is the canonical instance: scheduling whole shuffles instead
+// of individual flows cuts average *coflow* completion time (CCT)
+// substantially. This module compares:
+//   kConcurrentFairSharing — all coflows start at once, the fabric's
+//       max-min sharing arbitrates (today's TCP-fair baseline);
+//   kSmallestBottleneckFirst — coflows run one group at a time, shortest
+//       estimated bottleneck first (Varys-style Smallest Effective
+//       Bottleneck First, the informed schedule).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace rb::net {
+
+struct CoflowFlow {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  sim::Bytes bytes = 0;
+};
+
+struct Coflow {
+  std::string name;
+  std::vector<CoflowFlow> flows;
+
+  sim::Bytes total_bytes() const noexcept;
+};
+
+enum class CoflowSchedule : std::uint8_t {
+  kConcurrentFairSharing,
+  kSmallestBottleneckFirst,
+};
+
+std::string to_string(CoflowSchedule schedule);
+
+struct CoflowResult {
+  std::vector<std::pair<std::string, double>> cct_seconds;  // per coflow
+  double avg_cct_seconds = 0.0;
+  double makespan_seconds = 0.0;
+};
+
+/// Estimated standalone completion time of a coflow on an idle fabric: the
+/// max over endpoints of (bytes through that endpoint / endpoint rate) —
+/// the "effective bottleneck" that orders SEBF.
+double bottleneck_seconds(const Topology& topo, const Coflow& coflow);
+
+/// Run `coflows` under `schedule` and report completion times.
+/// Throws std::invalid_argument on an empty coflow set or empty coflow.
+CoflowResult run_coflows(const Topology& topo,
+                         const std::vector<Coflow>& coflows,
+                         CoflowSchedule schedule);
+
+}  // namespace rb::net

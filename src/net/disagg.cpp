@@ -1,0 +1,195 @@
+#include "net/disagg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rb::net {
+
+namespace {
+
+double safe_fraction(double unused, double provisioned) noexcept {
+  return provisioned <= 0.0 ? 0.0 : unused / provisioned;
+}
+
+std::size_t sleds_needed(double demand, double per_sled, double headroom) {
+  return static_cast<std::size_t>(
+      std::ceil(demand * (1.0 + headroom) / per_sled));
+}
+
+}  // namespace
+
+double PackingResult::stranded_cores() const noexcept {
+  return safe_fraction(provisioned.cores - used.cores, provisioned.cores);
+}
+double PackingResult::stranded_mem() const noexcept {
+  return safe_fraction(provisioned.mem_gib - used.mem_gib,
+                       provisioned.mem_gib);
+}
+double PackingResult::stranded_storage() const noexcept {
+  return safe_fraction(provisioned.storage_tib - used.storage_tib,
+                       provisioned.storage_tib);
+}
+
+PackingResult pack_converged(std::span<const ResourceVector> jobs,
+                             const ServerShape& shape) {
+  for (const auto& job : jobs) {
+    if (!job.fits_in(shape.capacity))
+      throw std::invalid_argument{
+          "pack_converged: job exceeds server capacity"};
+  }
+  // First-fit decreasing on the job's dominant share of the server shape.
+  std::vector<ResourceVector> sorted{jobs.begin(), jobs.end()};
+  const auto dominant = [&shape](const ResourceVector& j) {
+    return std::max({j.cores / shape.capacity.cores,
+                     j.mem_gib / shape.capacity.mem_gib,
+                     j.storage_tib / shape.capacity.storage_tib});
+  };
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const ResourceVector& a, const ResourceVector& b) {
+              return dominant(a) > dominant(b);
+            });
+
+  std::vector<ResourceVector> residual;  // free space per open server
+  PackingResult out;
+  for (const auto& job : sorted) {
+    bool placed = false;
+    for (auto& free : residual) {
+      if (job.fits_in(free)) {
+        free.cores -= job.cores;
+        free.mem_gib -= job.mem_gib;
+        free.storage_tib -= job.storage_tib;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      ResourceVector free = shape.capacity;
+      free.cores -= job.cores;
+      free.mem_gib -= job.mem_gib;
+      free.storage_tib -= job.storage_tib;
+      residual.push_back(free);
+    }
+    out.used += job;
+  }
+  out.servers = residual.size();
+  out.provisioned.cores =
+      shape.capacity.cores * static_cast<double>(out.servers);
+  out.provisioned.mem_gib =
+      shape.capacity.mem_gib * static_cast<double>(out.servers);
+  out.provisioned.storage_tib =
+      shape.capacity.storage_tib * static_cast<double>(out.servers);
+  return out;
+}
+
+DisaggResult pack_disaggregated(std::span<const ResourceVector> jobs,
+                                const DisaggParams& params) {
+  DisaggResult out;
+  for (const auto& job : jobs) out.used += job;
+  out.cpu_sleds =
+      sleds_needed(out.used.cores, params.cores_per_sled, params.headroom);
+  out.mem_sleds =
+      sleds_needed(out.used.mem_gib, params.mem_gib_per_sled, params.headroom);
+  out.storage_sleds = sleds_needed(out.used.storage_tib,
+                                   params.storage_tib_per_sled,
+                                   params.headroom);
+  out.provisioned.cores =
+      static_cast<double>(out.cpu_sleds) * params.cores_per_sled;
+  out.provisioned.mem_gib =
+      static_cast<double>(out.mem_sleds) * params.mem_gib_per_sled;
+  out.provisioned.storage_tib =
+      static_cast<double>(out.storage_sleds) * params.storage_tib_per_sled;
+  const auto total_sleds =
+      static_cast<double>(out.cpu_sleds + out.mem_sleds + out.storage_sleds);
+  out.capex = static_cast<double>(out.cpu_sleds) * params.cpu_sled_cost +
+              static_cast<double>(out.mem_sleds) * params.mem_sled_cost +
+              static_cast<double>(out.storage_sleds) *
+                  params.storage_sled_cost +
+              total_sleds * params.fabric_cost_per_sled;
+  return out;
+}
+
+UpgradeTco simulate_upgrades(std::span<const ResourceVector> initial_jobs,
+                             const ServerShape& shape,
+                             const DisaggParams& disagg,
+                             const UpgradeTcoParams& params) {
+  if (params.horizon_years <= 0)
+    throw std::invalid_argument{"simulate_upgrades: horizon must be positive"};
+  if (params.cpu_refresh_years <= 0 || params.mem_refresh_years <= 0 ||
+      params.storage_refresh_years <= 0)
+    throw std::invalid_argument{"simulate_upgrades: refresh must be positive"};
+
+  UpgradeTco out;
+  out.converged_capex_by_year.assign(
+      static_cast<std::size_t>(params.horizon_years), 0.0);
+  out.disagg_capex_by_year.assign(
+      static_cast<std::size_t>(params.horizon_years), 0.0);
+
+  // Demand trajectory: compound growth adds more jobs of the same shapes
+  // (replication, not inflation — individual jobs must keep fitting in one
+  // server for the converged fleet to be packable at all).
+  const auto demand_at = [&](int year) {
+    const double scale = std::pow(1.0 + params.annual_demand_growth, year);
+    const auto target = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(initial_jobs.size()) * scale));
+    std::vector<ResourceVector> jobs;
+    jobs.reserve(target);
+    for (std::size_t i = 0; i < target; ++i) {
+      jobs.push_back(initial_jobs[i % initial_jobs.size()]);
+    }
+    return jobs;
+  };
+
+  std::size_t converged_fleet = 0;
+  std::size_t cpu_sleds = 0, mem_sleds = 0, storage_sleds = 0;
+
+  for (int year = 0; year < params.horizon_years; ++year) {
+    const auto jobs = demand_at(year);
+    auto& conv_spend =
+        out.converged_capex_by_year[static_cast<std::size_t>(year)];
+    auto& dis_spend = out.disagg_capex_by_year[static_cast<std::size_t>(year)];
+
+    // --- Converged fleet ---
+    const auto packed = pack_converged(jobs, shape);
+    const bool cpu_refresh = year > 0 && year % params.cpu_refresh_years == 0;
+    if (cpu_refresh) {
+      // Whole-server replacement: the CPU ages out but the box is monolithic.
+      conv_spend +=
+          static_cast<double>(converged_fleet) * shape.total_cost();
+      converged_fleet = 0;
+    }
+    if (packed.servers > converged_fleet) {
+      conv_spend += static_cast<double>(packed.servers - converged_fleet) *
+                    shape.total_cost();
+      converged_fleet = packed.servers;
+    }
+
+    // --- Composable fleet: each sled class on its own cadence ---
+    const auto pools = pack_disaggregated(jobs, disagg);
+    const auto refresh_class = [&](std::size_t& fleet, std::size_t needed,
+                                   int cadence, sim::Dollars sled_cost) {
+      if (year > 0 && year % cadence == 0) {
+        dis_spend += static_cast<double>(fleet) *
+                     (sled_cost + disagg.fabric_cost_per_sled * 0.0);
+        fleet = 0;
+      }
+      if (needed > fleet) {
+        dis_spend += static_cast<double>(needed - fleet) *
+                     (sled_cost + disagg.fabric_cost_per_sled);
+        fleet = needed;
+      }
+    };
+    refresh_class(cpu_sleds, pools.cpu_sleds, params.cpu_refresh_years,
+                  disagg.cpu_sled_cost);
+    refresh_class(mem_sleds, pools.mem_sleds, params.mem_refresh_years,
+                  disagg.mem_sled_cost);
+    refresh_class(storage_sleds, pools.storage_sleds,
+                  params.storage_refresh_years, disagg.storage_sled_cost);
+  }
+
+  for (const auto c : out.converged_capex_by_year) out.converged_total += c;
+  for (const auto c : out.disagg_capex_by_year) out.disagg_total += c;
+  return out;
+}
+
+}  // namespace rb::net

@@ -1,0 +1,120 @@
+#pragma once
+// Converged vs disaggregated ("composable") datacenter model (Sec IV.A.3).
+//
+// The roadmap: high bandwidth at all key interconnect nodes leads to
+// "composable hardware — CPU, memory, I/O and storage that is purchased a la
+// carte", which "facilitates regular upgrades and potentially eliminates the
+// need and cost of replacing entire servers". We make that argument
+// computable with (a) a bin-packing stranding model — converged servers
+// strand resources because jobs rarely match the box shape — and (b) a
+// rolling-upgrade TCO simulation where converged fleets replace whole
+// servers while composable fleets replace only the aged resource sleds.
+// Disaggregation pays a "network tax": extra fabric capex/power per node.
+
+#include <span>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace rb::net {
+
+/// A demand or capacity vector over the three pooled resource classes.
+struct ResourceVector {
+  double cores = 0.0;
+  double mem_gib = 0.0;
+  double storage_tib = 0.0;
+
+  ResourceVector& operator+=(const ResourceVector& o) noexcept {
+    cores += o.cores;
+    mem_gib += o.mem_gib;
+    storage_tib += o.storage_tib;
+    return *this;
+  }
+  bool fits_in(const ResourceVector& cap) const noexcept {
+    return cores <= cap.cores && mem_gib <= cap.mem_gib &&
+           storage_tib <= cap.storage_tib;
+  }
+};
+
+/// Fixed server shape for the converged fleet, with a capex breakdown so the
+/// upgrade model can price partial replacement.
+struct ServerShape {
+  ResourceVector capacity{32.0, 256.0, 8.0};
+  sim::Dollars cpu_cost = 4000.0;
+  sim::Dollars mem_cost = 2500.0;
+  sim::Dollars storage_cost = 1200.0;
+  sim::Dollars chassis_cost = 1800.0;
+
+  sim::Dollars total_cost() const noexcept {
+    return cpu_cost + mem_cost + storage_cost + chassis_cost;
+  }
+};
+
+struct PackingResult {
+  std::size_t servers = 0;
+  ResourceVector provisioned;  // total capacity bought
+  ResourceVector used;         // total demand placed
+  /// Fraction of provisioned resource left stranded, per class.
+  double stranded_cores() const noexcept;
+  double stranded_mem() const noexcept;
+  double stranded_storage() const noexcept;
+};
+
+/// First-fit-decreasing packing of `jobs` onto identical `shape` servers.
+/// Jobs larger than one server in any dimension throw std::invalid_argument.
+PackingResult pack_converged(std::span<const ResourceVector> jobs,
+                             const ServerShape& shape);
+
+struct DisaggParams {
+  // Sled granularity and unit prices (match ServerShape component pricing).
+  double cores_per_sled = 32.0;
+  double mem_gib_per_sled = 256.0;
+  double storage_tib_per_sled = 8.0;
+  sim::Dollars cpu_sled_cost = 4200.0;      // cpu_cost + sled packaging
+  sim::Dollars mem_sled_cost = 2700.0;
+  sim::Dollars storage_sled_cost = 1300.0;
+  // Fabric tax: composable pools need high-bandwidth interconnect per sled.
+  sim::Dollars fabric_cost_per_sled = 600.0;
+  // Allocation overhead: pool scheduler reserves headroom.
+  double headroom = 0.05;
+};
+
+struct DisaggResult {
+  std::size_t cpu_sleds = 0;
+  std::size_t mem_sleds = 0;
+  std::size_t storage_sleds = 0;
+  sim::Dollars capex = 0.0;
+  ResourceVector provisioned;
+  ResourceVector used;
+};
+
+/// Size disaggregated pools to hold `jobs` (resources pool perfectly up to
+/// headroom; stranding is only sled-granularity rounding).
+DisaggResult pack_disaggregated(std::span<const ResourceVector> jobs,
+                                const DisaggParams& params = {});
+
+struct UpgradeTcoParams {
+  int horizon_years = 6;
+  int cpu_refresh_years = 2;      // CPUs age fastest (roadmap's premise)
+  int mem_refresh_years = 4;
+  int storage_refresh_years = 6;
+  // Demand grows; fleets are resized at each refresh point.
+  double annual_demand_growth = 0.20;
+};
+
+struct UpgradeTco {
+  std::vector<sim::Dollars> converged_capex_by_year;
+  std::vector<sim::Dollars> disagg_capex_by_year;
+  sim::Dollars converged_total = 0.0;
+  sim::Dollars disagg_total = 0.0;
+};
+
+/// Rolling-upgrade TCO: converged fleets replace whole servers on the CPU
+/// refresh cadence; composable fleets replace each sled class on its own
+/// cadence. Both grow capacity with demand.
+UpgradeTco simulate_upgrades(std::span<const ResourceVector> initial_jobs,
+                             const ServerShape& shape,
+                             const DisaggParams& disagg,
+                             const UpgradeTcoParams& params = {});
+
+}  // namespace rb::net

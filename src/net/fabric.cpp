@@ -1,0 +1,221 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rb::net {
+
+namespace {
+// A flow is considered drained when fewer than this many bits remain;
+// guards against floating-point residue never reaching exactly zero.
+constexpr double kResidualBits = 1e-6;
+}  // namespace
+
+FlowSimulator::FlowSimulator(sim::Simulator& sim, const Topology& topo,
+                             const Router& router, RateAllocation allocation)
+    : sim_{&sim}, topo_{&topo}, router_{&router}, allocation_{allocation} {}
+
+FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
+                                 FlowCallback on_complete) {
+  const FlowId id = next_id_++;
+  Active flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.size = size;
+  flow.remaining_bits = static_cast<double>(size) * 8.0;
+  flow.start = sim_->now();
+  flow.on_complete = std::move(on_complete);
+
+  if (src != dst) {
+    const auto links = router_->path(src, dst, mix64(id));
+    flow.dpath.reserve(links.size());
+    NodeId at = src;
+    for (const LinkId link_id : links) {
+      const Link& link = topo_->link(link_id);
+      const int dir = (link.a == at) ? 0 : 1;
+      flow.dpath.push_back((static_cast<std::uint64_t>(link_id) << 1) |
+                           static_cast<std::uint64_t>(dir));
+      flow.latency += link.latency;
+      at = (link.a == at) ? link.b : link.a;
+    }
+  }
+
+  if (flow.remaining_bits <= kResidualBits || flow.dpath.empty()) {
+    // Degenerate flow: completes after propagation only.
+    const sim::SimTime latency = flow.latency;
+    FlowRecord record{id, src, dst, size, flow.start, flow.start + latency};
+    auto cb = std::move(flow.on_complete);
+    sim_->schedule_in(latency, [this, record, cb = std::move(cb)] {
+      ++completed_;
+      fct_.add(sim::to_seconds(record.finish - record.start));
+      if (cb) cb(record);
+    });
+    return id;
+  }
+
+  advance_to_now();
+  flows_.emplace(id, std::move(flow));
+  reallocate();
+  schedule_next_completion();
+  return id;
+}
+
+double FlowSimulator::current_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end())
+    throw std::invalid_argument{"FlowSimulator::current_rate: unknown flow"};
+  return it->second.rate;
+}
+
+void FlowSimulator::advance_to_now() {
+  const sim::SimTime now = sim_->now();
+  const double elapsed = sim::to_seconds(now - last_advance_);
+  if (elapsed > 0.0) {
+    for (auto& [id, flow] : flows_) {
+      flow.remaining_bits =
+          std::max(0.0, flow.remaining_bits - flow.rate * elapsed);
+    }
+  }
+  last_advance_ = now;
+}
+
+void FlowSimulator::reallocate() {
+  struct LinkState {
+    double remaining_cap;
+    int unfrozen = 0;
+  };
+  std::unordered_map<std::uint64_t, LinkState> links;
+  for (const auto& [id, flow] : flows_) {
+    for (const std::uint64_t key : flow.dpath) {
+      auto [it, inserted] = links.try_emplace(
+          key, LinkState{topo_->link(static_cast<LinkId>(key >> 1)).rate, 0});
+      ++it->second.unfrozen;
+    }
+  }
+
+  if (allocation_ == RateAllocation::kEqualSharePerLink) {
+    // Naive ablation baseline: every flow gets the minimum over its links of
+    // capacity / flows-on-link, computed once without redistribution.
+    for (auto& [id, flow] : flows_) {
+      double rate = std::numeric_limits<double>::infinity();
+      for (const std::uint64_t key : flow.dpath) {
+        const auto& state = links.at(key);
+        rate = std::min(rate, state.remaining_cap / state.unfrozen);
+      }
+      flow.rate = rate;
+    }
+    return;
+  }
+
+  // Max-min fair: progressive filling over directed link capacities.
+
+  std::unordered_map<FlowId, bool> frozen;
+  frozen.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) frozen[id] = false;
+
+  std::size_t remaining = flows_.size();
+  while (remaining > 0) {
+    // Find the bottleneck: the directed link with the smallest fair share.
+    double best_share = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (const auto& [key, state] : links) {
+      if (state.unfrozen == 0) continue;
+      const double share = state.remaining_cap / state.unfrozen;
+      if (share < best_share) {
+        best_share = share;
+        found = true;
+      }
+    }
+    if (!found) break;  // defensive: every remaining flow has an empty path
+
+    // Freeze every unfrozen flow crossing a link whose share equals the
+    // bottleneck share (within tolerance), at that share.
+    for (auto& [id, flow] : flows_) {
+      if (frozen[id]) continue;
+      bool bottlenecked = false;
+      for (const std::uint64_t key : flow.dpath) {
+        const auto& state = links.at(key);
+        if (state.unfrozen > 0 &&
+            state.remaining_cap / state.unfrozen <= best_share * (1 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      flow.rate = best_share;
+      frozen[id] = true;
+      --remaining;
+      for (const std::uint64_t key : flow.dpath) {
+        auto& state = links.at(key);
+        state.remaining_cap = std::max(0.0, state.remaining_cap - best_share);
+        --state.unfrozen;
+      }
+    }
+  }
+}
+
+void FlowSimulator::schedule_next_completion() {
+  completion_event_.cancel();
+  if (flows_.empty()) return;
+  double earliest_s = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0.0) continue;
+    earliest_s = std::min(earliest_s, flow.remaining_bits / flow.rate);
+  }
+  if (!std::isfinite(earliest_s))
+    throw std::logic_error{"FlowSimulator: active flows with zero rate"};
+  // Ceil to >= 1 ps so simulated time strictly advances.
+  const sim::SimTime delay =
+      std::max<sim::SimTime>(1, sim::from_seconds(earliest_s) + 1);
+  completion_event_ =
+      sim_->schedule_in(delay, [this] { handle_completion_event(); });
+}
+
+void FlowSimulator::handle_completion_event() {
+  advance_to_now();
+  std::vector<FlowId> done;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.remaining_bits <= kResidualBits) done.push_back(id);
+  }
+  // Deterministic completion order.
+  std::sort(done.begin(), done.end());
+  for (const FlowId id : done) {
+    auto node = flows_.extract(id);
+    finish_flow(id, std::move(node.mapped()));
+  }
+  if (!done.empty()) reallocate();
+  schedule_next_completion();
+}
+
+void FlowSimulator::finish_flow(FlowId id, Active&& flow) {
+  ++completed_;
+  FlowRecord record{id,         flow.src,
+                    flow.dst,   flow.size,
+                    flow.start, sim_->now() + flow.latency};
+  fct_.add(sim::to_seconds(record.finish - record.start));
+  if (flow.on_complete) flow.on_complete(record);
+}
+
+sim::SimTime simulate_shuffle(const Topology& topo, sim::Bytes bytes_per_pair,
+                              RateAllocation allocation) {
+  sim::Simulator sim;
+  Router router{topo};
+  FlowSimulator fabric{sim, topo, router, allocation};
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  sim::SimTime last_finish = 0;
+  for (const NodeId src : hosts) {
+    for (const NodeId dst : hosts) {
+      if (src == dst) continue;
+      fabric.start_flow(src, dst, bytes_per_pair,
+                        [&last_finish](const FlowRecord& r) {
+                          last_finish = std::max(last_finish, r.finish);
+                        });
+    }
+  }
+  sim.run();
+  return last_finish;
+}
+
+}  // namespace rb::net

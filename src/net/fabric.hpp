@@ -1,0 +1,106 @@
+#pragma once
+// Flow-level datacenter fabric simulation.
+//
+// Flows are fluid: each active flow receives a rate from a max-min fair
+// allocation across the directed capacities of the links on its ECMP path
+// (progressive filling / water-filling). The allocation is recomputed on
+// every flow arrival and departure, which is the standard abstraction for
+// studying DC job/network interactions at the scale the roadmap discusses
+// without simulating packets.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace rb::net {
+
+using FlowId = std::uint64_t;
+
+struct FlowRecord {
+  FlowId id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  sim::Bytes size = 0;
+  sim::SimTime start = 0;
+  sim::SimTime finish = 0;
+};
+
+using FlowCallback = std::function<void(const FlowRecord&)>;
+
+/// Bandwidth-sharing discipline (the DESIGN.md ablation): max-min fair via
+/// progressive filling, or the naive per-link equal split, which gives every
+/// flow min over its links of capacity/flows-on-link — feasible but leaves
+/// bandwidth stranded whenever flows are bottlenecked elsewhere.
+enum class RateAllocation : std::uint8_t { kMaxMinFair, kEqualSharePerLink };
+
+class FlowSimulator {
+ public:
+  /// The topology and router must outlive the simulator.
+  FlowSimulator(sim::Simulator& sim, const Topology& topo,
+                const Router& router,
+                RateAllocation allocation = RateAllocation::kMaxMinFair);
+
+  FlowSimulator(const FlowSimulator&) = delete;
+  FlowSimulator& operator=(const FlowSimulator&) = delete;
+
+  /// Start a flow of `size` bytes now. `on_complete` (optional) fires at the
+  /// flow's finish time. Zero-byte flows and src==dst complete immediately
+  /// (after path propagation latency).
+  FlowId start_flow(NodeId src, NodeId dst, sim::Bytes size,
+                    FlowCallback on_complete = {});
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+  std::uint64_t completed_flows() const noexcept { return completed_; }
+
+  /// Current max-min rate of an active flow (bits/s); throws if unknown.
+  double current_rate(FlowId id) const;
+
+  /// Flow completion times (seconds) of all completed flows.
+  const sim::PercentileTracker& fct_seconds() const noexcept { return fct_; }
+
+ private:
+  struct Active {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    sim::Bytes size = 0;
+    double remaining_bits = 0.0;
+    double rate = 0.0;  // bits/s
+    sim::SimTime start = 0;
+    sim::SimTime latency = 0;  // total path propagation, added to completion
+    std::vector<std::uint64_t> dpath;  // directed link keys
+    FlowCallback on_complete;
+  };
+
+  void advance_to_now();
+  void reallocate();
+  void schedule_next_completion();
+  void handle_completion_event();
+  void finish_flow(FlowId id, Active&& flow);
+
+  sim::Simulator* sim_;
+  const Topology* topo_;
+  const Router* router_;
+  RateAllocation allocation_;
+  std::unordered_map<FlowId, Active> flows_;
+  FlowId next_id_ = 1;
+  sim::SimTime last_advance_ = 0;
+  sim::EventHandle completion_event_;
+  std::uint64_t completed_ = 0;
+  sim::PercentileTracker fct_;
+};
+
+/// Run an all-to-all shuffle of `bytes_per_pair` between every ordered pair
+/// of distinct hosts; returns the makespan (time until the last flow
+/// finishes). Used to study Ethernet-generation scaling (experiment E3) and
+/// the rate-allocation ablation.
+sim::SimTime simulate_shuffle(
+    const Topology& topo, sim::Bytes bytes_per_pair,
+    RateAllocation allocation = RateAllocation::kMaxMinFair);
+
+}  // namespace rb::net

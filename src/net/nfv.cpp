@@ -1,0 +1,92 @@
+#include "net/nfv.hpp"
+
+#include <stdexcept>
+
+namespace rb::net {
+
+std::string to_string(FunctionKind kind) {
+  switch (kind) {
+    case FunctionKind::kFirewall: return "firewall";
+    case FunctionKind::kNat: return "nat";
+    case FunctionKind::kLoadBalancer: return "load-balancer";
+    case FunctionKind::kDeepPacketInspection: return "dpi";
+    case FunctionKind::kVpnEncrypt: return "vpn-encrypt";
+  }
+  return "?";
+}
+
+double software_cost_ns(FunctionKind kind) noexcept {
+  switch (kind) {
+    case FunctionKind::kFirewall: return 180.0;
+    case FunctionKind::kNat: return 120.0;
+    case FunctionKind::kLoadBalancer: return 150.0;
+    case FunctionKind::kDeepPacketInspection: return 1400.0;
+    case FunctionKind::kVpnEncrypt: return 900.0;
+  }
+  return 0.0;
+}
+
+Appliance appliance_of(FunctionKind kind) noexcept {
+  // Fixed-function line-rate boxes (100GE-class, ~148 Mpps at 64 B).
+  switch (kind) {
+    case FunctionKind::kFirewall: return {148e6, 45'000.0};
+    case FunctionKind::kNat: return {148e6, 30'000.0};
+    case FunctionKind::kLoadBalancer: return {120e6, 55'000.0};
+    case FunctionKind::kDeepPacketInspection: return {40e6, 120'000.0};
+    case FunctionKind::kVpnEncrypt: return {60e6, 90'000.0};
+  }
+  return {0.0, 0.0};
+}
+
+ChainEvaluation evaluate_nfv_chain(const std::vector<FunctionKind>& chain,
+                                   double offered_pps,
+                                   const NfvServerParams& params) {
+  if (chain.empty())
+    throw std::invalid_argument{"evaluate_nfv_chain: empty chain"};
+  if (offered_pps < 0.0)
+    throw std::invalid_argument{"evaluate_nfv_chain: negative load"};
+
+  double service_ns = 0.0;
+  for (const auto fn : chain) service_ns += software_cost_ns(fn);
+
+  ChainEvaluation out;
+  out.capex = params.server_capex;
+  out.max_throughput_pps =
+      static_cast<double>(params.cores) * 1e9 / service_ns;
+  out.utilization = offered_pps / out.max_throughput_pps;
+
+  // M/M/c-like latency approximation: service time scaled by 1/(1 - rho).
+  const double rho = std::min(out.utilization, 0.999);
+  const double latency_ns = service_ns / (1.0 - rho);
+  out.latency = static_cast<sim::SimTime>(latency_ns * sim::kNanosecond);
+  return out;
+}
+
+ChainEvaluation evaluate_appliance_chain(const std::vector<FunctionKind>& chain,
+                                         double offered_pps) {
+  if (chain.empty())
+    throw std::invalid_argument{"evaluate_appliance_chain: empty chain"};
+  if (offered_pps < 0.0)
+    throw std::invalid_argument{"evaluate_appliance_chain: negative load"};
+
+  ChainEvaluation out;
+  double min_pps = 0.0;
+  bool first = true;
+  for (const auto fn : chain) {
+    const Appliance a = appliance_of(fn);
+    out.capex += a.capex;
+    min_pps = first ? a.packets_per_second
+                    : std::min(min_pps, a.packets_per_second);
+    first = false;
+  }
+  out.max_throughput_pps = min_pps;
+  out.utilization = offered_pps / min_pps;
+  // Fixed-function pipeline latency: ~2 us per hop, queueing-scaled.
+  const double rho = std::min(out.utilization, 0.999);
+  const double latency_ns =
+      2000.0 * static_cast<double>(chain.size()) / (1.0 - rho);
+  out.latency = static_cast<sim::SimTime>(latency_ns * sim::kNanosecond);
+  return out;
+}
+
+}  // namespace rb::net

@@ -1,0 +1,65 @@
+#pragma once
+// Network Function Virtualization service-chain model (Sec IV.A.2).
+//
+// The roadmap: NFV implements security, firewalls, routing schemes "and
+// other functions separately, again via software allowing for increased
+// control, flexibility and scalability". The trade-off is per-packet CPU
+// cost on commodity servers versus fixed-function appliance throughput at
+// much higher capex. We model a chain of functions as sequential per-packet
+// work on a pool of cores, with M/M/1-style queueing latency per stage.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace rb::net {
+
+enum class FunctionKind : std::uint8_t {
+  kFirewall,
+  kNat,
+  kLoadBalancer,
+  kDeepPacketInspection,
+  kVpnEncrypt,
+};
+
+std::string to_string(FunctionKind kind);
+
+/// Per-packet CPU cost of a software implementation, in nanoseconds/packet
+/// on one core (DPDK-class numbers).
+double software_cost_ns(FunctionKind kind) noexcept;
+
+/// Fixed-function appliance throughput (packets/s) and unit capex.
+struct Appliance {
+  double packets_per_second;
+  sim::Dollars capex;
+};
+Appliance appliance_of(FunctionKind kind) noexcept;
+
+struct NfvServerParams {
+  int cores = 16;
+  sim::Dollars server_capex = 8000.0;
+  sim::Watts server_power = 350.0;
+};
+
+struct ChainEvaluation {
+  double max_throughput_pps = 0.0;   // saturation throughput of the chain
+  sim::SimTime latency = 0;          // mean per-packet latency at given load
+  sim::Dollars capex = 0.0;
+  double utilization = 0.0;          // offered load / capacity
+};
+
+/// Evaluate a software (NFV) service chain on one server at `offered_pps`.
+/// Packets traverse every function in order; cores are pooled (run-to-
+/// completion model). Throws if the chain is empty.
+ChainEvaluation evaluate_nfv_chain(const std::vector<FunctionKind>& chain,
+                                   double offered_pps,
+                                   const NfvServerParams& params = {});
+
+/// Evaluate the same chain built from one fixed-function appliance per
+/// function (capacity = min over appliances).
+ChainEvaluation evaluate_appliance_chain(const std::vector<FunctionKind>& chain,
+                                         double offered_pps);
+
+}  // namespace rb::net

@@ -1,0 +1,117 @@
+#include "net/queueing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace rb::net {
+
+PortResult simulate_port(const PortParams& port,
+                         const BurstyTraffic& traffic) {
+  if (port.rate <= 0.0)
+    throw std::invalid_argument{"simulate_port: rate must be positive"};
+  if (port.buffer_bytes == 0)
+    throw std::invalid_argument{"simulate_port: zero buffer"};
+  if (traffic.load <= 0.0 || traffic.load >= 1.0)
+    throw std::invalid_argument{"simulate_port: load out of (0, 1)"};
+  if (traffic.burst_factor < 1.0)
+    throw std::invalid_argument{"simulate_port: burst_factor must be >= 1"};
+  if (traffic.mean_burst_packets < 1.0)
+    throw std::invalid_argument{"simulate_port: mean_burst_packets < 1"};
+
+  sim::Rng rng{traffic.seed};
+  sim::PercentileTracker delay_us;
+  delay_us.reserve(traffic.packets);
+
+  const double mean_packet_bytes =
+      port.small_packet_fraction * 64.0 +
+      (1.0 - port.small_packet_fraction) * static_cast<double>(port.mtu_bytes);
+  const double avg_pps =
+      traffic.load * port.rate / (mean_packet_bytes * 8.0);
+  const double burst_pps = avg_pps * traffic.burst_factor;
+  // On/off modulation: bursts at burst_pps; the off gap is sized so the
+  // long-run average rate equals avg_pps.
+  const double on_seconds = traffic.mean_burst_packets / burst_pps;
+  const double cycle_seconds =
+      traffic.mean_burst_packets / avg_pps;  // to hit the average
+  const double off_seconds = std::max(0.0, cycle_seconds - on_seconds);
+
+  double now_s = 0.0;            // arrival clock
+  double drain_until_s = 0.0;    // when the queue empties at line rate
+  double queued_bytes = 0.0;     // backlog (follows drain_until implicitly)
+  std::uint64_t drops = 0, marks = 0;
+  double max_queue = 0.0;
+  double busy_seconds = 0.0;
+
+  std::uint64_t sent = 0;
+  while (sent < traffic.packets) {
+    // One burst.
+    const auto burst_len = std::max<std::uint64_t>(
+        1, rng.poisson(traffic.mean_burst_packets));
+    for (std::uint64_t p = 0; p < burst_len && sent < traffic.packets; ++p) {
+      now_s += rng.exponential(1.0 / burst_pps);
+      const double packet_bytes =
+          rng.chance(port.small_packet_fraction)
+              ? 64.0
+              : static_cast<double>(port.mtu_bytes);
+
+      // Queue state at this arrival.
+      const double backlog_s = std::max(0.0, drain_until_s - now_s);
+      queued_bytes = backlog_s * port.rate / 8.0;
+      if (queued_bytes + packet_bytes >
+          static_cast<double>(port.buffer_bytes)) {
+        ++drops;
+        ++sent;
+        continue;
+      }
+      if (port.ecn_threshold_bytes != 0 &&
+          queued_bytes > static_cast<double>(port.ecn_threshold_bytes)) {
+        ++marks;
+      }
+      const double service_s = packet_bytes * 8.0 / port.rate;
+      const double start_s = std::max(drain_until_s, now_s);
+      drain_until_s = start_s + service_s;
+      busy_seconds += service_s;
+      max_queue = std::max(max_queue, queued_bytes + packet_bytes);
+      delay_us.add((drain_until_s - now_s) * 1e6);
+      ++sent;
+    }
+    // Off period (silence) between bursts.
+    if (traffic.burst_factor > 1.0 && off_seconds > 0.0) {
+      now_s += rng.exponential(off_seconds);
+    }
+  }
+
+  PortResult out;
+  if (!delay_us.empty()) {
+    out.mean_delay_us = delay_us.mean();
+    out.p50_delay_us = delay_us.p50();
+    out.p99_delay_us = delay_us.p99();
+    out.p999_delay_us = delay_us.p999();
+  }
+  out.drop_rate =
+      static_cast<double>(drops) / static_cast<double>(traffic.packets);
+  out.ecn_mark_rate =
+      static_cast<double>(marks) / static_cast<double>(traffic.packets);
+  out.utilization = now_s > 0.0 ? busy_seconds / now_s : 0.0;
+  out.max_queue_bytes = max_queue;
+  return out;
+}
+
+sim::Bytes buffer_for_drop_target(PortParams port, BurstyTraffic traffic,
+                                  double target_drop_rate) {
+  if (target_drop_rate <= 0.0 || target_drop_rate >= 1.0)
+    throw std::invalid_argument{
+        "buffer_for_drop_target: target out of (0, 1)"};
+  for (sim::Bytes buffer = 16 * 1024; buffer <= sim::kGiB; buffer *= 2) {
+    port.buffer_bytes = buffer;
+    if (simulate_port(port, traffic).drop_rate <= target_drop_rate) {
+      return buffer;
+    }
+  }
+  return sim::kGiB;
+}
+
+}  // namespace rb::net

@@ -1,0 +1,63 @@
+#pragma once
+// Packet-level output-port queue model (Rec 3: "anticipate the changes in
+// Data Center design for 400Gb Ethernet networks ... novel Data Center
+// interconnect designs required at 400Gb operation").
+//
+// One switch output port: packets arrive as a Markov-modulated (on/off
+// bursty) Poisson process, drain at line rate, queue in a finite buffer
+// with optional ECN marking. The flow-level fabric model deliberately
+// abstracts this away; this model answers the questions it cannot — how
+// queueing delay, loss and marking respond to line rate, buffer depth and
+// burstiness — which is exactly what changes when a fabric jumps from
+// 10/40G to 400G while buffers-per-port lag.
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+#include "sim/units.hpp"
+
+namespace rb::net {
+
+struct PortParams {
+  sim::BitsPerSecond rate = 10e9;
+  sim::Bytes buffer_bytes = 512 * 1024;  // shallow ToR-class buffer
+  /// ECN marking threshold (0 disables marking).
+  sim::Bytes ecn_threshold_bytes = 0;
+  /// Mean packet size; sizes are bimodal (64B acks / 1500B MTU).
+  sim::Bytes mtu_bytes = 1500;
+  double small_packet_fraction = 0.3;
+};
+
+struct BurstyTraffic {
+  /// Offered load as a fraction of line rate in (0, 1).
+  double load = 0.6;
+  /// Burstiness: inside a burst the instantaneous arrival rate is
+  /// `burst_factor` x the average; 1.0 = plain Poisson.
+  double burst_factor = 4.0;
+  /// Mean packets per burst (geometric).
+  double mean_burst_packets = 64.0;
+  std::uint64_t packets = 200'000;
+  std::uint64_t seed = 1;
+};
+
+struct PortResult {
+  double mean_delay_us = 0.0;
+  double p50_delay_us = 0.0;
+  double p99_delay_us = 0.0;
+  double p999_delay_us = 0.0;
+  double drop_rate = 0.0;
+  double ecn_mark_rate = 0.0;
+  double utilization = 0.0;
+  double max_queue_bytes = 0.0;
+};
+
+/// Simulate one port under the given traffic. Deterministic per seed.
+/// Throws std::invalid_argument on non-physical parameters.
+PortResult simulate_port(const PortParams& port, const BurstyTraffic& traffic);
+
+/// Buffer depth (bytes) needed to keep drops below `target_drop_rate` at
+/// the given traffic, found by doubling search over [16 KiB, 1 GiB].
+sim::Bytes buffer_for_drop_target(PortParams port, BurstyTraffic traffic,
+                                  double target_drop_rate);
+
+}  // namespace rb::net

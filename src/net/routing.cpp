@@ -1,0 +1,90 @@
+#include "net/routing.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace rb::net {
+
+namespace {
+constexpr int kUnreachable = std::numeric_limits<int>::max();
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+Router::Router(const Topology& topo)
+    : topo_{&topo},
+      dist_(topo.node_count()),
+      computed_(topo.node_count(), false) {}
+
+void Router::ensure_dist(NodeId dst) const {
+  if (computed_.at(dst)) return;
+  auto& d = dist_[dst];
+  d.assign(topo_->node_count(), kUnreachable);
+  d[dst] = 0;
+  std::deque<NodeId> frontier{dst};
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [peer, link] : topo_->adjacency(cur)) {
+      (void)link;
+      if (d[peer] == kUnreachable) {
+        d[peer] = d[cur] + 1;
+        frontier.push_back(peer);
+      }
+    }
+  }
+  computed_[dst] = true;
+}
+
+int Router::distance(NodeId from, NodeId to) const {
+  ensure_dist(to);
+  const int d = dist_[to].at(from);
+  if (d == kUnreachable)
+    throw std::runtime_error{"Router::distance: unreachable destination"};
+  return d;
+}
+
+std::vector<std::pair<NodeId, LinkId>> Router::next_hops(NodeId at,
+                                                         NodeId dst) const {
+  ensure_dist(dst);
+  const auto& d = dist_[dst];
+  if (d.at(at) == kUnreachable)
+    throw std::runtime_error{"Router::next_hops: unreachable destination"};
+  std::vector<std::pair<NodeId, LinkId>> hops;
+  for (const auto& [peer, link] : topo_->adjacency(at)) {
+    if (d[peer] == d[at] - 1) hops.emplace_back(peer, link);
+  }
+  return hops;
+}
+
+std::vector<LinkId> Router::path(NodeId src, NodeId dst,
+                                 std::uint64_t flow_hash) const {
+  std::vector<LinkId> links;
+  if (src == dst) return links;
+  ensure_dist(dst);
+  NodeId at = src;
+  int hop = 0;
+  while (at != dst) {
+    const auto options = next_hops(at, dst);
+    if (options.empty())
+      throw std::runtime_error{"Router::path: no next hop"};
+    // Deterministic per-hop ECMP: hash(flow, hop) selects among options.
+    const auto idx = static_cast<std::size_t>(
+        mix64(flow_hash ^ (static_cast<std::uint64_t>(hop) << 32)) %
+        options.size());
+    links.push_back(options[idx].second);
+    at = options[idx].first;
+    ++hop;
+  }
+  return links;
+}
+
+}  // namespace rb::net

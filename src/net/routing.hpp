@@ -1,0 +1,45 @@
+#pragma once
+// Shortest-path routing with ECMP (equal-cost multi-path) selection.
+//
+// Routes are computed on hop count (all fabric links are "equal cost", as in
+// a standard L3 Clos). For each destination we precompute the BFS distance
+// field; next hops toward a destination are all neighbors one hop closer.
+// Flows pick among equal-cost next hops with a deterministic hash of the
+// flow id — the flow-level analogue of 5-tuple ECMP hashing.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace rb::net {
+
+class Router {
+ public:
+  explicit Router(const Topology& topo);
+
+  /// Hop distance from `from` to `to`; throws std::runtime_error if
+  /// unreachable.
+  int distance(NodeId from, NodeId to) const;
+
+  /// The links on the ECMP path chosen for `flow_hash` from `src` to `dst`,
+  /// in order. Empty when src == dst.
+  std::vector<LinkId> path(NodeId src, NodeId dst,
+                           std::uint64_t flow_hash) const;
+
+  /// All equal-cost (neighbor, link) next hops from `at` toward `dst`.
+  std::vector<std::pair<NodeId, LinkId>> next_hops(NodeId at, NodeId dst) const;
+
+ private:
+  void ensure_dist(NodeId dst) const;
+
+  const Topology* topo_;
+  // dist_[dst][node] = hops from node to dst; computed lazily per dst.
+  mutable std::vector<std::vector<int>> dist_;
+  mutable std::vector<bool> computed_;
+};
+
+/// Stateless 64-bit mix (splitmix64 finalizer) used for ECMP hashing.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+}  // namespace rb::net

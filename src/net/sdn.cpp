@@ -1,0 +1,46 @@
+#include "net/sdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rb::net {
+
+ReconfigOutcome apply_policy_change(ControlPlane plane, std::uint64_t switches,
+                                    int network_diameter,
+                                    const ControlPlaneParams& params) {
+  if (switches == 0)
+    throw std::invalid_argument{"apply_policy_change: no switches"};
+  if (network_diameter < 1)
+    throw std::invalid_argument{"apply_policy_change: diameter must be >= 1"};
+
+  ReconfigOutcome out;
+  const auto n = static_cast<double>(switches);
+  switch (plane) {
+    case ControlPlane::kDistributedPerSwitch: {
+      out.admin_operations = n;
+      // Humans work in parallel across boxes; convergence re-runs after the
+      // last change propagates network_diameter rounds.
+      const double batches = std::ceil(n / params.admin_parallelism);
+      out.completion_time =
+          static_cast<sim::SimTime>(batches) * params.per_switch_config_time +
+          static_cast<sim::SimTime>(network_diameter) *
+              params.convergence_round;
+      out.error_probability = 1.0 - std::pow(1.0 - params.per_op_error_prob, n);
+      break;
+    }
+    case ControlPlane::kSdnCentral: {
+      out.admin_operations = 1.0;
+      const double rules = n * params.rules_per_switch;
+      const double install_seconds = rules / params.controller_rule_rate;
+      out.completion_time = params.policy_compile_time +
+                            sim::from_seconds(install_seconds) +
+                            params.rule_install_rtt;
+      out.error_probability = params.controller_error_prob;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rb::net

@@ -1,0 +1,44 @@
+#pragma once
+// Control-plane scaling models: SDN vs per-switch distributed management
+// (Sec IV.A.2). Google's claim, quoted by the roadmap, is that SDN "can make
+// 10,000 switches look like one" — i.e. management effort is O(1) in the
+// number of switches while rule installation parallelises, whereas
+// box-by-box operation costs O(N) administrator actions and compounds
+// per-operation error probability.
+
+#include <cstdint>
+
+#include "sim/units.hpp"
+
+namespace rb::net {
+
+enum class ControlPlane : std::uint8_t { kDistributedPerSwitch, kSdnCentral };
+
+struct ControlPlaneParams {
+  // --- per-switch (traditional CLI / NETCONF box-by-box) ---
+  sim::SimTime per_switch_config_time = 90 * sim::kSecond;  // admin action
+  double per_op_error_prob = 0.003;  // fat-finger probability per manual op
+  int admin_parallelism = 4;         // concurrent human operators
+  // BGP-style convergence after each change: rounds x per-round delay.
+  sim::SimTime convergence_round = 30 * sim::kSecond;
+
+  // --- SDN ---
+  sim::SimTime policy_compile_time = 2 * sim::kSecond;  // controller compute
+  double rules_per_switch = 12.0;                       // avg rules touched
+  double controller_rule_rate = 20'000.0;  // rule installs per second
+  sim::SimTime rule_install_rtt = 5 * sim::kMillisecond;
+  double controller_error_prob = 0.0005;  // one validated change, not N
+};
+
+/// Outcome of applying one network-wide policy change to `switches` devices.
+struct ReconfigOutcome {
+  double admin_operations = 0.0;  // human actions required
+  sim::SimTime completion_time = 0;
+  double error_probability = 0.0;  // P(at least one misconfiguration)
+};
+
+ReconfigOutcome apply_policy_change(ControlPlane plane, std::uint64_t switches,
+                                    int network_diameter,
+                                    const ControlPlaneParams& params = {});
+
+}  // namespace rb::net

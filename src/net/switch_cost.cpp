@@ -1,0 +1,53 @@
+#include "net/switch_cost.hpp"
+
+namespace rb::net {
+
+std::string to_string(ProcurementModel model) {
+  switch (model) {
+    case ProcurementModel::kVendorIntegrated: return "vendor-integrated";
+    case ProcurementModel::kBareMetal: return "bare-metal";
+    case ProcurementModel::kWhiteBox: return "white-box";
+  }
+  return "?";
+}
+
+NetworkCost network_cost(const Topology& topo, ProcurementModel model,
+                         EthernetGen gen, const SwitchCostParams& params) {
+  NetworkCost cost;
+  cost.ports = topo.switch_ports();
+  for (NodeId id = 0; id < topo.node_count(); ++id) {
+    if (topo.node(id).kind != NodeKind::kHost) ++cost.switches;
+  }
+
+  const sim::Dollars commodity_hw =
+      static_cast<double>(cost.ports) * port_cost(gen);
+  const sim::Watts power = static_cast<double>(cost.ports) * port_power(gen);
+  const sim::Dollars power_per_year =
+      power / 1000.0 * sim::kHoursPerYear * params.dollars_per_kwh;
+
+  switch (model) {
+    case ProcurementModel::kVendorIntegrated:
+      cost.capex = commodity_hw * params.vendor_premium;
+      cost.opex_per_year =
+          cost.capex * params.vendor_support_fraction + power_per_year;
+      break;
+    case ProcurementModel::kBareMetal:
+      cost.capex = commodity_hw;
+      cost.opex_per_year =
+          static_cast<double>(cost.switches) *
+              (params.nos_license_per_switch_per_year +
+               params.third_party_support_per_switch) +
+          power_per_year;
+      break;
+    case ProcurementModel::kWhiteBox:
+      cost.capex = commodity_hw + static_cast<double>(cost.switches) *
+                                      params.whitebox_preload_surcharge;
+      cost.opex_per_year = static_cast<double>(cost.switches) *
+                               params.third_party_support_per_switch +
+                           power_per_year;
+      break;
+  }
+  return cost;
+}
+
+}  // namespace rb::net

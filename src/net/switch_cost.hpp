@@ -1,0 +1,57 @@
+#pragma once
+// Switch procurement cost models (Sec IV.A.1).
+//
+// The roadmap contrasts three procurement models: vendor-integrated branded
+// switches, bare-metal switches with a separately procured third-party NOS
+// (Big Switch Light OS, Cumulus, Pica8 — or build-your-own like Facebook),
+// and white-box switches (commodity hardware preloaded with a third-party
+// NOS). The argument in the paper is economic; these models make it
+// computable for a whole topology.
+
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace rb::net {
+
+enum class ProcurementModel : std::uint8_t {
+  kVendorIntegrated,  // branded switch, bundled NOS and support
+  kBareMetal,         // commodity switch + third-party NOS licence
+  kWhiteBox,          // commodity switch preloaded with third-party NOS
+};
+
+std::string to_string(ProcurementModel model);
+
+struct SwitchCostParams {
+  // Multiplier over commodity per-port hardware cost charged by integrated
+  // vendors (bundles NOS, support and margin).
+  double vendor_premium = 2.8;
+  // Annual third-party NOS licence per switch (bare metal).
+  sim::Dollars nos_license_per_switch_per_year = 500.0;
+  // White-box preload surcharge over bare-metal hardware, per switch.
+  sim::Dollars whitebox_preload_surcharge = 500.0;
+  // Annual vendor support contract as a fraction of hardware capex.
+  double vendor_support_fraction = 0.15;
+  // Annual third-party support for bare-metal/white-box, per switch.
+  sim::Dollars third_party_support_per_switch = 150.0;
+  // Electricity price, $ per kWh, for the opex term.
+  double dollars_per_kwh = 0.12;
+};
+
+struct NetworkCost {
+  sim::Dollars capex = 0.0;
+  sim::Dollars opex_per_year = 0.0;  // licences + support + power
+  std::size_t switches = 0;
+  std::size_t ports = 0;
+
+  sim::Dollars total(sim::Years horizon) const {
+    return capex + opex_per_year * horizon;
+  }
+};
+
+/// Cost of all switching gear in `topo` when every fabric port runs at
+/// `gen`, under the given procurement model.
+NetworkCost network_cost(const Topology& topo, ProcurementModel model,
+                         EthernetGen gen, const SwitchCostParams& params = {});
+
+}  // namespace rb::net

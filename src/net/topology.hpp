@@ -1,0 +1,117 @@
+#pragma once
+// Datacenter topology graph and standard builders (fat-tree, leaf-spine).
+//
+// Nodes are hosts or switches; links are full-duplex and modelled as a pair
+// of independent directed capacities (flow-level simulation allocates each
+// direction separately). Link rates use the Ethernet generations the roadmap
+// discusses (10/40/100/400GbE, Secs IV.A.1 and IV.A.3).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace rb::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+enum class NodeKind : std::uint8_t {
+  kHost,
+  kEdgeSwitch,   // top-of-rack / leaf
+  kAggSwitch,    // aggregation / spine
+  kCoreSwitch,
+  kResourcePool,  // disaggregated memory/storage pool endpoint
+};
+
+/// Ethernet generations from the roadmap's networking discussion.
+enum class EthernetGen : std::uint8_t { k10G, k40G, k100G, k400G };
+
+/// Line rate of a generation in bits/s.
+sim::BitsPerSecond rate_of(EthernetGen gen) noexcept;
+
+/// First year of broad availability (Sec IV.A.3: beyond-400GbE "after 2020").
+int availability_year(EthernetGen gen) noexcept;
+
+/// Rough per-port switch capex in USD (commodity pricing at introduction).
+sim::Dollars port_cost(EthernetGen gen) noexcept;
+
+/// Per-port power draw in watts.
+sim::Watts port_power(EthernetGen gen) noexcept;
+
+std::string to_string(EthernetGen gen);
+
+struct NodeInfo {
+  NodeKind kind = NodeKind::kHost;
+  std::string name;
+};
+
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  sim::BitsPerSecond rate = 0.0;
+  sim::SimTime latency = 0;  // one-way propagation + forwarding latency
+};
+
+/// Undirected multigraph of nodes and links with O(1) adjacency lookup.
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, std::string name);
+  LinkId add_link(NodeId a, NodeId b, sim::BitsPerSecond rate,
+                  sim::SimTime latency);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  const NodeInfo& node(NodeId id) const { return nodes_.at(id); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+
+  /// Neighbors of `id` as (peer node, connecting link) pairs.
+  const std::vector<std::pair<NodeId, LinkId>>& adjacency(NodeId id) const {
+    return adj_.at(id);
+  }
+
+  /// All node ids of a given kind.
+  std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+  /// Total switch port count (each link endpoint on a switch is one port).
+  std::size_t switch_ports() const noexcept;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adj_;
+};
+
+/// Parameters shared by the topology builders.
+struct FabricParams {
+  EthernetGen host_gen = EthernetGen::k10G;    // host uplinks
+  EthernetGen fabric_gen = EthernetGen::k40G;  // switch-to-switch links
+  sim::SimTime link_latency = 500 * sim::kNanosecond;
+};
+
+/// k-ary fat-tree (Al-Fares): k pods, (k/2)^2 core switches, k/2 aggregation
+/// and k/2 edge switches per pod, k/2 hosts per edge switch. Requires k even,
+/// k >= 2. Hosts are named "h<i>".
+Topology make_fat_tree(int k, const FabricParams& params = {});
+
+/// Two-tier leaf-spine: every leaf connects to every spine.
+Topology make_leaf_spine(int spines, int leaves, int hosts_per_leaf,
+                         const FabricParams& params = {});
+
+/// Single-switch star (baseline / unit tests).
+Topology make_star(int hosts, const FabricParams& params = {});
+
+/// Disaggregated rack (Sec IV.A.3's composable hardware): compute hosts and
+/// resource pools (memory/storage sleds) hang off one rack switch; pools get
+/// `pool_gen` links (pooled memory needs the fattest pipes in the rack —
+/// 100/400GbE), hosts get `params.host_gen`. Pool nodes are named "pool<i>".
+Topology make_disaggregated_rack(int hosts, int pools,
+                                 EthernetGen pool_gen = EthernetGen::k100G,
+                                 const FabricParams& params = {});
+
+}  // namespace rb::net

@@ -1,0 +1,101 @@
+#include "node/device.hpp"
+
+#include <stdexcept>
+
+namespace rb::node {
+
+std::string to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu: return "cpu";
+    case DeviceKind::kGpu: return "gpu";
+    case DeviceKind::kFpga: return "fpga";
+    case DeviceKind::kAsic: return "asic";
+    case DeviceKind::kNeuromorphic: return "neuromorphic";
+  }
+  return "?";
+}
+
+std::vector<DeviceModel> standard_catalog() {
+  std::vector<DeviceModel> devices;
+
+  DeviceModel cpu;
+  cpu.name = "xeon-2s";  // dual-socket Xeon-class server CPU
+  cpu.kind = DeviceKind::kCpu;
+  cpu.peak_gflops = 1000.0;
+  cpu.mem_bw_gbs = 120.0;
+  cpu.idle_power = 90.0;
+  cpu.active_power = 300.0;
+  cpu.unit_price = 4500.0;
+  cpu.pcie_gbs = 0.0;  // host
+  cpu.offload_latency = 0;
+  cpu.porting_person_months = 0.0;  // software already targets it
+  cpu.service_cv = 0.35;            // caches, interference, JIT
+  devices.push_back(cpu);
+
+  DeviceModel gpu;
+  gpu.name = "gpgpu-hbm";  // Pascal-class datacenter GPU
+  gpu.kind = DeviceKind::kGpu;
+  gpu.peak_gflops = 9000.0;
+  gpu.mem_bw_gbs = 700.0;
+  gpu.idle_power = 30.0;
+  gpu.active_power = 300.0;
+  gpu.unit_price = 7000.0;
+  gpu.pcie_gbs = 12.0;  // PCIe gen3 x16 effective
+  gpu.offload_latency = 10 * sim::kMicrosecond;
+  gpu.porting_person_months = 4.0;
+  gpu.service_cv = 0.15;
+  devices.push_back(gpu);
+
+  DeviceModel fpga;
+  fpga.name = "fpga-dc";  // Catapult-class datacenter FPGA board
+  fpga.kind = DeviceKind::kFpga;
+  fpga.peak_gflops = 1500.0;
+  fpga.mem_bw_gbs = 35.0;   // DDR-attached board
+  fpga.idle_power = 15.0;
+  fpga.active_power = 60.0;
+  fpga.unit_price = 3500.0;
+  fpga.pcie_gbs = 12.0;
+  fpga.offload_latency = 5 * sim::kMicrosecond;
+  fpga.porting_person_months = 12.0;  // HDL / HLS effort (Sec IV.C.3)
+  fpga.service_cv = 0.02;             // fixed-latency pipeline
+  devices.push_back(fpga);
+
+  DeviceModel asic;
+  asic.name = "asic-inference";  // TPU-like fixed-function accelerator
+  asic.kind = DeviceKind::kAsic;
+  asic.peak_gflops = 45000.0;
+  asic.mem_bw_gbs = 300.0;
+  asic.idle_power = 20.0;
+  asic.active_power = 75.0;
+  asic.unit_price = 2500.0;
+  asic.pcie_gbs = 12.0;
+  asic.offload_latency = 8 * sim::kMicrosecond;
+  asic.porting_person_months = 24.0;  // toolchain + model conversion
+  asic.service_cv = 0.02;
+  devices.push_back(asic);
+
+  DeviceModel neuro;
+  neuro.name = "neuromorphic-spiking";
+  neuro.kind = DeviceKind::kNeuromorphic;
+  neuro.peak_gflops = 200.0;  // effective synaptic-op equivalent
+  neuro.mem_bw_gbs = 20.0;
+  neuro.idle_power = 0.5;
+  neuro.active_power = 2.0;  // headline energy efficiency
+  neuro.unit_price = 15000.0;  // no market ecosystem yet (Rec 7)
+  neuro.pcie_gbs = 4.0;
+  neuro.offload_latency = 50 * sim::kMicrosecond;
+  neuro.porting_person_months = 36.0;
+  neuro.service_cv = 0.05;
+  devices.push_back(neuro);
+
+  return devices;
+}
+
+DeviceModel find_device(DeviceKind kind) {
+  for (auto& d : standard_catalog()) {
+    if (d.kind == kind) return d;
+  }
+  throw std::runtime_error{"find_device: kind not in catalogue"};
+}
+
+}  // namespace rb::node

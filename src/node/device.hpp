@@ -1,0 +1,56 @@
+#pragma once
+// Compute-device catalogue for heterogeneous node modelling (Sec IV.B.1-2).
+//
+// The roadmap discusses "combinations of multiple kinds of processors and
+// accelerators, GPUs, many-cores, FPGAs, and application-specific
+// accelerators into the same device", plus neuromorphic hardware
+// (Recommendation 7). Each device is described by first-order parameters
+// sufficient for roofline performance, energy, and ROI models. Numbers are
+// representative of the 2016/2017 technology the paper describes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace rb::node {
+
+enum class DeviceKind : std::uint8_t {
+  kCpu,
+  kGpu,
+  kFpga,
+  kAsic,
+  kNeuromorphic,
+};
+
+std::string to_string(DeviceKind kind);
+
+struct DeviceModel {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+  double peak_gflops = 0.0;       // peak compute (or op/s equivalent), 1e9/s
+  double mem_bw_gbs = 0.0;        // sustained memory bandwidth, GB/s
+  sim::Watts idle_power = 0.0;
+  sim::Watts active_power = 0.0;  // at full utilization (TDP-like)
+  sim::Dollars unit_price = 0.0;
+  // PCIe-attached devices pay a host<->device transfer cost.
+  double pcie_gbs = 0.0;          // 0 => device is the host itself
+  sim::SimTime offload_latency = 0;  // fixed per-offload launch cost
+  // Person-months to port a typical analytics kernel (Sec IV.B.1: "the
+  // effort ... requires specialized skills"). Drives ROI models.
+  double porting_person_months = 0.0;
+  // Service-time variability when running a fixed kernel (coefficient of
+  // variation). FPGAs/ASICs are near-deterministic, which is what produces
+  // the tail-latency win in E1.
+  double service_cv = 0.1;
+};
+
+/// Representative 2016/2017-era device catalogue.
+/// Index by kind via find_device(); names are stable identifiers.
+std::vector<DeviceModel> standard_catalog();
+
+/// First catalogue device of `kind`; throws std::runtime_error if absent.
+DeviceModel find_device(DeviceKind kind);
+
+}  // namespace rb::node

@@ -1,0 +1,39 @@
+#include "node/energy.hpp"
+
+#include <stdexcept>
+
+namespace rb::node {
+
+sim::Watts power_at(const DeviceModel& device, double utilization) {
+  if (utilization < 0.0 || utilization > 1.0)
+    throw std::invalid_argument{"power_at: utilization out of [0, 1]"};
+  return device.idle_power +
+         utilization * (device.active_power - device.idle_power);
+}
+
+sim::Joules kernel_energy(const DeviceModel& device,
+                          const KernelProfile& kernel) {
+  const double seconds = sim::to_seconds(offload_time(device, kernel));
+  return power_at(device, 1.0) * seconds;
+}
+
+sim::Joules node_energy(std::span<const DeviceModel> node_devices,
+                        const DeviceModel& active,
+                        const KernelProfile& kernel) {
+  const double seconds = sim::to_seconds(offload_time(active, kernel));
+  sim::Joules total = power_at(active, 1.0) * seconds;
+  for (const auto& d : node_devices) {
+    if (d.name == active.name) continue;
+    total += power_at(d, 0.0) * seconds;
+  }
+  return total;
+}
+
+double gflops_per_joule(const DeviceModel& device,
+                        const KernelProfile& kernel) {
+  const sim::Joules joules = kernel_energy(device, kernel);
+  if (joules <= 0.0) return 0.0;
+  return kernel.flops / 1e9 / joules;
+}
+
+}  // namespace rb::node

@@ -1,0 +1,33 @@
+#pragma once
+// Energy accounting for device execution.
+//
+// Power is modelled as idle + utilization x (active - idle). Energy for a
+// kernel is execution time at full utilization plus the idle draw of every
+// other device in the node for the same wall-clock span — which is exactly
+// the effect behind the roadmap's finding that GPGPU "power consumption is
+// too high and utilization too low to justify the investment" (Sec IV.B.2).
+
+#include <span>
+
+#include "node/device.hpp"
+#include "node/roofline.hpp"
+
+namespace rb::node {
+
+/// Instantaneous power of a device at a given utilization in [0, 1].
+sim::Watts power_at(const DeviceModel& device, double utilization);
+
+/// Energy (J) to run `kernel` on `device`, device fully busy.
+sim::Joules kernel_energy(const DeviceModel& device,
+                          const KernelProfile& kernel);
+
+/// Node-level energy for offloading `kernel` to `active` while every device
+/// in `node_devices` idles (the active one contributes active power).
+sim::Joules node_energy(std::span<const DeviceModel> node_devices,
+                        const DeviceModel& active,
+                        const KernelProfile& kernel);
+
+/// Energy efficiency in GFLOP/J for the kernel on the device.
+double gflops_per_joule(const DeviceModel& device, const KernelProfile& kernel);
+
+}  // namespace rb::node

@@ -1,0 +1,101 @@
+#include "node/integration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rb::node {
+
+ProcessNode leading_edge_16nm() {
+  return ProcessNode{"16nm", 0.20, 2.0, 7000.0, 15e6};
+}
+ProcessNode mature_28nm() {
+  return ProcessNode{"28nm", 0.09, 2.0, 3000.0, 4e6};
+}
+ProcessNode legacy_65nm() {
+  return ProcessNode{"65nm", 0.03, 2.0, 1200.0, 1e6};
+}
+
+double dies_per_wafer(double area_mm2) {
+  if (area_mm2 <= 0.0)
+    throw std::invalid_argument{"dies_per_wafer: area must be positive"};
+  // Standard estimate with 300 mm wafer: pi*r^2/A - pi*d/sqrt(2A) edge loss.
+  constexpr double kDiameter = 300.0;
+  const double r = kDiameter / 2.0;
+  const double gross = M_PI * r * r / area_mm2 -
+                       M_PI * kDiameter / std::sqrt(2.0 * area_mm2);
+  return std::max(0.0, gross);
+}
+
+double die_yield(double area_mm2, const ProcessNode& process) {
+  if (area_mm2 <= 0.0)
+    throw std::invalid_argument{"die_yield: area must be positive"};
+  const double area_cm2 = area_mm2 / 100.0;
+  return std::pow(1.0 + process.defect_density * area_cm2 /
+                            process.cluster_alpha,
+                  -process.cluster_alpha);
+}
+
+sim::Dollars good_die_cost(double area_mm2, const ProcessNode& process) {
+  const double gross = dies_per_wafer(area_mm2);
+  if (gross < 1.0)
+    throw std::invalid_argument{"good_die_cost: die larger than wafer"};
+  const double good = gross * die_yield(area_mm2, process);
+  return process.wafer_cost / good;
+}
+
+UnitCostBreakdown soc_unit_cost(double area_mm2, const ProcessNode& process,
+                                double volume) {
+  if (volume < 1.0)
+    throw std::invalid_argument{"soc_unit_cost: volume must be >= 1"};
+  UnitCostBreakdown out;
+  out.silicon = good_die_cost(area_mm2, process);
+  out.packaging = 8.0;  // single-die flip-chip package
+  out.nre_amortized = process.mask_set_nre / volume;
+  return out;
+}
+
+UnitCostBreakdown sip_unit_cost(const std::vector<ChipletSpec>& chiplets,
+                                double volume, const PackagingParams& params) {
+  if (chiplets.empty())
+    throw std::invalid_argument{"sip_unit_cost: no chiplets"};
+  if (volume < 1.0)
+    throw std::invalid_argument{"sip_unit_cost: volume must be >= 1"};
+
+  UnitCostBreakdown out;
+  double assembly_yield = 1.0;
+  for (const auto& c : chiplets) {
+    out.silicon += good_die_cost(c.die.area_mm2, c.die.process) +
+                   params.kgd_test_cost;
+    const double amortize_over = std::max(volume, c.reused_volume);
+    out.nre_amortized += c.die.process.mask_set_nre / amortize_over;
+    assembly_yield *= params.assembly_yield_per_chiplet;
+  }
+  out.packaging = params.base_package_cost +
+                  params.per_chiplet_cost *
+                      static_cast<double>(chiplets.size());
+  // Assembly scrap inflates everything that went into the package.
+  const double scrap = 1.0 / assembly_yield;
+  out.silicon *= scrap;
+  out.packaging *= scrap;
+  return out;
+}
+
+double soc_sip_crossover_volume(double soc_area_mm2,
+                                const ProcessNode& soc_process,
+                                const std::vector<ChipletSpec>& chiplets,
+                                const PackagingParams& params) {
+  const auto soc_cheaper = [&](double volume) {
+    return soc_unit_cost(soc_area_mm2, soc_process, volume).total() <
+           sip_unit_cost(chiplets, volume, params).total();
+  };
+  double lo = 1.0, hi = 1e9;
+  if (soc_cheaper(lo)) return lo;
+  if (!soc_cheaper(hi)) return hi;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    (soc_cheaper(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace rb::node

@@ -1,0 +1,96 @@
+#pragma once
+// SoC vs System-in-Package (SiP/chiplet) silicon cost model (Sec IV.B.3).
+//
+// The roadmap's argument: a monolithic market-specific SoC must be built
+// entirely on an expensive leading-edge process, its yield falls with die
+// area, its NRE (mask set, design) is huge, and any interface change forces
+// a redesign. A SiP assembles a leading-edge compute chiplet with I/O and
+// accelerator chiplets on older, cheaper processes (EUROSERVER pioneered
+// this), trading off package/assembly cost and known-good-die testing.
+//
+// Die yield uses the negative-binomial model
+//     Y = (1 + D0 * A / alpha)^(-alpha)
+// with defect density D0 (defects/cm^2) and clustering parameter alpha.
+
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace rb::node {
+
+/// Silicon process node with manufacturing-cost parameters.
+struct ProcessNode {
+  std::string name;           // e.g. "16nm"
+  double defect_density = 0.1;  // defects per cm^2 (D0)
+  double cluster_alpha = 2.0;   // negative-binomial clustering
+  sim::Dollars wafer_cost = 6000.0;  // processed 300 mm wafer
+  sim::Dollars mask_set_nre = 5e6;   // full mask set + design NRE share
+};
+
+/// Representative process nodes circa 2016.
+ProcessNode leading_edge_16nm();
+ProcessNode mature_28nm();
+ProcessNode legacy_65nm();
+
+/// Dies per 300 mm wafer for a square die of `area_mm2` (with edge loss).
+double dies_per_wafer(double area_mm2);
+
+/// Negative-binomial die yield for `area_mm2` on `process` in [0, 1].
+double die_yield(double area_mm2, const ProcessNode& process);
+
+/// Manufacturing cost of one *good* die (wafer cost / good dies).
+sim::Dollars good_die_cost(double area_mm2, const ProcessNode& process);
+
+/// One chiplet (or the single SoC die).
+struct DieSpec {
+  std::string name;
+  double area_mm2 = 100.0;
+  ProcessNode process;
+};
+
+struct PackagingParams {
+  // Substrate/interposer cost per package (scales with chiplet count).
+  sim::Dollars base_package_cost = 5.0;
+  sim::Dollars per_chiplet_cost = 4.0;
+  // Known-good-die test cost per chiplet.
+  sim::Dollars kgd_test_cost = 2.0;
+  // Assembly yield per chiplet placement.
+  double assembly_yield_per_chiplet = 0.995;
+};
+
+struct UnitCostBreakdown {
+  sim::Dollars silicon = 0.0;
+  sim::Dollars packaging = 0.0;
+  sim::Dollars nre_amortized = 0.0;
+  sim::Dollars total() const noexcept {
+    return silicon + packaging + nre_amortized;
+  }
+};
+
+/// Unit cost of a monolithic SoC of `area_mm2` on `process` at `volume`
+/// units, with the full mask-set NRE amortized over the volume.
+UnitCostBreakdown soc_unit_cost(double area_mm2, const ProcessNode& process,
+                                double volume);
+
+/// Unit cost of a SiP composed of `chiplets` at `volume` units. Chiplets
+/// whose `reused_volume` exceeds `volume` amortize their NRE over the larger
+/// figure (commodity chiplets reused across products — the roadmap's
+/// "market-specific products from commodity compute chiplets").
+struct ChipletSpec {
+  DieSpec die;
+  double reused_volume = 0.0;  // 0 => amortize over product volume only
+};
+UnitCostBreakdown sip_unit_cost(const std::vector<ChipletSpec>& chiplets,
+                                double volume,
+                                const PackagingParams& params = {});
+
+/// Volume at which the SoC's unit cost drops below the SiP's (binary search
+/// over [1, 1e9]); returns 1e9 if the SoC never wins on the range (common for
+/// big dies), or 1 if it always wins.
+double soc_sip_crossover_volume(double soc_area_mm2,
+                                const ProcessNode& soc_process,
+                                const std::vector<ChipletSpec>& chiplets,
+                                const PackagingParams& params = {});
+
+}  // namespace rb::node

@@ -1,0 +1,122 @@
+#include "node/memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rb::node {
+
+std::string to_string(MemoryTech tech) {
+  switch (tech) {
+    case MemoryTech::kDram: return "dram";
+    case MemoryTech::kNvm: return "nvm";
+    case MemoryTech::kFlash: return "flash";
+  }
+  return "?";
+}
+
+MemoryTier dram_ddr4() { return {MemoryTech::kDram, 90.0, 100.0, 8.0, 0.35}; }
+MemoryTier nvm_xpoint() { return {MemoryTech::kNvm, 350.0, 35.0, 2.5, 0.10}; }
+MemoryTier flash_nvme() {
+  return {MemoryTech::kFlash, 90'000.0, 3.0, 0.35, 0.01};
+}
+
+sim::Dollars TieredMemory::capex() const {
+  sim::Dollars total = 0.0;
+  for (const auto& t : tiers) total += t.capacity_gib * t.tier.dollars_per_gib;
+  return total;
+}
+
+sim::Watts TieredMemory::power() const {
+  sim::Watts total = 0.0;
+  for (const auto& t : tiers) total += t.capacity_gib * t.tier.watts_per_gib;
+  return total;
+}
+
+double TieredMemory::total_capacity_gib() const {
+  double total = 0.0;
+  for (const auto& t : tiers) total += t.capacity_gib;
+  return total;
+}
+
+MemoryEvaluation evaluate_memory(const TieredMemory& config,
+                                 double working_set_gib, double alpha) {
+  if (config.tiers.empty())
+    throw std::invalid_argument{"evaluate_memory: no tiers"};
+  if (working_set_gib <= 0.0)
+    throw std::invalid_argument{"evaluate_memory: working set must be > 0"};
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument{"evaluate_memory: alpha out of (0, 1]"};
+
+  // Hit curve: fraction of accesses captured by the fastest C GiB is
+  // H(C) = min(1, (C/W)^alpha). Tier i serves H(C_1+..+C_i) - H(C_1+..C_{i-1}).
+  const auto hits_upto = [&](double capacity) {
+    return std::min(1.0, std::pow(capacity / working_set_gib, alpha));
+  };
+
+  MemoryEvaluation out;
+  double cumulative = 0.0;
+  double served = 0.0;
+  double latency = 0.0;
+  for (const auto& t : config.tiers) {
+    const double before = hits_upto(cumulative);
+    cumulative += t.capacity_gib;
+    const double after = hits_upto(cumulative);
+    latency += (after - before) * t.tier.latency_ns;
+    served = after;
+  }
+  // Overflow: misses beyond installed capacity page to NVMe-class storage
+  // with a 4x software-overhead penalty, independent of what is installed.
+  const double miss = 1.0 - served;
+  latency += miss * flash_nvme().latency_ns * 4.0;
+
+  out.avg_latency_ns = latency;
+  out.hit_fraction_covered = served;
+  out.capacity_gib = config.total_capacity_gib();
+  out.capex = config.capex();
+  out.power = config.power();
+  return out;
+}
+
+MemoryPlan best_memory_under_budget(sim::Dollars budget,
+                                    double working_set_gib, double alpha) {
+  if (budget <= 0.0)
+    throw std::invalid_argument{"best_memory_under_budget: budget <= 0"};
+
+  const auto dram = dram_ddr4();
+  const auto nvm = nvm_xpoint();
+  const auto flash = flash_nvme();
+
+  MemoryPlan best;
+  bool first = true;
+  const auto consider = [&](TieredMemory config, std::string label) {
+    if (config.capex() > budget * 1.0001) return;
+    const auto eval = evaluate_memory(config, working_set_gib, alpha);
+    const bool better =
+        first || eval.avg_latency_ns < best.evaluation.avg_latency_ns;
+    if (better) {
+      best = MemoryPlan{std::move(config), eval, std::move(label)};
+      first = false;
+    }
+  };
+
+  // DRAM only: all budget on DRAM.
+  consider(TieredMemory{{{dram, budget / dram.dollars_per_gib}}},
+           "dram-only");
+
+  // DRAM + NVM and DRAM + NVM + flash: sweep the DRAM budget share.
+  for (double dram_share = 0.1; dram_share <= 0.91; dram_share += 0.1) {
+    const double dram_gib = budget * dram_share / dram.dollars_per_gib;
+    const double rest = budget * (1.0 - dram_share);
+    consider(TieredMemory{{{dram, dram_gib},
+                           {nvm, rest / nvm.dollars_per_gib}}},
+             "dram+nvm");
+    consider(TieredMemory{{{dram, dram_gib},
+                           {nvm, rest * 0.7 / nvm.dollars_per_gib},
+                           {flash, rest * 0.3 / flash.dollars_per_gib}}},
+             "dram+nvm+flash");
+  }
+  return best;
+}
+
+}  // namespace rb::node

@@ -1,0 +1,83 @@
+#pragma once
+// Memory-hierarchy / NVM tiering model (Rec 5: hardware must integrate
+// "new non-volatile memories and I/O interfaces" to "meet the evolving
+// needs of Big Data").
+//
+// A node's memory is a stack of tiers (DRAM, 3D-XPoint-class NVM, NVMe
+// flash). Accesses over a working set follow a concave hit curve
+// H(C) = (C/W)^alpha with locality exponent alpha in (0, 1] — the standard
+// first-order form of a skewed (Zipf-like) reuse distribution: small
+// fractions of capacity capture large fractions of accesses. The model
+// yields average access latency, effective bandwidth, capex and power for a
+// configuration, and a budget optimizer that answers Rec 5's question: for
+// a fixed memory budget, does adding NVM under the DRAM beat buying DRAM
+// only?
+
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace rb::node {
+
+enum class MemoryTech : std::uint8_t { kDram, kNvm, kFlash };
+
+std::string to_string(MemoryTech tech);
+
+struct MemoryTier {
+  MemoryTech tech = MemoryTech::kDram;
+  double latency_ns = 90.0;        // loaded access latency
+  double bandwidth_gbs = 100.0;    // per-channel-population sustained
+  sim::Dollars dollars_per_gib = 8.0;
+  sim::Watts watts_per_gib = 0.35;
+};
+
+/// 2016-era tier parameters.
+MemoryTier dram_ddr4();
+MemoryTier nvm_xpoint();
+MemoryTier flash_nvme();
+
+/// One configured tier: a technology and its installed capacity.
+struct TierConfig {
+  MemoryTier tier;
+  double capacity_gib = 0.0;
+};
+
+struct TieredMemory {
+  std::vector<TierConfig> tiers;  // ordered fastest-first
+
+  sim::Dollars capex() const;
+  sim::Watts power() const;
+  double total_capacity_gib() const;
+};
+
+struct MemoryEvaluation {
+  double avg_latency_ns = 0.0;
+  double hit_fraction_covered = 0.0;  // accesses served by installed tiers
+  double capacity_gib = 0.0;
+  sim::Dollars capex = 0.0;
+  sim::Watts power = 0.0;
+};
+
+/// Evaluate average access latency over a working set of `working_set_gib`
+/// with locality exponent `alpha` (0 < alpha <= 1; smaller = more skew).
+/// Accesses missing every installed tier page to NVMe-class storage at 4x
+/// its device latency (page-fault overflow penalty). Throws on empty config
+/// or non-positive working set.
+MemoryEvaluation evaluate_memory(const TieredMemory& config,
+                                 double working_set_gib, double alpha);
+
+/// Best of {DRAM-only, DRAM+NVM, DRAM+NVM+flash} under a capex budget for
+/// the given working set: grid-searches the DRAM fraction and returns the
+/// configuration with the lowest average latency that covers the working
+/// set (or the best coverage if none can).
+struct MemoryPlan {
+  TieredMemory config;
+  MemoryEvaluation evaluation;
+  std::string label;
+};
+MemoryPlan best_memory_under_budget(sim::Dollars budget,
+                                    double working_set_gib,
+                                    double alpha = 0.5);
+
+}  // namespace rb::node

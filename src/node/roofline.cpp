@@ -1,0 +1,54 @@
+#include "node/roofline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rb::node {
+
+double attainable_gflops(const DeviceModel& device, double ai) noexcept {
+  return std::min(device.peak_gflops, ai * device.mem_bw_gbs);
+}
+
+sim::SimTime device_time(const DeviceModel& device,
+                         const KernelProfile& kernel) {
+  if (kernel.flops < 0.0 || kernel.bytes < 0.0)
+    throw std::invalid_argument{"device_time: negative kernel profile"};
+  if (device.peak_gflops <= 0.0 || device.mem_bw_gbs <= 0.0)
+    throw std::invalid_argument{"device_time: device has no capability"};
+  if (kernel.parallel_fraction < 0.0 || kernel.parallel_fraction > 1.0)
+    throw std::invalid_argument{"device_time: parallel_fraction out of range"};
+  if (kernel.flops == 0.0 && kernel.bytes == 0.0) return 0;
+
+  // Memory-only kernels (flops == 0): bound by bandwidth directly.
+  if (kernel.flops == 0.0) {
+    return sim::from_seconds(kernel.bytes / (device.mem_bw_gbs * 1e9));
+  }
+  const double gflops = attainable_gflops(device, kernel.arithmetic_intensity());
+  const double par_flops = kernel.flops * kernel.parallel_fraction;
+  const double ser_flops = kernel.flops - par_flops;
+  // Parallel portion at the roofline rate; serial tail at 10% of peak
+  // (single lane / single core of the device).
+  const double par_seconds = par_flops / (gflops * 1e9);
+  const double ser_seconds = ser_flops / (device.peak_gflops * 0.1 * 1e9);
+  return sim::from_seconds(par_seconds + ser_seconds);
+}
+
+sim::SimTime offload_time(const DeviceModel& device,
+                          const KernelProfile& kernel) {
+  const sim::SimTime compute = device_time(device, kernel);
+  if (device.pcie_gbs <= 0.0) return compute;  // host device, no transfer
+  const double transfer_seconds =
+      kernel.transfer_bytes() / (device.pcie_gbs * 1e9);
+  return device.offload_latency + sim::from_seconds(transfer_seconds) +
+         compute;
+}
+
+double speedup_vs(const DeviceModel& accel, const DeviceModel& host,
+                  const KernelProfile& kernel) {
+  const auto host_t = offload_time(host, kernel);
+  const auto accel_t = offload_time(accel, kernel);
+  if (accel_t <= 0) return 1.0;
+  return static_cast<double>(host_t) / static_cast<double>(accel_t);
+}
+
+}  // namespace rb::node

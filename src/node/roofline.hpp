@@ -1,0 +1,52 @@
+#pragma once
+// Roofline execution model (Williams et al.) for heterogeneous devices.
+//
+// A kernel is characterized by its total floating-point (or equivalent)
+// operations and the bytes it moves through memory; attainable throughput on
+// a device is min(peak compute, arithmetic-intensity x memory bandwidth).
+// This first-order model is what the roadmap's claims about accelerator
+// speedups (Rec 4: "a factor of ten or more") reduce to.
+
+#include "node/device.hpp"
+#include "sim/units.hpp"
+
+namespace rb::node {
+
+/// Work description for the roofline model.
+struct KernelProfile {
+  double flops = 0.0;   // total operations
+  double bytes = 0.0;   // total DRAM traffic
+  /// Fraction of the kernel that is parallelizable / offloadable; the rest
+  /// runs at 1/10 of device peak (Amdahl-style serial tail).
+  double parallel_fraction = 1.0;
+  /// Bytes crossing PCIe per invocation. Defaults (-1) to `bytes`; iterative
+  /// or data-resident kernels (k-means epochs, DNN weights) ship far less
+  /// over the bus than they move through device DRAM.
+  double pcie_bytes = -1.0;
+
+  double arithmetic_intensity() const noexcept {
+    return bytes <= 0.0 ? 1e18 : flops / bytes;
+  }
+  double transfer_bytes() const noexcept {
+    return pcie_bytes < 0.0 ? bytes : pcie_bytes;
+  }
+};
+
+/// Attainable throughput of `device` at arithmetic intensity `ai` (GFLOP/s).
+double attainable_gflops(const DeviceModel& device, double ai) noexcept;
+
+/// Pure device execution time of `kernel` (no transfers); >= 0.
+/// Throws std::invalid_argument on negative flops/bytes or zero device peak.
+sim::SimTime device_time(const DeviceModel& device, const KernelProfile& kernel);
+
+/// End-to-end offloaded execution: launch latency + PCIe transfer of
+/// `kernel.bytes` (both directions folded into one pass) + device time.
+/// For host devices (pcie_gbs == 0) this equals device_time.
+sim::SimTime offload_time(const DeviceModel& device,
+                          const KernelProfile& kernel);
+
+/// Speedup of running `kernel` on `accel` (including transfer) vs `host`.
+double speedup_vs(const DeviceModel& accel, const DeviceModel& host,
+                  const KernelProfile& kernel);
+
+}  // namespace rb::node

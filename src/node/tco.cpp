@@ -1,0 +1,78 @@
+#include "node/tco.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rb::node {
+
+RoiResult accelerator_roi(const RoiParams& params) {
+  if (params.speedup <= 0.0)
+    throw std::invalid_argument{"accelerator_roi: speedup must be positive"};
+  if (params.utilization < 0.0 || params.utilization > 1.0)
+    throw std::invalid_argument{"accelerator_roi: utilization out of [0, 1]"};
+  if (params.horizon <= 0.0)
+    throw std::invalid_argument{"accelerator_roi: horizon must be positive"};
+
+  RoiResult out;
+  out.investment = params.accelerator.unit_price +
+                   params.accelerator.porting_person_months *
+                       params.person_month_cost;
+
+  // Extra work served: offloadable work finishes speedup x faster, so the
+  // server serves (speedup - 1) x utilization more offloadable work units.
+  const double extra_work = params.work_units_per_year * params.horizon *
+                            params.utilization * (params.speedup - 1.0);
+  const sim::Dollars work_value = extra_work * params.value_per_work_unit;
+
+  // Energy: the accelerator draws idle power always and active power while
+  // used; while it runs, the host idles instead of computing.
+  const double hours = params.horizon * sim::kHoursPerYear;
+  const double active_h = hours * params.utilization / params.speedup;
+  const double idle_h = hours - active_h;
+  const double accel_kwh =
+      (params.accelerator.active_power * active_h +
+       params.accelerator.idle_power * idle_h) /
+      1000.0;
+  // Baseline: the host would have computed that work itself for
+  // utilization x hours at active power.
+  const double host_active_h = hours * params.utilization;
+  const double host_saved_kwh =
+      (params.host.active_power - params.host.idle_power) *
+      (host_active_h - active_h) / 1000.0;
+  out.energy_delta = (accel_kwh - host_saved_kwh) * params.dollars_per_kwh;
+
+  out.gross_benefit = work_value - out.energy_delta;
+  out.roi = out.investment <= 0.0
+                ? 0.0
+                : (out.gross_benefit - out.investment) / out.investment;
+  return out;
+}
+
+double breakeven_utilization(RoiParams params) {
+  double lo = 0.0, hi = 1.0;
+  params.utilization = hi;
+  if (!accelerator_roi(params).worthwhile()) return 1.0 + 1e-9;
+  params.utilization = lo;
+  if (accelerator_roi(params).worthwhile()) return 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    params.utilization = mid;
+    (accelerator_roi(params).worthwhile() ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+sim::Dollars vendor_switch_nre(const DeviceModel& from, const DeviceModel& to,
+                               double ecosystem_distance,
+                               sim::Dollars person_month_cost) {
+  if (ecosystem_distance < 0.0 || ecosystem_distance > 1.0)
+    throw std::invalid_argument{"vendor_switch_nre: distance out of [0, 1]"};
+  // Re-porting costs the destination's porting effort scaled by how far the
+  // ecosystems are apart, floored at 25% even for "compatible" stacks.
+  const double months = to.porting_person_months *
+                        std::max(0.25, ecosystem_distance) *
+                        (from.kind == to.kind ? 0.6 : 1.0);
+  return months * person_month_cost;
+}
+
+}  // namespace rb::node

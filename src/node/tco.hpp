@@ -1,0 +1,50 @@
+#pragma once
+// Accelerator ROI / TCO model (Sec IV.B.2 and Key Finding 2).
+//
+// The roadmap's central economic finding: "European companies are not
+// convinced of the Return on Investment of using novel hardware" — the
+// investment is accelerator capex + re-engineering effort, and the return
+// is served work per dollar, which collapses at low utilization. This model
+// computes ROI and break-even utilization so that claim has a number.
+
+#include "node/device.hpp"
+
+namespace rb::node {
+
+struct RoiParams {
+  DeviceModel host;            // baseline server CPU
+  DeviceModel accelerator;     // candidate device
+  double speedup = 10.0;       // kernel speedup on the accelerator
+  double utilization = 0.3;    // fraction of time there is offloadable work
+  sim::Years horizon = 3.0;
+  double dollars_per_kwh = 0.12;
+  sim::Dollars person_month_cost = 12'000.0;  // engineering re-work cost
+  // Work served by one baseline server per year at 100% utilization,
+  // in arbitrary "work units"; value of one unit of work in dollars.
+  double work_units_per_year = 1000.0;
+  sim::Dollars value_per_work_unit = 50.0;
+};
+
+struct RoiResult {
+  sim::Dollars investment = 0.0;       // accel capex + porting cost
+  sim::Dollars gross_benefit = 0.0;    // extra work value + energy savings
+  sim::Dollars energy_delta = 0.0;     // accel energy cost - baseline (>0 bad)
+  double roi = 0.0;                    // (benefit - investment) / investment
+  bool worthwhile() const noexcept { return roi > 0.0; }
+};
+
+/// ROI of adding `accelerator` to a host server under `params`.
+RoiResult accelerator_roi(const RoiParams& params);
+
+/// Smallest utilization in [0, 1] at which ROI crosses zero; returns 1.0+eps
+/// (i.e. > 1, "never") if even full utilization does not pay back.
+double breakeven_utilization(RoiParams params);
+
+/// Non-recurring engineering cost of switching accelerator vendors
+/// (Sec IV.B.2: "considerable NRE cost required for a change in GPU
+/// vendor"): re-porting effort scaled by ecosystem distance in [0, 1].
+sim::Dollars vendor_switch_nre(const DeviceModel& from, const DeviceModel& to,
+                               double ecosystem_distance,
+                               sim::Dollars person_month_cost = 12'000.0);
+
+}  // namespace rb::node

@@ -1,0 +1,326 @@
+#include "query/table.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "accel/aggregate.hpp"
+#include "accel/hash_join.hpp"
+
+namespace rb::query {
+
+void Table::check_new_column(const std::string& name,
+                             std::size_t size) const {
+  if (name.empty())
+    throw std::invalid_argument{"Table: empty column name"};
+  if (has_column(name))
+    throw std::invalid_argument{"Table: duplicate column " + name};
+  if (!columns_.empty() && size != rows_)
+    throw std::invalid_argument{"Table: column " + name +
+                                " row count mismatch"};
+}
+
+void Table::add_int_column(std::string name,
+                           std::vector<std::int64_t> values) {
+  check_new_column(name, values.size());
+  rows_ = values.size();
+  Column column;
+  column.name = std::move(name);
+  column.type = ColumnType::kInt;
+  column.ints = std::move(values);
+  columns_.push_back(std::move(column));
+}
+
+void Table::add_string_column(std::string name,
+                              std::vector<std::string> values) {
+  check_new_column(name, values.size());
+  rows_ = values.size();
+  Column column;
+  column.name = std::move(name);
+  column.type = ColumnType::kString;
+  column.strings = std::move(values);
+  columns_.push_back(std::move(column));
+}
+
+bool Table::has_column(const std::string& name) const noexcept {
+  for (const auto& c : columns_) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+const Table::Column& Table::find(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c.name == name) return c;
+  }
+  throw std::invalid_argument{"Table: no column named " + name};
+}
+
+ColumnType Table::column_type(const std::string& name) const {
+  return find(name).type;
+}
+
+std::vector<std::string> Table::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+const std::vector<std::int64_t>& Table::ints(const std::string& name) const {
+  const auto& c = find(name);
+  if (c.type != ColumnType::kInt)
+    throw std::invalid_argument{"Table: column " + name + " is not int"};
+  return c.ints;
+}
+
+const std::vector<std::string>& Table::strings(
+    const std::string& name) const {
+  const auto& c = find(name);
+  if (c.type != ColumnType::kString)
+    throw std::invalid_argument{"Table: column " + name + " is not string"};
+  return c.strings;
+}
+
+Table Table::gather(const std::vector<std::uint32_t>& row_indices) const {
+  Table out;
+  for (const auto& c : columns_) {
+    if (c.type == ColumnType::kInt) {
+      std::vector<std::int64_t> values;
+      values.reserve(row_indices.size());
+      for (const auto i : row_indices) values.push_back(c.ints.at(i));
+      out.add_int_column(c.name, std::move(values));
+    } else {
+      std::vector<std::string> values;
+      values.reserve(row_indices.size());
+      for (const auto i : row_indices) values.push_back(c.strings.at(i));
+      out.add_string_column(c.name, std::move(values));
+    }
+  }
+  if (columns_.empty()) out.rows_ = 0;
+  return out;
+}
+
+std::string Table::to_string(std::size_t max_rows) const {
+  std::ostringstream out;
+  for (const auto& c : columns_) out << c.name << '\t';
+  out << '\n';
+  const std::size_t shown = std::min(max_rows, rows_);
+  for (std::size_t r = 0; r < shown; ++r) {
+    for (const auto& c : columns_) {
+      if (c.type == ColumnType::kInt) {
+        out << c.ints[r];
+      } else {
+        out << c.strings[r];
+      }
+      out << '\t';
+    }
+    out << '\n';
+  }
+  if (shown < rows_) out << "... (" << rows_ << " rows)\n";
+  return out.str();
+}
+
+namespace {
+
+std::vector<std::uint32_t> all_rows(std::size_t n) {
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  return idx;
+}
+
+}  // namespace
+
+Query& Query::where_int(std::string column,
+                        std::function<bool(std::int64_t)> pred) {
+  stages_.push_back({[column = std::move(column),
+                      pred = std::move(pred)](Table t) {
+    const auto& values = t.ints(column);
+    std::vector<std::uint32_t> keep;
+    for (std::uint32_t i = 0; i < values.size(); ++i) {
+      if (pred(values[i])) keep.push_back(i);
+    }
+    return t.gather(keep);
+  }});
+  return *this;
+}
+
+Query& Query::where_string(std::string column,
+                           std::function<bool(const std::string&)> pred) {
+  stages_.push_back({[column = std::move(column),
+                      pred = std::move(pred)](Table t) {
+    const auto& values = t.strings(column);
+    std::vector<std::uint32_t> keep;
+    for (std::uint32_t i = 0; i < values.size(); ++i) {
+      if (pred(values[i])) keep.push_back(i);
+    }
+    return t.gather(keep);
+  }});
+  return *this;
+}
+
+Query& Query::join(Table right, std::string left_key,
+                   std::string right_key) {
+  stages_.push_back({[right = std::move(right), left_key = std::move(left_key),
+                      right_key = std::move(right_key)](Table left) {
+    const auto& lkeys = left.ints(left_key);
+    const auto& rkeys = right.ints(right_key);
+    // Row indices ride along as payloads through the hash-join block.
+    std::vector<accel::Row> lrows, rrows;
+    lrows.reserve(lkeys.size());
+    for (std::uint32_t i = 0; i < lkeys.size(); ++i) {
+      lrows.push_back(
+          accel::Row{static_cast<std::uint64_t>(lkeys[i]), i});
+    }
+    rrows.reserve(rkeys.size());
+    for (std::uint32_t i = 0; i < rkeys.size(); ++i) {
+      rrows.push_back(
+          accel::Row{static_cast<std::uint64_t>(rkeys[i]), i});
+    }
+    const auto joined = accel::hash_join(lrows, rrows);
+    std::vector<std::uint32_t> lidx, ridx;
+    lidx.reserve(joined.size());
+    ridx.reserve(joined.size());
+    for (const auto& j : joined) {
+      lidx.push_back(static_cast<std::uint32_t>(j.left_payload));
+      ridx.push_back(static_cast<std::uint32_t>(j.right_payload));
+    }
+    Table out = left.gather(lidx);
+    const Table rgathered = right.gather(ridx);
+    for (const auto& name : rgathered.column_names()) {
+      const std::string out_name =
+          out.has_column(name) ? name + "_r" : name;
+      if (rgathered.column_type(name) == ColumnType::kInt) {
+        out.add_int_column(out_name, rgathered.ints(name));
+      } else {
+        out.add_string_column(out_name, rgathered.strings(name));
+      }
+    }
+    return out;
+  }});
+  return *this;
+}
+
+Query& Query::group_by(std::string key, Aggregate agg, std::string value,
+                       std::string result_name) {
+  stages_.push_back({[key = std::move(key), agg, value = std::move(value),
+                      result_name = std::move(result_name)](Table t) {
+    const auto& values = t.ints(value);
+    const auto block_op = [agg] {
+      switch (agg) {
+        case Aggregate::kSum: return accel::AggOp::kSum;
+        case Aggregate::kCount: return accel::AggOp::kCount;
+        case Aggregate::kMin: return accel::AggOp::kMin;
+        case Aggregate::kMax: return accel::AggOp::kMax;
+      }
+      return accel::AggOp::kSum;
+    }();
+    // The aggregate block compares unsigned; min/max over signed values
+    // need the order-preserving sign-flip bias. Sum rides on two's-
+    // complement wraparound and count ignores the payload entirely.
+    const bool ordered = agg == Aggregate::kMin || agg == Aggregate::kMax;
+    constexpr std::uint64_t kBias = 0x8000'0000'0000'0000ULL;
+    const auto encode = [ordered](std::int64_t v) {
+      return static_cast<std::uint64_t>(v) ^ (ordered ? kBias : 0);
+    };
+    const auto decode = [ordered](std::uint64_t v) {
+      return static_cast<std::int64_t>(v ^ (ordered ? kBias : 0));
+    };
+
+    Table out;
+    if (t.column_type(key) == ColumnType::kInt) {
+      const auto& keys = t.ints(key);
+      std::vector<accel::Row> rows;
+      rows.reserve(keys.size());
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        rows.push_back(accel::Row{static_cast<std::uint64_t>(keys[i]),
+                                  encode(values[i])});
+      }
+      const auto groups = accel::group_aggregate(rows, block_op);
+      std::vector<std::int64_t> out_keys, out_values;
+      for (const auto& g : groups) {
+        out_keys.push_back(static_cast<std::int64_t>(g.key));
+        out_values.push_back(agg == Aggregate::kCount
+                                 ? static_cast<std::int64_t>(g.value)
+                                 : decode(g.value));
+      }
+      out.add_int_column(key, std::move(out_keys));
+      out.add_int_column(result_name, std::move(out_values));
+    } else {
+      // String keys: dictionary-encode, aggregate on codes, decode.
+      const auto& keys = t.strings(key);
+      std::unordered_map<std::string, std::uint64_t> codes;
+      std::vector<std::string> dictionary;
+      std::vector<accel::Row> rows;
+      rows.reserve(keys.size());
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto [it, inserted] =
+            codes.try_emplace(keys[i], dictionary.size());
+        if (inserted) dictionary.push_back(keys[i]);
+        rows.push_back(accel::Row{it->second, encode(values[i])});
+      }
+      const auto groups = accel::group_aggregate(rows, block_op);
+      std::vector<std::string> out_keys;
+      std::vector<std::int64_t> out_values;
+      for (const auto& g : groups) {
+        out_keys.push_back(dictionary.at(static_cast<std::size_t>(g.key)));
+        out_values.push_back(agg == Aggregate::kCount
+                                 ? static_cast<std::int64_t>(g.value)
+                                 : decode(g.value));
+      }
+      out.add_string_column(key, std::move(out_keys));
+      out.add_int_column(result_name, std::move(out_values));
+    }
+    return out;
+  }});
+  return *this;
+}
+
+Query& Query::order_by(std::string column, bool descending) {
+  stages_.push_back({[column = std::move(column), descending](Table t) {
+    const auto& values = t.ints(column);
+    auto idx = all_rows(values.size());
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&values, descending](std::uint32_t a, std::uint32_t b) {
+                       return descending ? values[a] > values[b]
+                                         : values[a] < values[b];
+                     });
+    return t.gather(idx);
+  }});
+  return *this;
+}
+
+Query& Query::limit(std::size_t n) {
+  stages_.push_back({[n](Table t) {
+    auto idx = all_rows(std::min(n, t.row_count()));
+    return t.gather(idx);
+  }});
+  return *this;
+}
+
+Query& Query::project(std::vector<std::string> columns) {
+  stages_.push_back({[columns = std::move(columns)](Table t) {
+    Table out;
+    for (const auto& name : columns) {
+      if (t.column_type(name) == ColumnType::kInt) {
+        out.add_int_column(name, t.ints(name));
+      } else {
+        out.add_string_column(name, t.strings(name));
+      }
+    }
+    return out;
+  }});
+  return *this;
+}
+
+Table Query::run() const {
+  Table current = table_;
+  for (const auto& stage : stages_) {
+    current = stage.apply(std::move(current));
+  }
+  return current;
+}
+
+}  // namespace rb::query

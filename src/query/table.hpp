@@ -1,0 +1,120 @@
+#pragma once
+// Columnar table + relational query layer over the dataflow framework.
+//
+// Sec IV.C.1 of the paper traces the shift from query languages (SQL on
+// clean relational data) to distributed frameworks. This module closes the
+// loop the way modern engines do: a small relational algebra whose physical
+// operators are the library's accelerated building blocks (hash join, group
+// aggregation) running on the multithreaded dataflow substrate — the
+// "accelerated building blocks inside a framework" picture of Rec 10.
+//
+// Tables are columnar: named, typed (int64 or string) columns of equal
+// length. Queries are built fluently and executed with run():
+//
+//   Table result = Query(orders)
+//       .join(lineitems, "order_id", "order_id")
+//       .where_int("amount", [](std::int64_t a) { return a > 100; })
+//       .group_by("customer", Aggregate::kSum, "amount", "revenue")
+//       .order_by("revenue", /*descending=*/true)
+//       .limit(10)
+//       .run();
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rb::query {
+
+enum class ColumnType : std::uint8_t { kInt, kString };
+
+/// Columnar table. Columns are appended whole; all columns must share the
+/// table's row count (enforced on add).
+class Table {
+ public:
+  Table() = default;
+
+  /// Add columns. Throws std::invalid_argument on duplicate names or row
+  /// count mismatch with existing columns.
+  void add_int_column(std::string name, std::vector<std::int64_t> values);
+  void add_string_column(std::string name, std::vector<std::string> values);
+
+  std::size_t row_count() const noexcept { return rows_; }
+  std::size_t column_count() const noexcept { return columns_.size(); }
+
+  bool has_column(const std::string& name) const noexcept;
+  ColumnType column_type(const std::string& name) const;
+  std::vector<std::string> column_names() const;
+
+  /// Typed access; throws std::invalid_argument on missing column or type
+  /// mismatch.
+  const std::vector<std::int64_t>& ints(const std::string& name) const;
+  const std::vector<std::string>& strings(const std::string& name) const;
+
+  /// Build a new table containing `row_indices` of this one, in order.
+  Table gather(const std::vector<std::uint32_t>& row_indices) const;
+
+  /// Render the first `max_rows` rows as an aligned ASCII table.
+  std::string to_string(std::size_t max_rows = 20) const;
+
+ private:
+  struct Column {
+    std::string name;
+    ColumnType type = ColumnType::kInt;
+    std::vector<std::int64_t> ints;
+    std::vector<std::string> strings;
+  };
+  const Column& find(const std::string& name) const;
+  void check_new_column(const std::string& name, std::size_t size) const;
+
+  std::vector<Column> columns_;
+  std::size_t rows_ = 0;
+};
+
+enum class Aggregate : std::uint8_t { kSum, kCount, kMin, kMax };
+
+/// Fluent relational query over a source table. Stages execute in the
+/// order they were chained when run() is called. All referenced columns
+/// are validated at run() time; errors throw std::invalid_argument.
+class Query {
+ public:
+  explicit Query(Table source) : table_{std::move(source)} {}
+
+  /// Keep rows where `pred(value)` holds for the int column `column`.
+  Query& where_int(std::string column,
+                   std::function<bool(std::int64_t)> pred);
+
+  /// Keep rows where `pred(value)` holds for the string column `column`.
+  Query& where_string(std::string column,
+                      std::function<bool(const std::string&)> pred);
+
+  /// Inner equi-join with `right` on int key columns. Right columns keep
+  /// their names; a right column whose name collides gets suffix "_r".
+  Query& join(Table right, std::string left_key, std::string right_key);
+
+  /// Group by int or string column `key`, aggregating int column `value`.
+  /// The output has columns {key, result_name}.
+  Query& group_by(std::string key, Aggregate agg, std::string value,
+                  std::string result_name);
+
+  /// Sort by an int column.
+  Query& order_by(std::string column, bool descending = false);
+
+  /// Keep the first `n` rows.
+  Query& limit(std::size_t n);
+
+  /// Keep only the named columns, in the given order.
+  Query& project(std::vector<std::string> columns);
+
+  /// Execute the pipeline and return the result table.
+  Table run() const;
+
+ private:
+  struct Stage {
+    std::function<Table(Table)> apply;
+  };
+  Table table_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace rb::query

@@ -1,0 +1,55 @@
+#include "roadmap/adoption.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rb::roadmap {
+
+std::vector<TechnologyAdoption> technology_portfolio() {
+  return {
+      // Mature, cheap, standardized: fast diffusion.
+      {"10/40GbE", 2012, 0.05, 0.50, 1.00},
+      {"100GbE", 2016, 0.03, 0.45, 0.90},
+      {"400GbE", 2021, 0.02, 0.40, 0.80},  // "after 2020" [18]
+      {"GPGPU", 2012, 0.03, 0.35, 0.60},
+      {"FPGA-accel", 2015, 0.015, 0.30, 0.50},  // programmability barrier
+      {"SDN", 2014, 0.04, 0.45, 0.85},
+      {"NFV", 2015, 0.03, 0.40, 0.75},
+      {"SiP-chiplets", 2018, 0.02, 0.35, 0.70},
+      {"Disaggregation", 2020, 0.015, 0.30, 0.60},
+      {"Neuromorphic", 2022, 0.005, 0.20, 0.30},  // no market ecosystem (Rec 7)
+  };
+}
+
+double adoption_at(const TechnologyAdoption& tech, double year) {
+  if (tech.p <= 0.0 || tech.q < 0.0)
+    throw std::invalid_argument{"adoption_at: invalid Bass parameters"};
+  const double t = year - static_cast<double>(tech.introduction_year);
+  if (t <= 0.0) return 0.0;
+  const double pq = tech.p + tech.q;
+  const double e = std::exp(-pq * t);
+  const double f = (1.0 - e) / (1.0 + (tech.q / tech.p) * e);
+  return tech.ceiling * f;
+}
+
+int year_of_adoption(const TechnologyAdoption& tech, double fraction) {
+  if (fraction <= 0.0 || fraction >= 1.0)
+    throw std::invalid_argument{"year_of_adoption: fraction out of (0, 1)"};
+  const double target = fraction * tech.ceiling;
+  for (int year = tech.introduction_year; year < tech.introduction_year + 80;
+       ++year) {
+    if (adoption_at(tech, static_cast<double>(year)) >= target) return year;
+  }
+  return 9999;
+}
+
+TechnologyAdoption with_intervention(TechnologyAdoption tech, double p_boost,
+                                     double q_boost) {
+  if (p_boost < 0.0 || q_boost < 0.0)
+    throw std::invalid_argument{"with_intervention: negative boost"};
+  tech.p *= 1.0 + p_boost;
+  tech.q *= 1.0 + q_boost;
+  return tech;
+}
+
+}  // namespace rb::roadmap

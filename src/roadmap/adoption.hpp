@@ -1,0 +1,41 @@
+#pragma once
+// Technology-adoption projection via the Bass diffusion model.
+//
+// The roadmap "predicts the future technologies that will disrupt the state
+// of the art" and attaches time horizons to its recommendations. The Bass
+// model F(t) = (1 - e^{-(p+q)t}) / (1 + (q/p) e^{-(p+q)t}) is the standard
+// quantitative form of such adoption forecasts: p = innovation coefficient
+// (external influence: hyperscaler demonstrations, EC projects), q =
+// imitation coefficient (competitive pressure). Each technology the paper
+// discusses gets calibrated (p, q) and an introduction year.
+
+#include <string>
+#include <vector>
+
+namespace rb::roadmap {
+
+struct TechnologyAdoption {
+  std::string name;
+  int introduction_year = 2016;
+  double p = 0.03;  // innovation coefficient
+  double q = 0.38;  // imitation coefficient
+  /// Market cap fraction of the addressable population in [0, 1].
+  double ceiling = 1.0;
+};
+
+/// Technologies discussed in Secs IV.A-B with calibrated diffusion params.
+std::vector<TechnologyAdoption> technology_portfolio();
+
+/// Cumulative adoption fraction at calendar `year` (0 before introduction).
+double adoption_at(const TechnologyAdoption& tech, double year);
+
+/// First calendar year adoption reaches `fraction` of the ceiling;
+/// returns +inf-like 9999 if it never does. `fraction` in (0, 1).
+int year_of_adoption(const TechnologyAdoption& tech, double fraction);
+
+/// How an EC intervention changes diffusion: boosting p (demonstrations,
+/// pilot access) and q (ecosystem/network effects). Returns adjusted tech.
+TechnologyAdoption with_intervention(TechnologyAdoption tech, double p_boost,
+                                     double q_boost);
+
+}  // namespace rb::roadmap

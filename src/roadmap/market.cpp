@@ -1,0 +1,99 @@
+#include "roadmap/market.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rb::roadmap {
+
+std::vector<Vendor> server_market_2016() {
+  return {
+      {"x86-incumbent", 0.92, 1.00, false},
+      {"x86-challenger", 0.04, 0.90, false},
+      {"power-vendor", 0.02, 0.85, false},
+      {"arm-server-eu", 0.01, 0.95, true},   // the EUROSERVER lineage
+      {"risc-startup-eu", 0.01, 0.80, true},
+  };
+}
+
+double hhi(const std::vector<Vendor>& market) {
+  double h = 0.0;
+  for (const auto& v : market) h += v.share * v.share;
+  return h;
+}
+
+double european_share(const std::vector<Vendor>& market) {
+  double s = 0.0;
+  for (const auto& v : market) {
+    if (v.european) s += v.share;
+  }
+  return s;
+}
+
+std::vector<std::vector<Vendor>> simulate_market(std::vector<Vendor> market,
+                                                 const MarketParams& params) {
+  if (market.empty())
+    throw std::invalid_argument{"simulate_market: empty market"};
+  if (params.gamma <= 0.0)
+    throw std::invalid_argument{"simulate_market: gamma must be positive"};
+  if (params.years < 0)
+    throw std::invalid_argument{"simulate_market: negative horizon"};
+  double total = 0.0;
+  for (const auto& v : market) {
+    if (v.share < 0.0 || v.attractiveness <= 0.0)
+      throw std::invalid_argument{"simulate_market: bad vendor " + v.name};
+    total += v.share;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument{"simulate_market: zero total share"};
+  for (auto& v : market) v.share /= total;  // normalize defensively
+
+  std::vector<std::vector<Vendor>> trajectory{market};
+  for (int year = 0; year < params.years; ++year) {
+    double normalizer = 0.0;
+    std::vector<double> next(market.size());
+    for (std::size_t i = 0; i < market.size(); ++i) {
+      next[i] = std::pow(market[i].share, params.gamma) *
+                market[i].attractiveness;
+      normalizer += next[i];
+    }
+    for (std::size_t i = 0; i < market.size(); ++i) {
+      market[i].share = normalizer > 0.0 ? next[i] / normalizer : 0.0;
+    }
+    trajectory.push_back(market);
+  }
+  return trajectory;
+}
+
+double required_entrant_boost(std::vector<Vendor> market,
+                              const std::string& entrant_name,
+                              double target_share,
+                              const MarketParams& params) {
+  if (target_share <= 0.0 || target_share >= 1.0)
+    throw std::invalid_argument{
+        "required_entrant_boost: target out of (0, 1)"};
+  std::size_t entrant = market.size();
+  for (std::size_t i = 0; i < market.size(); ++i) {
+    if (market[i].name == entrant_name) entrant = i;
+  }
+  if (entrant == market.size())
+    throw std::invalid_argument{"required_entrant_boost: unknown entrant " +
+                                entrant_name};
+
+  const auto reaches = [&](double boost) {
+    auto boosted = market;
+    boosted[entrant].attractiveness *= boost;
+    const auto trajectory = simulate_market(boosted, params);
+    return trajectory.back()[entrant].share >= target_share;
+  };
+
+  double lo = 1.0, hi = 64.0;
+  if (reaches(lo)) return lo;
+  if (!reaches(hi)) return 65.0;  // subsidy alone cannot get there
+  for (int i = 0; i < 50; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (reaches(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace rb::roadmap

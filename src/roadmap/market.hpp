@@ -1,0 +1,60 @@
+#pragma once
+// Server-market concentration dynamics (Key Findings 3 and 4).
+//
+// The paper: "the vast majority of server hardware is based on Intel
+// processors. As a result, Intel has a huge influence over the direction of
+// the industry", while hyperscalers verticalize and "move everybody else in
+// their trail". We model market share under replicator dynamics with
+// network effects: a vendor's next-period share is proportional to
+// share^gamma x attractiveness, gamma > 1 encoding ecosystem lock-in
+// (software tuned for the incumbent, vendor-specific toolchains — the
+// paper's vendor-lock-in discussion). The model answers the roadmap's
+// strategic question quantitatively: how strong must an EC-backed European
+// entrant's attractiveness advantage be, for how long, to gain a foothold?
+
+#include <string>
+#include <vector>
+
+namespace rb::roadmap {
+
+struct Vendor {
+  std::string name;
+  double share = 0.0;           // in [0, 1]; shares sum to 1
+  double attractiveness = 1.0;  // product quality / price position
+  bool european = false;
+};
+
+/// The 2016 server-CPU market the paper describes (x86 incumbent >90%).
+std::vector<Vendor> server_market_2016();
+
+/// Herfindahl–Hirschman index of the share vector, in (0, 1]; 1 = monopoly.
+double hhi(const std::vector<Vendor>& market);
+
+/// Total share held by European vendors.
+double european_share(const std::vector<Vendor>& market);
+
+struct MarketParams {
+  int years = 10;
+  /// Network-effect exponent; > 1 means incumbents compound (lock-in),
+  /// == 1 means shares drift to attractiveness, < 1 anti-concentration.
+  double gamma = 1.15;
+};
+
+/// Evolve the market `params.years` steps of replicator dynamics:
+///   share'_i = share_i^gamma * attractiveness_i / normalizer.
+/// Returns the share trajectory (years + 1 entries, index 0 = input).
+/// Throws std::invalid_argument on empty market, non-positive shares sum,
+/// or non-positive gamma.
+std::vector<std::vector<Vendor>> simulate_market(std::vector<Vendor> market,
+                                                 const MarketParams& params);
+
+/// Minimum attractiveness multiplier an EC programme must hand the European
+/// entrant (applied for `params.years`) for it to reach `target_share`.
+/// Binary search over [1, 64]; returns > 64 ("not achievable by subsidy
+/// alone") as 65.0.
+double required_entrant_boost(std::vector<Vendor> market,
+                              const std::string& entrant_name,
+                              double target_share,
+                              const MarketParams& params);
+
+}  // namespace rb::roadmap

@@ -1,0 +1,115 @@
+#include "roadmap/registry.hpp"
+
+namespace rb::roadmap {
+
+const std::vector<Partner>& consortium() {
+  static const std::vector<Partner> table = {
+      {"Barcelona Supercomputing Center", "BSC",
+       "Computer architecture and system architecture",
+       Partner::Kind::kAcademic},
+      {"Technische Universitat Berlin", "TUB",
+       "Database systems and information management",
+       Partner::Kind::kAcademic},
+      {"Ecole Polytechnique Federale de Lausanne", "EPFL",
+       "Database systems and applications", Partner::Kind::kAcademic},
+      {"Centrum Voor Wiskunde en Informatica", "CWI",
+       "Hardware-conscious database technologies", Partner::Kind::kAcademic},
+      {"University of Manchester", "UoM", "Computer architecture",
+       Partner::Kind::kAcademic},
+      {"Universidad Politecnica de Madrid", "UPM",
+       "Data mining and warehousing", Partner::Kind::kAcademic},
+      {"ARM Ltd.", "ARM", "Silicon IP provider",
+       Partner::Kind::kLargeIndustry},
+      {"Internet Memory Research", "IMR",
+       "Web-scale sourcing platform for business intelligence",
+       Partner::Kind::kSme},
+      {"Thales SA", "THALES",
+       "Situation and decision analysis, planning and optimization",
+       Partner::Kind::kLargeIndustry},
+  };
+  return table;
+}
+
+const std::vector<Initiative>& ecosystem() {
+  static const std::vector<Initiative> fig = {
+      {"RETHINK big", "Hardware and networking optimizations for Big Data",
+       true},
+      {"ETP4HPC", "High Performance Computing strategic research agenda",
+       false},
+      {"BDVA", "Big Data Value Association: analytics applications and data",
+       false},
+      {"NEM", "New European Media: content and creativity", false},
+      {"NESSI", "Software, services and data ETP", false},
+      {"EPoSS", "Smart systems integration", false},
+      {"Photonics21", "Photonic components and systems", false},
+      {"5G-PPP", "Network-level communication regulation and standards",
+       false},
+      {"AIOTI", "Alliance for Internet of Things Innovation", false},
+  };
+  return fig;
+}
+
+const std::vector<Finding>& key_findings() {
+  static const std::vector<Finding> findings = {
+      {1,
+       "Industry is focused on extracting value from data, not on "
+       "processing/storage bottlenecks or the underlying hardware"},
+      {2,
+       "European companies are not convinced of the ROI of novel hardware: "
+       "content with commodity hardware at competitive prices"},
+      {3,
+       "Europe has limited opportunities for hardware/software architects "
+       "to work together; hyperscalers verticalize and set the pace"},
+      {4,
+       "Dominance of non-European companies in the server market "
+       "complicates new European entrants in specialized architectures"},
+  };
+  return findings;
+}
+
+std::string to_string(Area area) {
+  switch (area) {
+    case Area::kNetwork: return "network";
+    case Area::kArchitecture: return "architecture";
+    case Area::kSoftware: return "software";
+    case Area::kEcosystem: return "ecosystem";
+  }
+  return "?";
+}
+
+const std::vector<Recommendation>& recommendations() {
+  static const std::vector<Recommendation> recs = {
+      {1, "Promote adoption of current and upcoming networking standards",
+       Area::kNetwork, 2, "bench_e3_ethernet_generations"},
+      {2,
+       "Prepare for the next generation of hardware; exploit HPC / Big Data "
+       "convergence",
+       Area::kArchitecture, 5, "bench_e12_hpc_bigdata_convergence"},
+      {3, "Anticipate Data Center design changes for 400GbE and beyond",
+       Area::kNetwork, 5, "bench_e5_disaggregation"},
+      {4, "Reduce risk and cost of using accelerators", Area::kArchitecture,
+       2, "bench_e2_accelerator_10x"},
+      {5, "Encourage system co-design for new technologies",
+       Area::kArchitecture, 5, "bench_e6_soc_vs_sip"},
+      {6, "Improve programmability of FPGAs", Area::kSoftware, 5,
+       "bench_e8_abstraction_gap"},
+      {7, "Pioneer markets for neuromorphic computing", Area::kArchitecture,
+       8, "bench_e10_benchmark_suite"},
+      {8, "Create a sustainable business environment incl. training data",
+       Area::kEcosystem, 5, "bench_e13_survey_findings"},
+      {9, "Establish standard benchmarks", Area::kSoftware, 2,
+       "bench_e10_benchmark_suite"},
+      {10, "Identify and build accelerated building blocks", Area::kSoftware,
+       2, "bench_e2_accelerator_10x"},
+      {11, "Investigate use of heterogeneous resources (dynamic scheduling)",
+       Area::kSoftware, 5, "bench_e9_hetero_scheduling"},
+      {12, "Continue to ask whether hardware/networking optimizations solve "
+           "industry problems",
+       Area::kEcosystem, 8, "bench_e13_survey_findings"},
+  };
+  return recs;
+}
+
+SurveyCampaign survey_campaign() { return SurveyCampaign{}; }
+
+}  // namespace rb::roadmap

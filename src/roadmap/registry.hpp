@@ -1,0 +1,62 @@
+#pragma once
+// Structured registry of the paper's factual content: the consortium
+// (Table 1), the European initiative landscape (Figure 1), the four key
+// industry findings (Sec V.A), the twelve recommendations (Sec V.B), and
+// the technology timeline the text commits to. The report renderer and the
+// scenario engine read from here, so the roadmap itself is data, not prose.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rb::roadmap {
+
+/// --- Table 1: RETHINK big Project Consortium ---
+struct Partner {
+  std::string name;
+  std::string abbreviation;
+  std::string expertise;
+  enum class Kind : std::uint8_t { kAcademic, kLargeIndustry, kSme } kind;
+};
+const std::vector<Partner>& consortium();
+
+/// --- Figure 1: ETP/PPP collaboration landscape ---
+struct Initiative {
+  std::string name;
+  std::string scope;  // what that roadmap/initiative covers
+  bool covers_big_data_hw;  // true only for RETHINK big itself
+};
+const std::vector<Initiative>& ecosystem();
+
+/// --- Sec V.A: key industry findings ---
+struct Finding {
+  int number = 0;
+  std::string statement;
+};
+const std::vector<Finding>& key_findings();
+
+/// --- Sec V.B: the twelve recommendations ---
+enum class Area : std::uint8_t { kNetwork, kArchitecture, kSoftware, kEcosystem };
+std::string to_string(Area area);
+
+struct Recommendation {
+  int number = 0;
+  std::string title;
+  Area area = Area::kEcosystem;
+  /// Time horizon in years for first impact (near=2, mid=5, long=8).
+  int horizon_years = 5;
+  /// Which experiment in this repository quantifies it (empty if none).
+  std::string evidence_bench;
+};
+const std::vector<Recommendation>& recommendations();
+
+/// --- Interview campaign shape (Sec V.A) ---
+struct SurveyCampaign {
+  int interviews = 89;
+  int companies = 70;
+  std::vector<std::string> sectors = {
+      "telecom", "hardware", "health", "automotive", "finance", "analytics"};
+};
+SurveyCampaign survey_campaign();
+
+}  // namespace rb::roadmap

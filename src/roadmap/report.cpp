@@ -1,0 +1,143 @@
+#include "roadmap/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "roadmap/adoption.hpp"
+#include "roadmap/funding.hpp"
+#include "roadmap/market.hpp"
+#include "roadmap/registry.hpp"
+#include "roadmap/scenario.hpp"
+
+namespace rb::roadmap {
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width) {
+  std::string out = s.substr(0, width);
+  out.append(width - out.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string render_consortium_table() {
+  std::ostringstream out;
+  out << "Table 1: RETHINK big Project Consortium\n";
+  out << pad("Partner Name", 44) << pad("Abbrev", 8) << "Expertise\n";
+  out << std::string(100, '-') << '\n';
+  for (const auto& p : consortium()) {
+    out << pad(p.name, 44) << pad(p.abbreviation, 8) << p.expertise << '\n';
+  }
+  return out.str();
+}
+
+std::string render_ecosystem_figure() {
+  std::ostringstream out;
+  out << "Figure 1: ETP/PPP collaboration landscape\n";
+  out << "  (the scope each European initiative covers; RETHINK big owns\n";
+  out << "   hardware & networking optimizations for Big Data)\n\n";
+  for (const auto& i : ecosystem()) {
+    out << (i.covers_big_data_hw ? " [*] " : "     ") << pad(i.name, 14)
+        << "- " << i.scope << '\n';
+  }
+  return out.str();
+}
+
+std::string render_findings() {
+  std::ostringstream out;
+  out << "Key industry findings (89 interviews, 70 companies):\n";
+  for (const auto& f : key_findings()) {
+    out << "  (" << f.number << ") " << f.statement << '\n';
+  }
+  return out.str();
+}
+
+std::string render_recommendation_matrix() {
+  std::ostringstream out;
+  out << "Roadmap recommendations (model-scored):\n";
+  out << pad("#", 4) << pad("Area", 14) << pad("Horizon", 9)
+      << pad("Score", 7) << pad("Recommendation", 60) << "Evidence bench\n";
+  out << std::string(130, '-') << '\n';
+  for (const auto& s : score_recommendations()) {
+    std::ostringstream score;
+    score << std::fixed << std::setprecision(1) << s.score;
+    out << pad(std::to_string(s.rec.number), 4)
+        << pad(to_string(s.rec.area), 14)
+        << pad(std::to_string(s.rec.horizon_years) + "y", 9)
+        << pad(score.str(), 7) << pad(s.rec.title, 58) << "  "
+        << s.rec.evidence_bench << '\n';
+    out << pad("", 34) << "evidence: " << s.evidence << '\n';
+  }
+  return out.str();
+}
+
+std::string render_market_outlook(int years) {
+  std::ostringstream out;
+  MarketParams params;
+  params.years = years;
+  const auto trajectory = simulate_market(server_market_2016(), params);
+  out << "Server-market outlook (replicator dynamics, lock-in gamma = "
+      << params.gamma << "):\n";
+  out << pad("year", 6) << pad("incumbent", 12) << pad("HHI", 8)
+      << "EU share\n";
+  for (std::size_t year = 0; year < trajectory.size();
+       year += trajectory.size() > 6 ? 2 : 1) {
+    std::ostringstream inc, h, eu;
+    inc << std::fixed << std::setprecision(1)
+        << trajectory[year][0].share * 100.0 << '%';
+    h << std::fixed << std::setprecision(3) << hhi(trajectory[year]);
+    eu << std::fixed << std::setprecision(2)
+       << european_share(trajectory[year]) * 100.0 << '%';
+    out << pad(std::to_string(year), 6) << pad(inc.str(), 12)
+        << pad(h.str(), 8) << eu.str() << '\n';
+  }
+  return out.str();
+}
+
+std::string render_funding_plan(double budget_dollars, int horizon_year) {
+  std::ostringstream out;
+  const auto plan = allocate_funding(budget_dollars, horizon_year);
+  out << "Coordinated EC funding plan ($" << std::fixed
+      << std::setprecision(0) << budget_dollars / 1e6
+      << "M budget, horizon " << horizon_year << "):\n";
+  for (const auto& option : plan.funded) {
+    std::ostringstream cost, gain;
+    cost << std::fixed << std::setprecision(0) << option.cost / 1e6;
+    gain << std::fixed << std::setprecision(3)
+         << adoption_gain(option, horizon_year);
+    out << "  R" << option.recommendation << pad("", 2)
+        << pad(option.technology, 16) << "$" << pad(cost.str() + "M", 8)
+        << "adoption gain " << gain.str() << '\n';
+  }
+  std::ostringstream total;
+  total << std::fixed << std::setprecision(0) << plan.spent / 1e6;
+  out << "  spent $" << total.str() << "M, total adoption gain "
+      << std::setprecision(3) << plan.total_gain << '\n';
+  return out.str();
+}
+
+std::string render_adoption_timeline(int from_year, int to_year) {
+  std::ostringstream out;
+  out << "Projected adoption (Bass diffusion, fraction of addressable "
+         "market):\n";
+  out << pad("Technology", 16);
+  for (int y = from_year; y <= to_year; y += 2) {
+    out << pad(std::to_string(y), 7);
+  }
+  out << '\n' << std::string(16 + 7 * ((to_year - from_year) / 2 + 1), '-')
+      << '\n';
+  for (const auto& tech : technology_portfolio()) {
+    out << pad(tech.name, 16);
+    for (int y = from_year; y <= to_year; y += 2) {
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(2)
+           << adoption_at(tech, static_cast<double>(y));
+      out << pad(cell.str(), 7);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rb::roadmap

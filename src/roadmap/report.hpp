@@ -1,0 +1,34 @@
+#pragma once
+// Text renderers for the paper's exhibits and the roadmap matrix.
+// bench_table1 / bench_figure1 print these verbatim; the roadmap_report
+// example composes all of them into the full document.
+
+#include <string>
+
+namespace rb::roadmap {
+
+/// Table 1: the project consortium, rendered as an aligned ASCII table.
+std::string render_consortium_table();
+
+/// Figure 1: the ETP/PPP collaboration landscape, as an ASCII diagram.
+std::string render_ecosystem_figure();
+
+/// Sec V.A: the four key findings.
+std::string render_findings();
+
+/// Sec V.B + scenario scores: the twelve recommendations with areas,
+/// horizons, model scores and the bench that regenerates the evidence.
+std::string render_recommendation_matrix();
+
+/// Bass adoption projection table for the technology portfolio.
+std::string render_adoption_timeline(int from_year, int to_year);
+
+/// Server-market outlook (Findings 3/4): concentration trajectory and the
+/// entrant-boost table from the market model.
+std::string render_market_outlook(int years = 10);
+
+/// Funded-programme plan under `budget` from the funding optimizer.
+std::string render_funding_plan(double budget_dollars,
+                                int horizon_year = 2026);
+
+}  // namespace rb::roadmap

@@ -1,0 +1,239 @@
+#include "roadmap/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/topology.hpp"
+#include "node/energy.hpp"
+#include "node/integration.hpp"
+#include "roadmap/survey.hpp"
+
+namespace rb::roadmap {
+
+namespace {
+
+const TechnologyAdoption* find_tech(const std::vector<TechnologyAdoption>& v,
+                                    const std::string& name) {
+  for (const auto& t : v) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::string tech_name_of(node::DeviceKind kind) {
+  switch (kind) {
+    case node::DeviceKind::kGpu: return "GPGPU";
+    case node::DeviceKind::kFpga: return "FPGA-accel";
+    case node::DeviceKind::kNeuromorphic: return "Neuromorphic";
+    case node::DeviceKind::kAsic: return "FPGA-accel";  // closest proxy
+    case node::DeviceKind::kCpu: return "10/40GbE";     // commodity baseline
+  }
+  return "GPGPU";
+}
+
+double clamp_score(double s) { return std::clamp(s, 0.0, 100.0); }
+
+}  // namespace
+
+ScenarioOutcome evaluate_scenario(const CompanyProfile& company,
+                                  const TechnologyScenario& scenario) {
+  const auto catalog = node::standard_catalog();
+  const auto host = node::find_device(node::DeviceKind::kCpu);
+  const auto device = node::find_device(scenario.device);
+  if (!accel::supports(device.kind, scenario.workload)) {
+    ScenarioOutcome out;
+    out.summary = to_string(scenario.workload) + " cannot run on " +
+                  node::to_string(device.kind);
+    return out;
+  }
+
+  ScenarioOutcome out;
+  const auto host_t =
+      accel::block_time(host, scenario.workload, scenario.rows_per_batch,
+                        accel::CodePath::kDeviceTuned);
+  const auto dev_t = accel::block_time(device, scenario.workload,
+                                       scenario.rows_per_batch, scenario.path);
+  out.speedup = static_cast<double>(host_t) / static_cast<double>(dev_t);
+
+  node::RoiParams roi_params;
+  roi_params.host = host;
+  roi_params.accelerator = device;
+  roi_params.speedup = std::max(out.speedup, 0.01);
+  roi_params.utilization = company.accel_utilization;
+  roi_params.horizon = company.horizon;
+  out.roi = node::accelerator_roi(roi_params).roi;
+
+  out.feasible =
+      device.porting_person_months <= company.engineering_budget_pm;
+  out.recommended = out.feasible && out.speedup >= 2.0 && out.roi > 0.0;
+
+  const auto portfolio = technology_portfolio();
+  if (const auto* tech = find_tech(portfolio, tech_name_of(device.kind))) {
+    out.adoption_year_25pct = year_of_adoption(*tech, 0.25);
+  }
+
+  std::ostringstream summary;
+  summary << company.name << ": " << to_string(scenario.workload) << " on "
+          << device.name << " -> speedup " << out.speedup << "x, ROI "
+          << out.roi << (out.recommended ? " [ADOPT]" : " [WAIT]");
+  out.summary = summary.str();
+  return out;
+}
+
+std::vector<RecommendationScore> score_recommendations() {
+  std::vector<RecommendationScore> scores;
+  const auto catalog = node::standard_catalog();
+  const auto cpu = node::find_device(node::DeviceKind::kCpu);
+  const auto gpu = node::find_device(node::DeviceKind::kGpu);
+  const auto fpga = node::find_device(node::DeviceKind::kFpga);
+  const auto neuro = node::find_device(node::DeviceKind::kNeuromorphic);
+
+  const auto add = [&scores](int number, double score, std::string evidence) {
+    for (const auto& rec : recommendations()) {
+      if (rec.number == number) {
+        scores.push_back({rec, clamp_score(score), std::move(evidence)});
+        return;
+      }
+    }
+    throw std::logic_error{"score_recommendations: unknown rec number"};
+  };
+
+  // R1: bandwidth-per-dollar gain moving 10GbE -> 40GbE.
+  {
+    const double gain =
+        (net::rate_of(net::EthernetGen::k40G) /
+         net::rate_of(net::EthernetGen::k10G)) /
+        (net::port_cost(net::EthernetGen::k40G) /
+         net::port_cost(net::EthernetGen::k10G));
+    add(1, gain * 50.0,
+        "40GbE delivers " + std::to_string(gain) + "x bandwidth per dollar");
+  }
+  // R2: HPC/Big-Data dual-purpose: GPU speedup on an HPC-style kernel
+  // (device-resident sweep: grid ships once, iterates on the device).
+  {
+    const node::KernelProfile stencil{1e12, 1e10, 0.995, 1e8};
+    const double s = node::speedup_vs(gpu, cpu, stencil);
+    add(2, s * 10.0, "dual-purpose GPU node: " + std::to_string(s) +
+                         "x on compute-bound HPC kernels");
+  }
+  // R3: 400GbE rate headroom over deployed 100GbE.
+  {
+    const double ratio = net::rate_of(net::EthernetGen::k400G) /
+                         net::rate_of(net::EthernetGen::k100G);
+    add(3, ratio * 15.0,
+        std::to_string(ratio) + "x fabric headroom at 400GbE requires new "
+                                "DC interconnect design");
+  }
+  // R4: best accelerator speedup across analytics blocks.
+  {
+    double best = 1.0;
+    std::string where;
+    for (const auto block : accel::all_blocks()) {
+      const auto decision = accel::best_device(
+          catalog, block, 8'000'000, accel::CodePath::kDeviceTuned);
+      if (decision.speedup_vs_host > best) {
+        best = decision.speedup_vs_host;
+        where = to_string(block) + " on " + decision.device.name;
+      }
+    }
+    add(4, best * 8.0,
+        "up to " + std::to_string(best) + "x node speedup (" + where + ")");
+  }
+  // R5: SiP cost advantage at SME volume (100k units).
+  {
+    const auto soc =
+        node::soc_unit_cost(400.0, node::leading_edge_16nm(), 1e5).total();
+    const std::vector<node::ChipletSpec> chiplets = {
+        {{"compute", 150.0, node::leading_edge_16nm()}, 0.0},
+        {{"io", 120.0, node::mature_28nm()}, 1e7},
+        {{"accel", 130.0, node::mature_28nm()}, 1e6},
+    };
+    const auto sip = node::sip_unit_cost(chiplets, 1e5).total();
+    const double advantage = soc / sip;
+    add(5, advantage * 30.0,
+        "SiP unit cost advantage at 100k units: " + std::to_string(advantage) +
+            "x vs monolithic SoC");
+  }
+  // R6: FPGA performance portability gap (tuned vs generic).
+  {
+    const double gap =
+        accel::path_efficiency(node::DeviceKind::kFpga,
+                               accel::CodePath::kDeviceTuned) /
+        accel::path_efficiency(node::DeviceKind::kFpga,
+                               accel::CodePath::kGenericPortable);
+    add(6, gap * 12.0,
+        "tuned FPGA kernels are " + std::to_string(gap) +
+            "x faster than portable ones - tooling closes this gap");
+  }
+  // R7: neuromorphic energy efficiency on pattern matching.
+  {
+    const node::KernelProfile match =
+        accel::block_profile(accel::BlockKind::kPatternMatch, 10'000'000);
+    const double ratio = node::gflops_per_joule(neuro, match) /
+                         node::gflops_per_joule(cpu, match);
+    add(7, ratio * 5.0,
+        std::to_string(ratio) + "x energy efficiency on event workloads, "
+                                "but no market ecosystem yet");
+  }
+  // R8 and R13-adjacent: survey-measured ecosystem gaps.
+  {
+    const auto survey =
+        run_survey(make_population(70, 20160101), 20160102);
+    add(8, (1.0 - survey.frac_with_hw_roadmap) * 80.0,
+        std::to_string(survey.frac_with_hw_roadmap * 100.0) +
+            "% of companies keep a hardware roadmap");
+    add(12, (1.0 - survey.frac_bottleneck_aware) * 70.0,
+        std::to_string(survey.frac_bottleneck_aware * 100.0) +
+            "% perceive hardware bottlenecks today - re-ask as data grows");
+  }
+  // R9: spread across devices justifies standard benchmarks.
+  {
+    const auto gpu_t = accel::block_time(gpu, accel::BlockKind::kKMeans,
+                                         1'000'000,
+                                         accel::CodePath::kDeviceTuned);
+    const auto fpga_t = accel::block_time(fpga, accel::BlockKind::kKMeans,
+                                          1'000'000,
+                                          accel::CodePath::kDeviceTuned);
+    const double spread =
+        static_cast<double>(std::max(gpu_t, fpga_t)) /
+        static_cast<double>(std::min(gpu_t, fpga_t));
+    add(9, spread * 25.0,
+        "same kernel differs " + std::to_string(spread) +
+            "x across accelerators - without benchmarks buyers fly blind");
+  }
+  // R10: mean accelerated-building-block speedup.
+  {
+    double total = 0.0;
+    int n = 0;
+    for (const auto block : accel::all_blocks()) {
+      const auto d = accel::best_device(catalog, block, 8'000'000,
+                                        accel::CodePath::kDeviceTuned);
+      total += d.speedup_vs_host;
+      ++n;
+    }
+    const double mean = total / n;
+    add(10, mean * 12.0,
+        "mean best-device speedup across the block library: " +
+            std::to_string(mean) + "x");
+  }
+  // R11: headroom between heterogeneity-aware and naive scheduling is
+  // quantified by bench_e9; score from the device-speed spread it exploits.
+  {
+    const node::KernelProfile ml =
+        accel::block_profile(accel::BlockKind::kKMeans, 1'000'000);
+    const double spread = node::speedup_vs(gpu, cpu, ml);
+    add(11, spread * 10.0,
+        "scheduler can exploit a " + std::to_string(spread) +
+            "x device-speed spread on ML stages");
+  }
+
+  std::sort(scores.begin(), scores.end(),
+            [](const RecommendationScore& a, const RecommendationScore& b) {
+              return a.rec.number < b.rec.number;
+            });
+  return scores;
+}
+
+}  // namespace rb::roadmap

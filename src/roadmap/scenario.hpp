@@ -1,0 +1,57 @@
+#pragma once
+// Scenario engine: the executable form of the roadmap's recommendations.
+//
+// A scenario asks "should a European company of profile X adopt technology
+// Y for workload Z, and what changes if the EC intervenes?". The engine
+// pulls together the models of this library — offload speedups (accel),
+// ROI/TCO (node), adoption diffusion (roadmap) — and produces a scored
+// verdict per recommendation. bench_e14 sweeps the twelve recommendations.
+
+#include <string>
+#include <vector>
+
+#include "accel/offload.hpp"
+#include "node/tco.hpp"
+#include "roadmap/adoption.hpp"
+#include "roadmap/registry.hpp"
+
+namespace rb::roadmap {
+
+struct CompanyProfile {
+  std::string name = "eu-sme";
+  double accel_utilization = 0.25;   // sustained offloadable load
+  double engineering_budget_pm = 18;  // person-months available for porting
+  sim::Years horizon = 3.0;
+};
+
+struct TechnologyScenario {
+  node::DeviceKind device = node::DeviceKind::kGpu;
+  accel::BlockKind workload = accel::BlockKind::kKMeans;
+  std::uint64_t rows_per_batch = 4'000'000;
+  accel::CodePath path = accel::CodePath::kDeviceTuned;
+};
+
+struct ScenarioOutcome {
+  double speedup = 1.0;          // node-level, incl. transfers
+  double roi = 0.0;              // from the TCO model
+  bool feasible = false;         // porting effort within budget
+  bool recommended = false;      // speedup >= threshold and roi > 0
+  int adoption_year_25pct = 0;   // diffusion projection, 25% of market
+  std::string summary;
+};
+
+/// Evaluate one (company, technology, workload) scenario.
+ScenarioOutcome evaluate_scenario(const CompanyProfile& company,
+                                  const TechnologyScenario& scenario);
+
+/// Score of one roadmap recommendation on [0, 100]: how much measurable
+/// headroom the models show for the action it proposes, for a reference
+/// European company. Deterministic; bench_e14 prints the full matrix.
+struct RecommendationScore {
+  Recommendation rec;
+  double score = 0.0;
+  std::string evidence;
+};
+std::vector<RecommendationScore> score_recommendations();
+
+}  // namespace rb::roadmap

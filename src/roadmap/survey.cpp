@@ -1,0 +1,106 @@
+#include "roadmap/survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "roadmap/registry.hpp"
+#include "sim/random.hpp"
+
+namespace rb::roadmap {
+
+std::vector<Company> make_population(std::size_t companies,
+                                     std::uint64_t seed) {
+  if (companies == 0)
+    throw std::invalid_argument{"make_population: zero companies"};
+  sim::Rng rng{seed};
+  const auto campaign = survey_campaign();
+  std::vector<Company> population;
+  population.reserve(companies);
+  for (std::size_t i = 0; i < companies; ++i) {
+    Company c;
+    c.sector = campaign.sectors[i % campaign.sectors.size()];
+    c.is_analytics_user = c.sector != "hardware" && c.sector != "telecom";
+    c.data_growth_rate = rng.uniform(0.1, 0.6);
+    // Utilization a company could sustain on an accelerator: most are low
+    // (the Finding-2 regime); finance runs hot (Rec 4: "most prominent in
+    // financial and oil industries").
+    const double base = c.sector == "finance" ? 0.45 : 0.12;
+    c.accel_utilization = std::clamp(rng.lognormal(std::log(base), 0.6),
+                                     0.01, 0.95);
+    c.price_sensitivity = rng.uniform(0.2, 1.0);
+    population.push_back(c);
+  }
+  return population;
+}
+
+SurveyResults run_survey(std::vector<Company> population,
+                         std::uint64_t seed) {
+  if (population.empty())
+    throw std::invalid_argument{"run_survey: empty population"};
+  sim::Rng rng{seed};
+
+  node::RoiParams base;
+  base.host = node::find_device(node::DeviceKind::kCpu);
+  base.accelerator = node::find_device(node::DeviceKind::kGpu);
+  base.speedup = 8.0;
+
+  SurveyResults results;
+  results.companies = population.size();
+  // 89 interviews over 70 companies: some companies interviewed twice.
+  results.interviews =
+      population.size() + (population.size() * 19) / 70;
+
+  std::map<std::string, std::pair<std::size_t, std::size_t>> sector_counts;
+  std::size_t bottleneck = 0, convinced = 0, roadmap = 0, commodity = 0;
+
+  for (auto& company : population) {
+    // Finding 1: a company notices hardware bottlenecks only once its data
+    // outgrows single-box commodity processing — rare in 2016.
+    company.perceives_hw_bottleneck =
+        company.data_growth_rate > 0.45 && rng.chance(0.6);
+
+    // Finding 2: the company runs the actual ROI model at its utilization.
+    // Marginal throughput is only worth money to companies that actually
+    // feel a processing bottleneck (the Finding-1 link); price-sensitive
+    // companies additionally discount the projected value.
+    node::RoiParams p = base;
+    p.utilization = company.accel_utilization;
+    const double need = company.perceives_hw_bottleneck ? 1.0 : 0.2;
+    p.value_per_work_unit = base.value_per_work_unit * need *
+                            (1.0 - 0.5 * company.price_sensitivity);
+    company.convinced_of_accel_roi = node::accelerator_roi(p).worthwhile();
+
+    // Finding 3: "almost all analytics companies expressed that they have
+    // no hardware roadmap" — only technology providers keep one, and only
+    // sometimes.
+    company.has_hardware_roadmap =
+        !company.is_analytics_user && rng.chance(0.5);
+
+    const bool on_commodity = !company.convinced_of_accel_roi ||
+                              rng.chance(0.8);  // Finding 4
+
+    bottleneck += company.perceives_hw_bottleneck;
+    convinced += company.convinced_of_accel_roi;
+    roadmap += company.has_hardware_roadmap;
+    commodity += on_commodity;
+    auto& [total, conv] = sector_counts[company.sector];
+    ++total;
+    conv += company.convinced_of_accel_roi;
+  }
+
+  const auto n = static_cast<double>(population.size());
+  results.frac_bottleneck_aware = static_cast<double>(bottleneck) / n;
+  results.frac_roi_convinced = static_cast<double>(convinced) / n;
+  results.frac_with_hw_roadmap = static_cast<double>(roadmap) / n;
+  results.frac_on_commodity_x86 = static_cast<double>(commodity) / n;
+  for (const auto& [sector, counts] : sector_counts) {
+    results.roi_by_sector.emplace_back(
+        sector, static_cast<double>(counts.second) /
+                    static_cast<double>(counts.first));
+  }
+  return results;
+}
+
+}  // namespace rb::roadmap

@@ -1,0 +1,51 @@
+#pragma once
+// Synthetic stakeholder-survey model (Sec V.A).
+//
+// The paper's four key findings are aggregate statistics over 89 interviews
+// with 70 European companies. We model a stakeholder population whose
+// behaviour is driven by the economic models in this library: a company is
+// "convinced of accelerator ROI" exactly when the TCO model says its
+// utilization and workload justify the investment. Running the survey
+// regenerates the findings as numbers (experiment E13) instead of quotes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "node/tco.hpp"
+
+namespace rb::roadmap {
+
+struct Company {
+  std::string sector;
+  bool is_analytics_user = false;  // vs technology provider
+  double data_growth_rate = 0.3;   // annual growth of data volume
+  double accel_utilization = 0.1;  // offloadable-work fraction it could keep busy
+  double price_sensitivity = 0.5;  // in [0,1]; 1 = only buys commodity
+  // Derived during the survey:
+  bool perceives_hw_bottleneck = false;
+  bool has_hardware_roadmap = false;
+  bool convinced_of_accel_roi = false;
+};
+
+/// Generate a population matching the campaign's sector mix.
+std::vector<Company> make_population(std::size_t companies,
+                                     std::uint64_t seed);
+
+struct SurveyResults {
+  std::size_t companies = 0;
+  std::size_t interviews = 0;
+  double frac_bottleneck_aware = 0.0;   // Finding 1: expected LOW
+  double frac_roi_convinced = 0.0;      // Finding 2: expected LOW
+  double frac_with_hw_roadmap = 0.0;    // Finding 3: expected LOW
+  double frac_on_commodity_x86 = 0.0;   // Finding 4: expected HIGH
+  /// Per-sector ROI-convinced fraction (finance/oil lead, per Rec 4).
+  std::vector<std::pair<std::string, double>> roi_by_sector;
+};
+
+/// Run the survey: each company evaluates accelerator ROI with the real TCO
+/// model (node::accelerator_roi) at its own utilization and sensitivity.
+SurveyResults run_survey(std::vector<Company> population,
+                         std::uint64_t seed);
+
+}  // namespace rb::roadmap

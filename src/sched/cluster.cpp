@@ -1,0 +1,43 @@
+#include "sched/cluster.hpp"
+
+#include <stdexcept>
+
+namespace rb::sched {
+
+std::size_t Cluster::total_slots() const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : machines) {
+    n += static_cast<std::size_t>(m.cpu_slots) + m.accelerators.size();
+  }
+  return n;
+}
+
+Cluster make_cpu_cluster(std::size_t n, int cpu_slots) {
+  if (n == 0) throw std::invalid_argument{"make_cpu_cluster: n == 0"};
+  if (cpu_slots <= 0)
+    throw std::invalid_argument{"make_cpu_cluster: cpu_slots <= 0"};
+  Cluster cluster;
+  const auto cpu = node::find_device(node::DeviceKind::kCpu);
+  cluster.machines.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster.machines.push_back(
+        Machine{"m" + std::to_string(i), cpu, cpu_slots, {}});
+  }
+  return cluster;
+}
+
+Cluster make_hetero_cluster(std::size_t n,
+                            const std::vector<node::DeviceKind>& accels,
+                            std::size_t accel_every, int cpu_slots) {
+  if (accel_every == 0)
+    throw std::invalid_argument{"make_hetero_cluster: accel_every == 0"};
+  Cluster cluster = make_cpu_cluster(n, cpu_slots);
+  for (std::size_t i = 0; i < n; i += accel_every) {
+    for (const auto kind : accels) {
+      cluster.machines[i].accelerators.push_back(node::find_device(kind));
+    }
+  }
+  return cluster;
+}
+
+}  // namespace rb::sched

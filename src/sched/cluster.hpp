@@ -1,0 +1,43 @@
+#pragma once
+// Heterogeneous cluster description for the scheduling engine (Rec 11:
+// "with edge computing and cloud computing environments calling for
+// heterogeneous hardware platforms, we propose creation of dynamic
+// scheduling and resource allocation strategies").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "node/device.hpp"
+
+namespace rb::sched {
+
+/// One physical machine: a host CPU plus optional attached accelerators.
+/// `cpu_slots` is the number of concurrent tasks the host CPU runs.
+struct Machine {
+  std::string name;
+  node::DeviceModel cpu;
+  int cpu_slots = 8;
+  std::vector<node::DeviceModel> accelerators;  // one slot each
+};
+
+struct Cluster {
+  std::vector<Machine> machines;
+  /// Effective per-machine network bandwidth for remote input fetch (GB/s).
+  double network_gbs = 1.25;  // 10GbE
+
+  std::size_t machine_count() const noexcept { return machines.size(); }
+  std::size_t total_slots() const noexcept;
+};
+
+/// `n` identical CPU-only machines.
+Cluster make_cpu_cluster(std::size_t n, int cpu_slots = 8);
+
+/// `n` machines; every `accel_every`-th machine also carries the given
+/// accelerator kinds (mixed fleet — the realistic European-DC case the
+/// roadmap's Finding 2 worries about paying for).
+Cluster make_hetero_cluster(std::size_t n,
+                            const std::vector<node::DeviceKind>& accels,
+                            std::size_t accel_every = 2, int cpu_slots = 8);
+
+}  // namespace rb::sched

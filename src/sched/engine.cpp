@@ -1,0 +1,282 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "node/energy.hpp"
+#include "node/roofline.hpp"
+
+namespace rb::sched {
+
+namespace {
+
+/// Deterministic pseudo-random input placement for a task.
+std::size_t place_input(std::size_t job, std::size_t stage, std::size_t index,
+                        std::size_t machines) {
+  const std::uint64_t h =
+      (job * 0x9e3779b97f4a7c15ULL) ^ (stage * 0xbf58476d1ce4e5b9ULL) ^
+      (index * 0x94d049bb133111ebULL);
+  return static_cast<std::size_t>((h >> 17) % machines);
+}
+
+struct StageState {
+  std::size_t remaining = 0;  // tasks not yet finished
+  bool done = false;
+  bool released = false;  // tasks added to the ready set
+};
+
+struct JobState {
+  dataflow::JobGraph graph{"?"};
+  sim::SimTime arrival = 0;
+  std::vector<StageState> stages;
+  std::size_t stages_done = 0;
+  bool finished = false;
+};
+
+}  // namespace
+
+RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
+                   Policy& policy, const EngineParams& params) {
+  if (cluster.machines.empty())
+    throw std::invalid_argument{"run_jobs: empty cluster"};
+  if (params.accel_efficiency <= 0.0 || params.accel_efficiency > 1.0)
+    throw std::invalid_argument{"run_jobs: accel_efficiency out of (0, 1]"};
+
+  // --- Build executors ---
+  std::vector<Executor> executors;
+  for (std::size_t m = 0; m < cluster.machines.size(); ++m) {
+    const auto& machine = cluster.machines[m];
+    for (int s = 0; s < machine.cpu_slots; ++s) {
+      executors.push_back(
+          Executor{executors.size(), m, &machine.cpu, true, false});
+    }
+    for (const auto& accel : machine.accelerators) {
+      executors.push_back(
+          Executor{executors.size(), m, &accel, false, false});
+    }
+  }
+
+  // --- Job state ---
+  std::vector<JobState> state;
+  state.reserve(jobs.size());
+  for (auto& j : jobs) {
+    JobState js;
+    js.stages.resize(j.graph.stage_count());
+    for (std::size_t s = 0; s < j.graph.stage_count(); ++s) {
+      js.stages[s].remaining = j.graph.stage(s).task_count;
+    }
+    js.arrival = j.arrival;
+    js.graph = std::move(j.graph);
+    state.push_back(std::move(js));
+  }
+
+  sim::Simulator sim;
+  std::vector<ReadyTask> ready;
+  std::vector<std::size_t> running_per_job(state.size(), 0);
+  std::vector<std::size_t> running_cpu_per_job(state.size(), 0);
+  std::vector<std::size_t> running_accel_per_job(state.size(), 0);
+  RunResult result;
+  result.jobs.resize(state.size());
+  for (std::size_t j = 0; j < state.size(); ++j) {
+    result.jobs[j].name = state[j].graph.name();
+    result.jobs[j].arrival = state[j].arrival;
+  }
+
+  double cpu_busy_s = 0.0, accel_busy_s = 0.0;
+  std::size_t cpu_slots = 0, accel_slots = 0;
+  for (const auto& e : executors) (e.is_cpu_slot ? cpu_slots : accel_slots)++;
+
+  // --- Cost model shared by the engine and the policy view ---
+  const auto task_time = [&](const ReadyTask& task,
+                             const Executor& exec) -> sim::SimTime {
+    node::DeviceModel device = *exec.device;
+    if (!exec.is_cpu_slot) {
+      device.peak_gflops *= params.accel_efficiency;
+    } else {
+      // A CPU slot is one share of the socket: divide capability by slots.
+      const auto slots = static_cast<double>(
+          cluster.machines[exec.machine].cpu_slots);
+      device.peak_gflops /= slots;
+      device.mem_bw_gbs /= slots;
+    }
+    sim::SimTime t = node::offload_time(device, task.spec->per_task_kernel);
+    if (params.charge_remote_fetch && task.locality_machine != exec.machine) {
+      const double fetch_s =
+          task.spec->per_task_kernel.bytes / (cluster.network_gbs * 1e9);
+      t += sim::from_seconds(fetch_s);
+    }
+    return std::max<sim::SimTime>(t, 1);
+  };
+  const auto task_energy = [&](const ReadyTask& task,
+                               const Executor& exec) -> sim::Joules {
+    const double seconds = sim::to_seconds(task_time(task, exec));
+    const auto& device = *exec.device;
+    double active_share = 1.0;
+    if (exec.is_cpu_slot) {
+      active_share = 1.0 / static_cast<double>(
+                               cluster.machines[exec.machine].cpu_slots);
+    }
+    return (device.active_power - device.idle_power) * active_share * seconds;
+  };
+
+  Policy::View view;
+  view.cluster = &cluster;
+  view.running_per_job = &running_per_job;
+  view.running_cpu_per_job = &running_cpu_per_job;
+  view.running_accel_per_job = &running_accel_per_job;
+  view.total_cpu_slots = cpu_slots;
+  view.total_accel_slots = accel_slots;
+  view.eta = [&](const ReadyTask& t, const Executor& e) {
+    return task_time(t, e);
+  };
+  view.energy = [&](const ReadyTask& t, const Executor& e) {
+    return task_energy(t, e);
+  };
+
+  // Forward declarations of the mutually recursive steps.
+  std::function<void()> dispatch;
+  std::function<void(std::size_t)> release_ready_stages;
+  std::function<void(std::size_t, std::size_t, std::size_t)> on_task_done;
+
+  release_ready_stages = [&](std::size_t j) {
+    auto& js = state[j];
+    std::vector<bool> done(js.stages.size());
+    for (std::size_t s = 0; s < js.stages.size(); ++s) {
+      done[s] = js.stages[s].done;
+    }
+    for (const std::size_t s : js.graph.runnable(done)) {
+      if (js.stages[s].released) continue;
+      js.stages[s].released = true;
+      const auto& spec = js.graph.stage(s);
+      for (std::size_t i = 0; i < spec.task_count; ++i) {
+        ready.push_back(ReadyTask{
+            j, s, i, &js.graph.stage(s),
+            place_input(j, s, i, cluster.machine_count()), sim.now()});
+      }
+    }
+  };
+
+  on_task_done = [&](std::size_t j, std::size_t s, std::size_t exec_id) {
+    auto& js = state[j];
+    executors[exec_id].busy = false;
+    --running_per_job[j];
+    if (executors[exec_id].is_cpu_slot) {
+      --running_cpu_per_job[j];
+    } else {
+      --running_accel_per_job[j];
+    }
+    ++result.tasks_run;
+    auto& stage = js.stages[s];
+    if (--stage.remaining == 0) {
+      stage.done = true;
+      ++js.stages_done;
+      if (js.stages_done == js.stages.size()) {
+        js.finished = true;
+        result.jobs[j].completion = sim.now();
+      } else {
+        // Downstream stages become ready after the shuffle data lands.
+        const auto& spec = js.graph.stage(s);
+        const double shuffle_bytes =
+            static_cast<double>(spec.shuffle_bytes_per_task) *
+            static_cast<double>(spec.task_count);
+        const double cluster_bw =
+            cluster.network_gbs * 1e9 *
+            static_cast<double>(cluster.machine_count());
+        const sim::SimTime delay =
+            sim::from_seconds(shuffle_bytes / cluster_bw);
+        sim.schedule_in(std::max<sim::SimTime>(delay, 1), [&, j] {
+          release_ready_stages(j);
+          dispatch();
+        });
+        return;  // dispatch happens after release
+      }
+    }
+    dispatch();
+  };
+
+  dispatch = [&] {
+    for (;;) {
+      if (ready.empty()) return;
+      std::vector<const Executor*> idle;
+      for (const auto& e : executors) {
+        if (!e.busy) idle.push_back(&e);
+      }
+      if (idle.empty()) return;
+      view.now = sim.now();
+      const auto choice = policy.choose(ready, idle, view);
+      if (!choice) return;
+      const auto [task_idx, exec_idx] = *choice;
+      if (task_idx >= ready.size() || exec_idx >= idle.size())
+        throw std::logic_error{"Policy returned out-of-range choice"};
+      const ReadyTask task = ready[task_idx];
+      auto& exec = executors[idle[exec_idx]->id];
+
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(task_idx));
+      exec.busy = true;
+      ++running_per_job[task.job];
+      if (exec.is_cpu_slot) {
+        ++running_cpu_per_job[task.job];
+      } else {
+        ++running_accel_per_job[task.job];
+      }
+
+      const sim::SimTime t = task_time(task, exec);
+      const sim::Joules e = task_energy(task, exec);
+      result.energy += e;
+      (exec.is_cpu_slot ? cpu_busy_s : accel_busy_s) += sim::to_seconds(t);
+      if (params.charge_remote_fetch &&
+          task.locality_machine != exec.machine) {
+        ++result.remote_tasks;
+      }
+      const std::size_t exec_id = exec.id;
+      sim.schedule_in(t, [&, task, exec_id] {
+        on_task_done(task.job, task.stage, exec_id);
+      });
+    }
+  };
+
+  for (std::size_t j = 0; j < state.size(); ++j) {
+    sim.schedule_at(state[j].arrival, [&, j] {
+      release_ready_stages(j);
+      dispatch();
+    });
+  }
+  sim.run();
+
+  for (const auto& js : state) {
+    if (!js.finished)
+      throw std::logic_error{"run_jobs: job did not finish (deadlock?)"};
+  }
+
+  result.makespan = 0;
+  for (const auto& stats : result.jobs) {
+    result.makespan = std::max(result.makespan, stats.completion);
+  }
+  const double horizon = sim::to_seconds(result.makespan);
+  if (horizon > 0.0) {
+    result.cpu_utilization =
+        cpu_slots == 0 ? 0.0
+                       : cpu_busy_s / (static_cast<double>(cpu_slots) * horizon);
+    result.accel_utilization =
+        accel_slots == 0
+            ? 0.0
+            : accel_busy_s / (static_cast<double>(accel_slots) * horizon);
+  }
+  // Cluster idle power over the whole horizon.
+  for (const auto& machine : cluster.machines) {
+    result.energy += machine.cpu.idle_power * horizon;
+    for (const auto& accel : machine.accelerators) {
+      result.energy += accel.idle_power * horizon;
+    }
+  }
+  return result;
+}
+
+double RunResult::mean_job_seconds() const {
+  if (jobs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& j : jobs) total += sim::to_seconds(j.duration());
+  return total / static_cast<double>(jobs.size());
+}
+
+}  // namespace rb::sched

@@ -1,0 +1,162 @@
+#include "sched/policies.hpp"
+
+#include <limits>
+
+namespace rb::sched {
+
+namespace {
+
+/// Index of the oldest-arrival ready task (FIFO order with stable ties).
+std::size_t oldest_task(const std::vector<ReadyTask>& ready) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ready.size(); ++i) {
+    const auto& a = ready[i];
+    const auto& b = ready[best];
+    if (a.job < b.job || (a.job == b.job && a.ready_since < b.ready_since)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<std::pair<std::size_t, std::size_t>> FifoPolicy::choose(
+    const std::vector<ReadyTask>& ready,
+    const std::vector<const Executor*>& idle, const View&) {
+  if (ready.empty() || idle.empty()) return std::nullopt;
+  return std::make_pair(oldest_task(ready), std::size_t{0});
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> FairPolicy::choose(
+    const std::vector<ReadyTask>& ready,
+    const std::vector<const Executor*>& idle, const View& view) {
+  if (ready.empty() || idle.empty()) return std::nullopt;
+  const auto& running = *view.running_per_job;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ready.size(); ++i) {
+    if (running[ready[i].job] < running[ready[best].job]) best = i;
+  }
+  return std::make_pair(best, std::size_t{0});
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> LocalityPolicy::choose(
+    const std::vector<ReadyTask>& ready,
+    const std::vector<const Executor*>& idle, const View&) {
+  if (ready.empty() || idle.empty()) return std::nullopt;
+  // Prefer any (task, slot) pair that is local; among those, FIFO task order.
+  std::optional<std::pair<std::size_t, std::size_t>> local_choice;
+  for (std::size_t t = 0; t < ready.size(); ++t) {
+    for (std::size_t e = 0; e < idle.size(); ++e) {
+      if (idle[e]->machine == ready[t].locality_machine) {
+        if (!local_choice || ready[t].job < ready[local_choice->first].job) {
+          local_choice = std::make_pair(t, e);
+        }
+        break;
+      }
+    }
+  }
+  if (local_choice) return local_choice;
+  return std::make_pair(oldest_task(ready), std::size_t{0});
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> HeteroAwarePolicy::choose(
+    const std::vector<ReadyTask>& ready,
+    const std::vector<const Executor*>& idle, const View& view) {
+  if (ready.empty() || idle.empty()) return std::nullopt;
+  // Heaviest ready task (HEFT's upward-rank degenerates to task weight for
+  // data-parallel stages) ...
+  std::size_t task = 0;
+  double heaviest = -1.0;
+  for (std::size_t t = 0; t < ready.size(); ++t) {
+    const double w = ready[t].spec->per_task_kernel.flops;
+    if (w > heaviest) {
+      heaviest = w;
+      task = t;
+    }
+  }
+  // ... on the executor finishing it earliest.
+  std::size_t exec = 0;
+  sim::SimTime best_eta = std::numeric_limits<sim::SimTime>::max();
+  for (std::size_t e = 0; e < idle.size(); ++e) {
+    const sim::SimTime eta = view.eta(ready[task], *idle[e]);
+    if (eta < best_eta) {
+      best_eta = eta;
+      exec = e;
+    }
+  }
+  return std::make_pair(task, exec);
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> EnergyAwarePolicy::choose(
+    const std::vector<ReadyTask>& ready,
+    const std::vector<const Executor*>& idle, const View& view) {
+  if (ready.empty() || idle.empty()) return std::nullopt;
+  const std::size_t task = oldest_task(ready);
+  std::size_t exec = 0;
+  double best_energy = std::numeric_limits<double>::infinity();
+  sim::SimTime best_eta = std::numeric_limits<sim::SimTime>::max();
+  for (std::size_t e = 0; e < idle.size(); ++e) {
+    const double joules = view.energy(ready[task], *idle[e]);
+    const sim::SimTime eta = view.eta(ready[task], *idle[e]);
+    if (joules < best_energy ||
+        (joules == best_energy && eta < best_eta)) {
+      best_energy = joules;
+      best_eta = eta;
+      exec = e;
+    }
+  }
+  return std::make_pair(task, exec);
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> DrfPolicy::choose(
+    const std::vector<ReadyTask>& ready,
+    const std::vector<const Executor*>& idle, const View& view) {
+  if (ready.empty() || idle.empty()) return std::nullopt;
+  const auto& cpu_use = *view.running_cpu_per_job;
+  const auto& accel_use = *view.running_accel_per_job;
+  const auto dominant_share = [&](std::size_t job) {
+    const double cpu_share =
+        view.total_cpu_slots == 0
+            ? 0.0
+            : static_cast<double>(cpu_use[job]) /
+                  static_cast<double>(view.total_cpu_slots);
+    const double accel_share =
+        view.total_accel_slots == 0
+            ? 0.0
+            : static_cast<double>(accel_use[job]) /
+                  static_cast<double>(view.total_accel_slots);
+    return std::max(cpu_share, accel_share);
+  };
+  std::size_t task = 0;
+  double best_share = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < ready.size(); ++t) {
+    const double share = dominant_share(ready[t].job);
+    if (share < best_share ||
+        (share == best_share && ready[t].job < ready[task].job)) {
+      best_share = share;
+      task = t;
+    }
+  }
+  std::size_t exec = 0;
+  sim::SimTime best_eta = std::numeric_limits<sim::SimTime>::max();
+  for (std::size_t e = 0; e < idle.size(); ++e) {
+    const auto eta = view.eta(ready[task], *idle[e]);
+    if (eta < best_eta) {
+      best_eta = eta;
+      exec = e;
+    }
+  }
+  return std::make_pair(task, exec);
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> RandomPolicy::choose(
+    const std::vector<ReadyTask>& ready,
+    const std::vector<const Executor*>& idle, const View&) {
+  if (ready.empty() || idle.empty()) return std::nullopt;
+  return std::make_pair(
+      static_cast<std::size_t>(rng_.uniform_index(ready.size())),
+      static_cast<std::size_t>(rng_.uniform_index(idle.size())));
+}
+
+}  // namespace rb::sched

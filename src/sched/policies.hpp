@@ -1,0 +1,90 @@
+#pragma once
+// Scheduling policies compared in experiment E9 (Rec 11).
+//
+// All policies see the same information (ready tasks, idle executors, cost
+// model callbacks) and differ only in the pairing rule:
+//   Fifo          — oldest job first, first idle slot (slot order = CPU
+//                   slots then accelerators; heterogeneity-blind).
+//   Fair          — job with fewest running tasks first (slot-level fair
+//                   sharing), slot choice as Fifo.
+//   Locality      — Fifo job order, but prefer a slot on the machine that
+//                   holds the task's input; falls back to remote.
+//   HeteroAware   — among all (task, slot) pairs, pick the one with the
+//                   best speedup-adjusted completion time (HEFT-flavoured):
+//                   heaviest task first, on the slot minimizing its ETA.
+//   EnergyAware   — pick the pair minimizing task energy, breaking ties on
+//                   ETA (trades makespan for joules).
+//   Random        — seeded uniform pairing; the sanity baseline.
+
+#include <cstdint>
+
+#include "sched/engine.hpp"
+#include "sim/random.hpp"
+
+namespace rb::sched {
+
+class FifoPolicy final : public Policy {
+ public:
+  std::string name() const override { return "fifo"; }
+  std::optional<std::pair<std::size_t, std::size_t>> choose(
+      const std::vector<ReadyTask>& ready,
+      const std::vector<const Executor*>& idle, const View& view) override;
+};
+
+class FairPolicy final : public Policy {
+ public:
+  std::string name() const override { return "fair"; }
+  std::optional<std::pair<std::size_t, std::size_t>> choose(
+      const std::vector<ReadyTask>& ready,
+      const std::vector<const Executor*>& idle, const View& view) override;
+};
+
+class LocalityPolicy final : public Policy {
+ public:
+  std::string name() const override { return "locality"; }
+  std::optional<std::pair<std::size_t, std::size_t>> choose(
+      const std::vector<ReadyTask>& ready,
+      const std::vector<const Executor*>& idle, const View& view) override;
+};
+
+class HeteroAwarePolicy final : public Policy {
+ public:
+  std::string name() const override { return "hetero-aware"; }
+  std::optional<std::pair<std::size_t, std::size_t>> choose(
+      const std::vector<ReadyTask>& ready,
+      const std::vector<const Executor*>& idle, const View& view) override;
+};
+
+class EnergyAwarePolicy final : public Policy {
+ public:
+  std::string name() const override { return "energy-aware"; }
+  std::optional<std::pair<std::size_t, std::size_t>> choose(
+      const std::vector<ReadyTask>& ready,
+      const std::vector<const Executor*>& idle, const View& view) override;
+};
+
+/// Dominant-resource fairness (Ghodsi et al.): a job's dominant share is
+/// the larger of its CPU-slot and accelerator-slot usage fractions; the
+/// next task comes from the job with the smallest dominant share, placed on
+/// the idle executor with the best ETA.
+class DrfPolicy final : public Policy {
+ public:
+  std::string name() const override { return "drf"; }
+  std::optional<std::pair<std::size_t, std::size_t>> choose(
+      const std::vector<ReadyTask>& ready,
+      const std::vector<const Executor*>& idle, const View& view) override;
+};
+
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_{seed} {}
+  std::string name() const override { return "random"; }
+  std::optional<std::pair<std::size_t, std::size_t>> choose(
+      const std::vector<ReadyTask>& ready,
+      const std::vector<const Executor*>& idle, const View& view) override;
+
+ private:
+  sim::Rng rng_;
+};
+
+}  // namespace rb::sched

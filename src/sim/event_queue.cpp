@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace rb::sim {
+
+bool EventHandle::cancel() noexcept {
+  if (!state_ || state_->cancelled || state_->fired) return false;
+  state_->cancelled = true;
+  return true;
+}
+
+bool EventHandle::pending() const noexcept {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle EventQueue::schedule(SimTime when, EventFn fn) {
+  if (when < last_popped_)
+    throw std::invalid_argument{"EventQueue::schedule: time in the past"};
+  if (!fn) throw std::invalid_argument{"EventQueue::schedule: empty function"};
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+  ++live_;
+  return EventHandle{std::move(state)};
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  drop_dead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time: empty"};
+  return heap_.top().when;
+}
+
+std::pair<SimTime, EventFn> EventQueue::pop() {
+  drop_dead();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::pop: empty"};
+  // priority_queue::top() is const; we move out via const_cast, which is
+  // safe because we pop the entry immediately afterwards.
+  auto& top = const_cast<Entry&>(heap_.top());
+  auto result = std::make_pair(top.when, std::move(top.fn));
+  top.state->fired = true;
+  last_popped_ = top.when;
+  heap_.pop();
+  --live_;
+  return result;
+}
+
+}  // namespace rb::sim

@@ -1,0 +1,82 @@
+#pragma once
+// Pending-event set for the discrete-event kernel.
+//
+// A binary heap keyed on (time, sequence number): events at equal times fire
+// in scheduling order, which makes simulations deterministic. Cancellation is
+// lazy — cancelled events stay in the heap and are skipped on pop.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace rb::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle allowing a scheduled event to be cancelled.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event. Safe to call multiple times and after the event
+  /// fired (no-op in both cases). Returns true if this call cancelled it.
+  bool cancel() noexcept;
+
+  /// True if the event is still scheduled to fire.
+  bool pending() const noexcept;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_{std::move(s)} {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `when`. `when` may not be earlier than
+  /// the most recently popped event time.
+  EventHandle schedule(SimTime when, EventFn fn);
+
+  bool empty() const noexcept;
+
+  /// Time of the earliest live event. Requires !empty().
+  SimTime next_time() const;
+
+  /// Pop and return the earliest live event. Requires !empty().
+  /// The returned pair is (time, fn); the caller invokes fn.
+  std::pair<SimTime, EventFn> pop();
+
+  /// Number of scheduled events not yet fired. Cancelled events may still
+  /// be counted until they are lazily swept from the head of the heap.
+  std::size_t size() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  mutable std::size_t live_ = 0;
+  SimTime last_popped_ = 0;
+};
+
+}  // namespace rb::sim

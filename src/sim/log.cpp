@@ -1,0 +1,38 @@
+#include "sim/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace rb::sim {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_mutex;
+
+constexpr std::string_view name_of(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view msg) {
+  if (level < g_level.load()) return;
+  const std::scoped_lock lock{g_mutex};
+  std::cerr << '[' << name_of(level) << "] " << component << ": " << msg
+            << '\n';
+}
+
+LogStream::~LogStream() { log_line(level_, component_, buf_.str()); }
+
+}  // namespace rb::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Minimal leveled logger for library diagnostics. Defaults to Warning so
+// benchmarks and tests stay quiet; examples raise it to Info.
+
+#include <sstream>
+#include <string_view>
+
+namespace rb::sim {
+
+enum class LogLevel { kDebug, kInfo, kWarning, kError, kOff };
+
+/// Global minimum level (process-wide; not thread-safe to mutate while
+/// logging from other threads — set it once at startup).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a single log line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+
+/// Stream-style helper: LogStream{LogLevel::kInfo, "net"} << "flow " << id;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_{level}, component_{component} {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    buf_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream buf_;
+};
+
+}  // namespace rb::sim

@@ -1,0 +1,81 @@
+#pragma once
+// Deterministic random number generation for simulations.
+//
+// Every stochastic component in rethinkbig takes an explicit seed; there is
+// no global RNG. The generator is xoshiro256** (Blackman & Vigna), which is
+// fast, has a 256-bit state, and passes BigCrush; we implement it locally so
+// results are bit-reproducible across standard libraries.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rb::sim {
+
+/// xoshiro256** pseudo-random generator with splitmix64 seeding.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Exponentially distributed value with the given mean. Requires mean > 0.
+  double exponential(double mean) noexcept;
+
+  /// Normal (Gaussian) via Box-Muller.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Bounded Pareto on [lo, hi) with shape alpha > 0. Heavy-tailed sizes.
+  double bounded_pareto(double alpha, double lo, double hi) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf-distributed integers over {0, .., n-1} with exponent s, using the
+/// precomputed-CDF + binary-search method (exact, O(log n) per sample).
+class ZipfDistribution {
+ public:
+  /// Requires n > 0 and s >= 0. s == 0 degenerates to uniform.
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Probability mass of rank k (0-based).
+  double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rb::sim

@@ -1,0 +1,51 @@
+#pragma once
+// Discrete-event simulator: a clock plus a pending-event set.
+//
+//   Simulator sim;
+//   sim.schedule_in(10 * kMicrosecond, [&] { ... });
+//   sim.run();
+//
+// Event callbacks may schedule further events. The simulator is
+// single-threaded by design; parallelism in rethinkbig lives in the
+// dataflow/accel layers, not in the simulation kernel.
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/units.hpp"
+
+namespace rb::sim {
+
+class Simulator {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule at an absolute simulated time (>= now()).
+  EventHandle schedule_at(SimTime when, EventFn fn);
+
+  /// Schedule `delay` after now(). Requires delay >= 0.
+  EventHandle schedule_in(SimTime delay, EventFn fn);
+
+  /// Run until the event queue is empty. Returns events processed.
+  std::uint64_t run();
+
+  /// Run until the queue is empty or the clock would pass `until`;
+  /// the clock is left at min(until, last event time). Returns events
+  /// processed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Process exactly one event if available. Returns false if queue empty.
+  bool step();
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace rb::sim

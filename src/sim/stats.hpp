@@ -1,0 +1,110 @@
+#pragma once
+// Streaming statistics used by simulators and benchmark harnesses.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace rb::sim {
+
+/// Numerically stable running mean / variance (Welford) with min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile tracker: stores all samples, sorts lazily on query.
+/// Suitable for the sample counts in this project (<= tens of millions).
+class PercentileTracker {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Percentile in [0, 100] by nearest-rank interpolation.
+  /// Throws std::logic_error if no samples were recorded.
+  double percentile(double p) const;
+
+  double p50() const { return percentile(50.0); }
+  double p90() const { return percentile(90.0); }
+  double p99() const { return percentile(99.0); }
+  double p999() const { return percentile(99.9); }
+  double mean() const;
+
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range values clamp
+/// into the edge buckets. Used for reporting distributions in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_low(std::size_t i) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Render a compact ASCII bar chart (for bench output).
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue length,
+/// utilization) over simulated time.
+class TimeWeightedStat {
+ public:
+  explicit TimeWeightedStat(SimTime start = 0) : last_time_{start} {}
+
+  /// Record that the signal changed to `value` at time `now`.
+  /// `now` must be non-decreasing across calls.
+  void update(SimTime now, double value);
+
+  /// Average over [start, now]; closes the last segment at `now`.
+  double average(SimTime now) const;
+
+  double current() const noexcept { return value_; }
+
+ private:
+  SimTime last_time_;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  SimTime observed_ = 0;
+};
+
+}  // namespace rb::sim

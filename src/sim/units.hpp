@@ -1,0 +1,71 @@
+#pragma once
+// Units and strong-ish numeric conventions used throughout rethinkbig.
+//
+// Simulated time is an integer count of picoseconds (SimTime). Integer time
+// keeps event ordering exact and reproducible; picosecond resolution covers
+// both sub-nanosecond link serialization steps and multi-year TCO horizons
+// (2^63 ps ~ 106 days is NOT enough for TCO, so economic models use double
+// `Years` instead of SimTime — only the discrete-event simulators use SimTime).
+
+#include <cstdint>
+
+namespace rb::sim {
+
+/// Simulated time in picoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1'000;
+inline constexpr SimTime kMicrosecond = 1'000'000;
+inline constexpr SimTime kMillisecond = 1'000'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000'000;
+
+/// Convert a SimTime to floating-point seconds (for reporting only).
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Convert floating-point seconds to SimTime (rounds toward zero).
+constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_milliseconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+constexpr double to_microseconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Data sizes. Byte counts are plain uint64_t with named helpers.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Link / memory bandwidth in bits per second (decimal, as in "100GbE").
+using BitsPerSecond = double;
+
+inline constexpr BitsPerSecond kGbps = 1e9;
+
+/// Time to serialize `bytes` onto a link of rate `rate` (bits/s).
+constexpr SimTime serialization_time(Bytes bytes, BitsPerSecond rate) noexcept {
+  const double seconds = static_cast<double>(bytes) * 8.0 / rate;
+  return from_seconds(seconds);
+}
+
+/// Power in watts and energy in joules (models, not measurements).
+using Watts = double;
+using Joules = double;
+
+/// Money. All economic models use USD as the unit of account.
+using Dollars = double;
+
+/// Horizon for TCO-style models, in (fractional) years.
+using Years = double;
+
+inline constexpr double kHoursPerYear = 8760.0;
+
+}  // namespace rb::sim

@@ -1,0 +1,218 @@
+#include "storage/lsm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace rb::storage {
+
+namespace {
+
+std::uint64_t hash_key(std::string_view key, std::uint64_t salt) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ salt;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_keys) {
+  const std::size_t bits =
+      std::bit_ceil(std::max<std::size_t>(64, expected_keys * 10));
+  bits_.assign(bits / 64, 0);
+}
+
+void BloomFilter::insert(std::string_view key) {
+  const std::uint64_t h1 = hash_key(key, 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t h2 = hash_key(key, 0xbf58476d1ce4e5b9ULL);
+  const std::uint64_t mask = bit_count() - 1;
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(k) * h2) & mask;
+    bits_[bit / 64] |= (std::uint64_t{1} << (bit % 64));
+  }
+}
+
+bool BloomFilter::may_contain(std::string_view key) const {
+  const std::uint64_t h1 = hash_key(key, 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t h2 = hash_key(key, 0xbf58476d1ce4e5b9ULL);
+  const std::uint64_t mask = bit_count() - 1;
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(k) * h2) & mask;
+    if ((bits_[bit / 64] & (std::uint64_t{1} << (bit % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SsTable::SsTable(std::vector<Entry> entries)
+    : entries_{std::move(entries)}, bloom_{entries_.size()} {
+  if (entries_.empty())
+    throw std::invalid_argument{"SsTable: empty run"};
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (!(entries_[i - 1].key < entries_[i].key))
+      throw std::invalid_argument{"SsTable: entries not sorted/deduped"};
+  }
+  for (const auto& e : entries_) {
+    bloom_.insert(e.key);
+    bytes_ += e.key.size() + e.value.size() + 1;
+  }
+}
+
+std::optional<SsTable::Hit> SsTable::get(std::string_view key) const {
+  if (!bloom_.may_contain(key)) {
+    ++bloom_negatives;
+    return std::nullopt;
+  }
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return std::nullopt;
+  return Hit{it->value, it->tombstone};
+}
+
+LsmStore::LsmStore(LsmOptions options) : options_{options} {
+  if (options_.memtable_bytes == 0 || options_.runs_per_level < 2 ||
+      options_.max_levels == 0)
+    throw std::invalid_argument{"LsmStore: bad options"};
+}
+
+void LsmStore::put(std::string key, std::string value) {
+  ++stats_.puts;
+  stats_.bytes_written_user += key.size() + value.size();
+  memtable_bytes_ += key.size() + value.size();
+  memtable_[std::move(key)] = MemEntry{std::move(value), false};
+  maybe_flush();
+}
+
+void LsmStore::erase(std::string key) {
+  ++stats_.deletes;
+  stats_.bytes_written_user += key.size() + 1;
+  memtable_bytes_ += key.size() + 1;
+  memtable_[std::move(key)] = MemEntry{"", true};
+  maybe_flush();
+}
+
+template <typename Fn>
+void LsmStore::for_each_run_newest_first(Fn fn) const {
+  for (const auto& level : levels_) {
+    // Within a level, later runs are newer.
+    for (auto it = level.rbegin(); it != level.rend(); ++it) {
+      if (!fn(*it)) return;
+    }
+  }
+}
+
+std::optional<std::string> LsmStore::get(std::string_view key) const {
+  ++stats_.gets;
+  const auto mem = memtable_.find(key);
+  if (mem != memtable_.end()) {
+    if (mem->second.tombstone) return std::nullopt;
+    return mem->second.value;
+  }
+  std::optional<std::string> result;
+  bool found = false;
+  for_each_run_newest_first([&](const SsTable& run) {
+    const auto before = run.bloom_negatives;
+    const auto hit = run.get(key);
+    if (run.bloom_negatives > before) {
+      ++stats_.bloom_skips;
+      return true;  // filter said no; keep searching older runs
+    }
+    ++stats_.sstable_probes;
+    if (hit) {
+      found = true;
+      if (!hit->tombstone) result = hit->value;
+      return false;  // newest occurrence wins; stop
+    }
+    return true;
+  });
+  (void)found;
+  return result;
+}
+
+std::vector<std::pair<std::string, std::string>> LsmStore::scan(
+    std::string_view lo, std::string_view hi) const {
+  // Merge the memtable and every run, newest occurrence of a key winning.
+  std::map<std::string, MemEntry, std::less<>> merged;
+  // Oldest first so newer inserts overwrite.
+  for (auto level = levels_.rbegin(); level != levels_.rend(); ++level) {
+    for (const auto& run : *level) {
+      for (const auto& e : run.entries()) {
+        if (e.key < lo || (!hi.empty() && !(e.key < hi))) continue;
+        merged[e.key] = MemEntry{e.value, e.tombstone};
+      }
+    }
+  }
+  for (const auto& [key, entry] : memtable_) {
+    if (key < lo || (!hi.empty() && !(key < hi))) continue;
+    merged[key] = entry;
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& [key, entry] : merged) {
+    if (!entry.tombstone) out.emplace_back(key, std::move(entry.value));
+  }
+  return out;
+}
+
+std::size_t LsmStore::size() const { return scan("", "").size(); }
+
+void LsmStore::flush() {
+  if (memtable_.empty()) return;
+  std::vector<SsTable::Entry> entries;
+  entries.reserve(memtable_.size());
+  for (auto& [key, entry] : memtable_) {
+    entries.push_back(SsTable::Entry{key, entry.value, entry.tombstone});
+  }
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  if (levels_.empty()) levels_.emplace_back();
+  SsTable run{std::move(entries)};
+  stats_.bytes_written_internal += run.size_bytes();
+  levels_[0].push_back(std::move(run));
+  ++stats_.flushes;
+  compact(0);
+}
+
+void LsmStore::maybe_flush() {
+  if (memtable_bytes_ >= options_.memtable_bytes) flush();
+}
+
+void LsmStore::compact(std::size_t level) {
+  if (level >= levels_.size()) return;
+  if (levels_[level].size() < options_.runs_per_level) return;
+  const bool last_level = level + 1 >= options_.max_levels;
+
+  // k-way merge of the level's runs, newest run winning per key.
+  std::map<std::string, SsTable::Entry> merged;
+  for (const auto& run : levels_[level]) {  // oldest..newest
+    for (const auto& e : run.entries()) {
+      merged[e.key] = e;
+    }
+  }
+  levels_[level].clear();
+  std::vector<SsTable::Entry> entries;
+  entries.reserve(merged.size());
+  for (auto& [key, e] : merged) {
+    // Tombstones can be dropped once nothing older can exist.
+    if (e.tombstone && last_level) continue;
+    entries.push_back(std::move(e));
+  }
+  ++stats_.compactions;
+  if (!entries.empty()) {
+    SsTable run{std::move(entries)};
+    stats_.bytes_written_internal += run.size_bytes();
+    if (levels_.size() <= level + 1 && !last_level) levels_.emplace_back();
+    auto& target = last_level ? levels_[level] : levels_[level + 1];
+    target.push_back(std::move(run));
+  }
+  if (!last_level) compact(level + 1);
+}
+
+}  // namespace rb::storage

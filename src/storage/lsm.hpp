@@ -1,0 +1,145 @@
+#pragma once
+// Log-structured merge (LSM) key-value store — the storage substrate behind
+// the paper's opening premise that "processing and storage bottlenecks are
+// leading to the adoption of specialized Big Data-optimized hardware".
+//
+// A real, in-memory implementation of the design every Big-Data storage
+// engine of the era used (LevelDB/RocksDB/Cassandra): writes land in a
+// sorted memtable; full memtables flush to immutable sorted runs (SSTables)
+// with bloom filters; a size-tiered compactor merges runs to bound read
+// amplification. The store tracks the bytes it moves, so the write
+// amplification that motivates hardware offload (Rec 10's "often-required
+// functional building blocks" include exactly these merges) is measurable.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rb::storage {
+
+/// Split-block bloom filter over string keys (k = 4 derived hashes).
+class BloomFilter {
+ public:
+  /// `expected_keys` sizes the filter at ~10 bits/key.
+  explicit BloomFilter(std::size_t expected_keys);
+
+  void insert(std::string_view key);
+  /// False means definitely absent; true means probably present.
+  bool may_contain(std::string_view key) const;
+
+  std::size_t bit_count() const noexcept { return bits_.size() * 64; }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Immutable sorted run.
+class SsTable {
+ public:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool tombstone = false;
+  };
+
+  /// `entries` must be sorted by key and deduplicated (newest wins upstream).
+  explicit SsTable(std::vector<Entry> entries);
+
+  /// Lookup; outer optional = key present in this run, inner = live value
+  /// (nullopt value field means tombstone).
+  struct Hit {
+    std::string value;
+    bool tombstone = false;
+  };
+  std::optional<Hit> get(std::string_view key) const;
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  std::size_t size_bytes() const noexcept { return bytes_; }
+  const std::string& min_key() const noexcept { return entries_.front().key; }
+  const std::string& max_key() const noexcept { return entries_.back().key; }
+
+  /// Bloom-filter statistics for the read path.
+  mutable std::uint64_t bloom_negatives = 0;  // lookups skipped by the filter
+
+ private:
+  std::vector<Entry> entries_;
+  BloomFilter bloom_;
+  std::size_t bytes_ = 0;
+};
+
+struct LsmOptions {
+  /// Flush the memtable once it holds this many bytes of keys+values.
+  std::size_t memtable_bytes = 1 << 20;
+  /// Size-tiered compaction: merge whenever a level holds this many runs.
+  std::size_t runs_per_level = 4;
+  std::size_t max_levels = 6;
+};
+
+struct LsmStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t bytes_written_user = 0;     // what the client wrote
+  std::uint64_t bytes_written_internal = 0; // flush + compaction traffic
+  std::uint64_t sstable_probes = 0;         // runs consulted by gets
+  std::uint64_t bloom_skips = 0;            // probes avoided by blooms
+
+  /// Total device writes per user write (>= 1 once anything flushed).
+  double write_amplification() const noexcept {
+    return bytes_written_user == 0
+               ? 0.0
+               : static_cast<double>(bytes_written_user +
+                                     bytes_written_internal) /
+                     static_cast<double>(bytes_written_user);
+  }
+};
+
+class LsmStore {
+ public:
+  explicit LsmStore(LsmOptions options = {});
+
+  void put(std::string key, std::string value);
+  void erase(std::string key);
+  std::optional<std::string> get(std::string_view key) const;
+
+  /// All live (key, value) pairs with lo <= key < hi, in key order.
+  std::vector<std::pair<std::string, std::string>> scan(
+      std::string_view lo, std::string_view hi) const;
+
+  /// Live-key count (exact; walks the merged view).
+  std::size_t size() const;
+
+  /// Force a memtable flush (used by tests; normally automatic).
+  void flush();
+
+  const LsmStats& stats() const noexcept { return stats_; }
+  std::size_t level_count() const noexcept { return levels_.size(); }
+  std::size_t runs_in_level(std::size_t level) const {
+    return levels_.at(level).size();
+  }
+
+ private:
+  struct MemEntry {
+    std::string value;
+    bool tombstone = false;
+  };
+
+  void maybe_flush();
+  void compact(std::size_t level);
+  /// Newest-first iteration over all runs.
+  template <typename Fn>
+  void for_each_run_newest_first(Fn fn) const;
+
+  LsmOptions options_;
+  std::map<std::string, MemEntry, std::less<>> memtable_;
+  std::size_t memtable_bytes_ = 0;
+  /// levels_[0] is the newest level; within a level, later runs are newer.
+  std::vector<std::vector<SsTable>> levels_;
+  mutable LsmStats stats_;
+};
+
+}  // namespace rb::storage

@@ -1,0 +1,96 @@
+#include "workloads/search_service.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/units.hpp"
+
+namespace rb::workloads {
+
+TailLatencyResult simulate_search_tier(const node::DeviceModel& device,
+                                       const SearchTierParams& params) {
+  if (params.servers <= 0)
+    throw std::invalid_argument{"simulate_search_tier: no servers"};
+  if (params.ranking_fraction < 0.0 || params.ranking_fraction > 1.0)
+    throw std::invalid_argument{
+        "simulate_search_tier: ranking_fraction out of [0, 1]"};
+  if (params.offload_speedup < 1.0)
+    throw std::invalid_argument{
+        "simulate_search_tier: offload_speedup must be >= 1"};
+
+  const bool offloaded = device.kind != node::DeviceKind::kCpu;
+  const double base_mean_s = sim::to_seconds(params.base_service_mean);
+
+  // Service-time composition: non-ranking part keeps CPU-like variability;
+  // ranking part runs either on CPU (cv ~0.35) or the accelerator (its cv),
+  // and `offload_speedup` x faster when offloaded.
+  const double cpu_cv = node::find_device(node::DeviceKind::kCpu).service_cv;
+  const double nonrank_mean = base_mean_s * (1.0 - params.ranking_fraction);
+  const double rank_mean =
+      base_mean_s * params.ranking_fraction /
+      (offloaded ? params.offload_speedup : 1.0);
+  const double rank_cv = offloaded ? device.service_cv : cpu_cv;
+
+  const double mean_service = nonrank_mean + rank_mean;
+  const double capacity_qps =
+      static_cast<double>(params.servers) / mean_service;
+  const double offered =
+      params.arrival_qps > 0.0 ? params.arrival_qps : 0.7 * capacity_qps;
+
+  // Lognormal parameters from mean m and coefficient of variation cv:
+  // sigma^2 = ln(1 + cv^2), mu = ln m - sigma^2 / 2.
+  const auto lognormal_params = [](double m, double cv) {
+    const double s2 = std::log(1.0 + cv * cv);
+    return std::pair{std::log(m) - s2 / 2.0, std::sqrt(s2)};
+  };
+  const auto [mu_nr, sg_nr] = lognormal_params(nonrank_mean, cpu_cv);
+  const auto [mu_rk, sg_rk] = lognormal_params(rank_mean, rank_cv);
+
+  sim::Rng rng{params.seed};
+  sim::PercentileTracker latency_ms;
+  latency_ms.reserve(params.queries);
+
+  struct Server {
+    std::size_t queued = 0;       // including in-service
+    sim::SimTime free_at = 0;     // when the server drains its queue
+  };
+  std::vector<Server> servers(static_cast<std::size_t>(params.servers));
+
+  sim::SimTime arrival_clock = 0;
+  sim::SimTime last_completion = 0;
+  for (std::uint64_t q = 0; q < params.queries; ++q) {
+    arrival_clock += sim::from_seconds(rng.exponential(1.0 / offered));
+    const sim::SimTime arrive = arrival_clock;
+    // Join shortest queue (by backlog end time).
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < servers.size(); ++s) {
+      const auto backlog_best =
+          std::max(servers[best].free_at, arrive);
+      const auto backlog_s = std::max(servers[s].free_at, arrive);
+      if (backlog_s < backlog_best) best = s;
+    }
+    auto& server = servers[best];
+    const double service_s = rng.lognormal(mu_nr, sg_nr) +
+                             rng.lognormal(mu_rk, sg_rk);
+    const sim::SimTime start = std::max(server.free_at, arrive);
+    const sim::SimTime done = start + sim::from_seconds(service_s);
+    server.free_at = done;
+    last_completion = std::max(last_completion, done);
+    latency_ms.add(sim::to_milliseconds(done - arrive));
+  }
+
+  TailLatencyResult out;
+  out.mean_ms = latency_ms.mean();
+  out.p50_ms = latency_ms.p50();
+  out.p95_ms = latency_ms.percentile(95.0);
+  out.p99_ms = latency_ms.p99();
+  out.offered_qps = offered;
+  out.throughput_qps =
+      static_cast<double>(params.queries) / sim::to_seconds(last_completion);
+  out.utilization = offered / capacity_qps;
+  return out;
+}
+
+}  // namespace rb::workloads

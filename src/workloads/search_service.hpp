@@ -1,0 +1,46 @@
+#pragma once
+// Search-tier tail-latency simulation (experiment E1).
+//
+// Reproduces the mechanism behind the roadmap's headline citation [4]:
+// Microsoft's Catapult FPGAs cut Bing ranking tail latency by 29%. A tier of
+// servers receives Poisson query traffic; each query runs a document-ranking
+// stage whose service time is lognormal. Offloading the ranking fraction to
+// an FPGA both shortens the mean and — crucially for the tail — removes most
+// of the service-time variance (DeviceModel::service_cv). Queries queue
+// FCFS per server with join-shortest-queue dispatch.
+
+#include <cstdint>
+
+#include "node/device.hpp"
+#include "sim/stats.hpp"
+
+namespace rb::workloads {
+
+struct SearchTierParams {
+  int servers = 16;
+  double arrival_qps = 0.0;        // total tier load; 0 => pick 70% of cap
+  std::uint64_t queries = 50'000;  // simulated queries
+  sim::SimTime base_service_mean = 8 * sim::kMillisecond;
+  /// Fraction of service time that is the (offloadable) ranking stage.
+  double ranking_fraction = 0.7;
+  /// Ranking-stage speedup when offloaded (Catapult-era figure ~2-3x).
+  double offload_speedup = 2.5;
+  std::uint64_t seed = 7;
+};
+
+struct TailLatencyResult {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double throughput_qps = 0.0;
+  double offered_qps = 0.0;
+  double utilization = 0.0;
+};
+
+/// Simulate the tier with ranking on `device` (kCpu = no offload, anything
+/// else = ranking stage offloaded to that device's speed/variability).
+TailLatencyResult simulate_search_tier(const node::DeviceModel& device,
+                                       const SearchTierParams& params = {});
+
+}  // namespace rb::workloads

@@ -1,0 +1,59 @@
+#pragma once
+// The standard benchmark suite the roadmap calls for (Rec 9: "We propose
+// establishing benchmarks to compare current and novel architectures using
+// Big Data applications").
+//
+// Two modes:
+//  * run_measured_suite(): executes the real CPU building-block
+//    implementations on generated data and reports measured wall-clock
+//    throughput — the "current architecture" column.
+//  * project_suite(): projects the same workloads onto any device catalogue
+//    via the offload model — the "novel architecture" columns that let a
+//    company compare before buying (the exact gap Finding 2 identifies).
+
+#include <string>
+#include <vector>
+
+#include "accel/offload.hpp"
+#include "node/device.hpp"
+
+namespace rb::workloads {
+
+struct SuiteEntry {
+  std::string workload;
+  accel::BlockKind block;
+  std::uint64_t rows = 0;
+  double bytes_per_row = 16.0;
+};
+
+/// The six canonical workloads (wordcount, log-scan, join, sort, kmeans,
+/// inference) at `scale` x the default row counts.
+std::vector<SuiteEntry> standard_suite(double scale = 1.0);
+
+struct MeasuredResult {
+  std::string workload;
+  std::uint64_t rows = 0;
+  double seconds = 0.0;
+  double mrows_per_second = 0.0;
+  std::uint64_t checksum = 0;  // defeats dead-code elimination; determinism
+};
+
+/// Execute the real implementations (single-threaded) and measure.
+std::vector<MeasuredResult> run_measured_suite(double scale = 1.0,
+                                               std::uint64_t seed = 42);
+
+struct ProjectedResult {
+  std::string workload;
+  std::string device;
+  double seconds = 0.0;
+  double speedup_vs_cpu = 1.0;
+  double joules = 0.0;
+};
+
+/// Project every suite entry onto every device in `catalog` (skipping
+/// unsupported pairs) under the given code path.
+std::vector<ProjectedResult> project_suite(
+    const std::vector<node::DeviceModel>& catalog, accel::CodePath path,
+    double scale = 1.0);
+
+}  // namespace rb::workloads

@@ -1,0 +1,75 @@
+#include "workloads/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace rb::workloads {
+
+std::vector<TraceJob> generate_trace(const TraceParams& params,
+                                     std::uint64_t seed) {
+  if (params.jobs == 0)
+    throw std::invalid_argument{"generate_trace: jobs == 0"};
+  if (params.jobs_per_hour <= 0.0)
+    throw std::invalid_argument{"generate_trace: rate must be positive"};
+  if (params.diurnal_amplitude < 0.0 || params.diurnal_amplitude >= 1.0)
+    throw std::invalid_argument{"generate_trace: amplitude out of [0, 1)"};
+  const double weight_sum = params.w_wordcount + params.w_join +
+                            params.w_kmeans + params.w_stencil;
+  if (weight_sum <= 0.0)
+    throw std::invalid_argument{"generate_trace: degenerate type weights"};
+  if (params.min_input == 0 || params.max_input <= params.min_input)
+    throw std::invalid_argument{"generate_trace: bad size bounds"};
+
+  sim::Rng rng{seed};
+  std::vector<TraceJob> trace;
+  trace.reserve(params.jobs);
+
+  double clock_hours = 0.0;
+  for (std::size_t j = 0; j < params.jobs; ++j) {
+    // Thinned Poisson process: draw at the peak rate, accept with the
+    // diurnal modulation at the candidate time.
+    const double peak_rate =
+        params.jobs_per_hour * (1.0 + params.diurnal_amplitude);
+    for (;;) {
+      clock_hours += rng.exponential(1.0 / peak_rate);
+      const double modulation =
+          1.0 + params.diurnal_amplitude *
+                    std::sin(2.0 * M_PI * clock_hours / 24.0);
+      if (rng.uniform() * (1.0 + params.diurnal_amplitude) <= modulation) {
+        break;
+      }
+    }
+
+    const auto input = static_cast<sim::Bytes>(rng.bounded_pareto(
+        params.size_alpha, static_cast<double>(params.min_input),
+        static_cast<double>(params.max_input)));
+    const std::size_t tasks = std::max<std::size_t>(
+        1, static_cast<std::size_t>(input / params.bytes_per_task));
+
+    const double pick = rng.uniform() * weight_sum;
+    TraceJob job{dataflow::JobGraph{"?"},
+                 sim::from_seconds(clock_hours * 3600.0), input, "?"};
+    if (pick < params.w_wordcount) {
+      job.graph = dataflow::make_wordcount_job(input, tasks);
+      job.kind = "wordcount";
+    } else if (pick < params.w_wordcount + params.w_join) {
+      job.graph = dataflow::make_join_job(input / 2, input / 2, tasks);
+      job.kind = "join";
+    } else if (pick < params.w_wordcount + params.w_join + params.w_kmeans) {
+      job.graph = dataflow::make_kmeans_job(
+          input, 3 + static_cast<int>(rng.uniform_index(5)), tasks);
+      job.kind = "kmeans";
+    } else {
+      job.graph = dataflow::make_stencil_job(
+          input, 2 + static_cast<int>(rng.uniform_index(4)), tasks);
+      job.kind = "stencil";
+    }
+    trace.push_back(std::move(job));
+  }
+  return trace;
+}
+
+}  // namespace rb::workloads

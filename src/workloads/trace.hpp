@@ -1,0 +1,49 @@
+#pragma once
+// Cluster job-trace generator: realistic arrival processes and job-size
+// distributions for the scheduling experiments (Rec 11). Arrivals are a
+// Poisson process modulated by a diurnal curve; job input sizes are
+// heavy-tailed (bounded Pareto, the standard fit for cluster traces); job
+// types mix the four canonical plans (wordcount / join / k-means / stencil)
+// with configurable weights.
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/plan.hpp"
+#include "sim/units.hpp"
+
+namespace rb::workloads {
+
+struct TraceParams {
+  std::size_t jobs = 50;
+  /// Mean arrival rate in jobs per simulated hour (before modulation).
+  double jobs_per_hour = 120.0;
+  /// Diurnal modulation amplitude in [0, 1): rate swings by +-amplitude
+  /// over a 24h period (0 = flat Poisson).
+  double diurnal_amplitude = 0.5;
+  /// Heavy-tail input sizes: bounded Pareto over [min, max] bytes.
+  double size_alpha = 1.3;
+  sim::Bytes min_input = 64 * sim::kMiB;
+  sim::Bytes max_input = 16 * sim::kGiB;
+  /// Job type mix weights {wordcount, join, kmeans, stencil}.
+  double w_wordcount = 0.4;
+  double w_join = 0.3;
+  double w_kmeans = 0.2;
+  double w_stencil = 0.1;
+  /// Tasks per job scale with input size: one task per this many bytes.
+  sim::Bytes bytes_per_task = 128 * sim::kMiB;
+};
+
+struct TraceJob {
+  dataflow::JobGraph graph;
+  sim::SimTime arrival = 0;
+  sim::Bytes input_bytes = 0;
+  std::string kind;
+};
+
+/// Generate a deterministic trace. Throws std::invalid_argument on empty
+/// job count, non-positive rate, or degenerate weights.
+std::vector<TraceJob> generate_trace(const TraceParams& params,
+                                     std::uint64_t seed);
+
+}  // namespace rb::workloads

@@ -1,0 +1,174 @@
+#include "accel/compression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "workloads/generators.hpp"
+
+namespace rb::accel {
+namespace {
+
+TEST(Rle, EmptyInput) {
+  EXPECT_TRUE(rle_encode({}).empty());
+  EXPECT_TRUE(rle_decode({}).empty());
+}
+
+TEST(Rle, SingleRun) {
+  const std::vector<std::uint64_t> v(100, 7);
+  const auto runs = rle_encode(v);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].value, 7u);
+  EXPECT_EQ(runs[0].length, 100u);
+}
+
+TEST(Rle, AlternatingValuesWorstCase) {
+  std::vector<std::uint64_t> v;
+  for (int i = 0; i < 50; ++i) {
+    v.push_back(0);
+    v.push_back(1);
+  }
+  const auto runs = rle_encode(v);
+  EXPECT_EQ(runs.size(), 100u);
+}
+
+TEST(Rle, RoundTripRandomData) {
+  sim::Rng rng{3};
+  std::vector<std::uint64_t> v;
+  for (int i = 0; i < 10000; ++i) {
+    // Runs of random length.
+    const std::uint64_t value = rng.uniform_index(10);
+    const auto len = rng.uniform_index(20) + 1;
+    v.insert(v.end(), len, value);
+  }
+  EXPECT_EQ(rle_decode(rle_encode(v)), v);
+}
+
+TEST(Rle, CompressesSortedLowCardinalityData) {
+  // The columnar-storage sweet spot: sorted low-cardinality column.
+  sim::Rng rng{5};
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t value = 0; value < 20; ++value) {
+    v.insert(v.end(), 500, value);
+  }
+  const auto runs = rle_encode(v);
+  EXPECT_EQ(runs.size(), 20u);
+  EXPECT_LT(rle_bytes(runs), v.size() * sizeof(std::uint64_t) / 100);
+}
+
+TEST(Dictionary, EmptyInput) {
+  const auto column = dictionary_encode({});
+  EXPECT_TRUE(column.dictionary.empty());
+  EXPECT_TRUE(column.codes.empty());
+}
+
+TEST(Dictionary, RoundTrip) {
+  const std::vector<std::string> values{"big", "data", "big", "eu", "data",
+                                        "big"};
+  const auto column = dictionary_encode(values);
+  EXPECT_EQ(column.dictionary.size(), 3u);
+  EXPECT_EQ(dictionary_decode(column), values);
+}
+
+TEST(Dictionary, CodesAreFirstOccurrenceOrder) {
+  const std::vector<std::string> values{"z", "a", "z", "m"};
+  const auto column = dictionary_encode(values);
+  EXPECT_EQ(column.dictionary,
+            (std::vector<std::string>{"z", "a", "m"}));
+  EXPECT_EQ(column.codes, (std::vector<std::uint32_t>{0, 1, 0, 2}));
+}
+
+TEST(Dictionary, CompressesZipfText) {
+  const auto doc = workloads::zipf_document(20000, 500, 1.2, 7);
+  std::vector<std::string> words;
+  std::size_t raw_bytes = 0;
+  for (const auto& t : {doc}) {
+    std::string word;
+    for (const char c : t) {
+      if (c == ' ') {
+        words.push_back(word);
+        raw_bytes += word.size();
+        word.clear();
+      } else {
+        word += c;
+      }
+    }
+    if (!word.empty()) {
+      words.push_back(word);
+      raw_bytes += word.size();
+    }
+  }
+  const auto column = dictionary_encode(words);
+  EXPECT_LE(column.dictionary.size(), 500u);
+  EXPECT_LT(column.bytes(), raw_bytes * 2);  // codes dominate, strings once
+}
+
+TEST(Dictionary, ManyDistinctValuesStillRoundTrip) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 5000; ++i) values.push_back("v" + std::to_string(i));
+  const auto column = dictionary_encode(values);
+  EXPECT_EQ(column.dictionary.size(), 5000u);
+  EXPECT_EQ(dictionary_decode(column), values);
+}
+
+TEST(BitPack, BitsNeeded) {
+  EXPECT_EQ(bits_needed(0), 1);
+  EXPECT_EQ(bits_needed(1), 1);
+  EXPECT_EQ(bits_needed(2), 2);
+  EXPECT_EQ(bits_needed(255), 8);
+  EXPECT_EQ(bits_needed(256), 9);
+  EXPECT_EQ(bits_needed(~std::uint32_t{0}), 32);
+}
+
+TEST(BitPack, RejectsBadWidth) {
+  const std::vector<std::uint32_t> v{1};
+  EXPECT_THROW(bitpack(v, 0), std::invalid_argument);
+  EXPECT_THROW(bitpack(v, 33), std::invalid_argument);
+  EXPECT_THROW(bitunpack({}, 1, 0), std::invalid_argument);
+}
+
+TEST(BitPack, RejectsOverflowingValue) {
+  const std::vector<std::uint32_t> v{8};
+  EXPECT_THROW(bitpack(v, 3), std::invalid_argument);  // 8 needs 4 bits
+}
+
+TEST(BitPack, RejectsShortBuffer) {
+  const std::vector<std::uint64_t> packed{0};
+  EXPECT_THROW(bitunpack(packed, 100, 8), std::invalid_argument);
+}
+
+TEST(BitPack, RoundTripAtWordBoundaries) {
+  // 7-bit values straddle 64-bit word boundaries regularly.
+  std::vector<std::uint32_t> v;
+  for (std::uint32_t i = 0; i < 1000; ++i) v.push_back(i % 128);
+  const auto packed = bitpack(v, 7);
+  EXPECT_EQ(bitunpack(packed, v.size(), 7), v);
+  EXPECT_EQ(packed.size(), (1000u * 7 + 63) / 64);
+}
+
+TEST(BitPack, CompressionRatioMatchesWidth) {
+  std::vector<std::uint32_t> v(8192, 3);
+  const auto packed = bitpack(v, 2);
+  const double ratio = static_cast<double>(v.size() * sizeof(std::uint32_t)) /
+                       static_cast<double>(packed.size() * 8);
+  EXPECT_NEAR(ratio, 16.0, 0.1);  // 32 bits -> 2 bits
+}
+
+/// Width sweep: round trip at every width with random in-range data.
+class BitWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitWidthTest, RoundTrips) {
+  const int bits = GetParam();
+  sim::Rng rng{static_cast<std::uint64_t>(bits)};
+  const std::uint64_t limit =
+      bits == 32 ? 0x1'0000'0000ULL : (std::uint64_t{1} << bits);
+  std::vector<std::uint32_t> v(3000);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.uniform_index(limit));
+  const auto packed = bitpack(v, bits);
+  EXPECT_EQ(bitunpack(packed, v.size(), bits), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitWidthTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 21, 31, 32));
+
+}  // namespace
+}  // namespace rb::accel

@@ -1,0 +1,93 @@
+#include "accel/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace rb::accel {
+namespace {
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 std::uint64_t seed) {
+  sim::Rng rng{seed};
+  std::vector<float> out(rows * cols);
+  for (auto& x : out) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return out;
+}
+
+TEST(Gemm, RejectsBadSizes) {
+  std::vector<float> a(6), b(6), c(4);
+  EXPECT_NO_THROW(gemm_naive(a, b, c, 2, 3, 2));
+  EXPECT_THROW(gemm_naive(a, b, c, 2, 3, 3), std::invalid_argument);
+  EXPECT_THROW(gemm_naive(a, b, c, 0, 3, 2), std::invalid_argument);
+  EXPECT_THROW(gemm_blocked(a, b, c, 2, 3, 2, 0), std::invalid_argument);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  const std::vector<float> eye{1, 0, 0, 1};
+  const std::vector<float> a{1, 2, 3, 4};
+  std::vector<float> c(4);
+  gemm_naive(a, eye, c, 2, 2, 2);
+  EXPECT_EQ(c, a);
+  gemm_blocked(a, eye, c, 2, 2, 2);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Gemm, KnownSmallProduct) {
+  // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4);
+  gemm_naive(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19.0f);
+  EXPECT_FLOAT_EQ(c[1], 22.0f);
+  EXPECT_FLOAT_EQ(c[2], 43.0f);
+  EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(Gemm, RectangularShapes) {
+  const auto a = random_matrix(3, 5, 1);
+  const auto b = random_matrix(5, 7, 2);
+  std::vector<float> naive(21), blocked(21);
+  gemm_naive(a, b, naive, 3, 5, 7);
+  gemm_blocked(a, b, blocked, 3, 5, 7, 2);
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_NEAR(naive[i], blocked[i], 1e-4f) << i;
+  }
+}
+
+TEST(Gemm, ConvenienceWrapperMatches) {
+  const auto a = random_matrix(4, 4, 3);
+  const auto b = random_matrix(4, 4, 4);
+  std::vector<float> reference(16);
+  gemm_naive(a, b, reference, 4, 4, 4);
+  const auto c = gemm(a, b, 4, 4, 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(c[i], reference[i], 1e-4f);
+  }
+}
+
+/// Tile sweep: blocked result matches naive for awkward tile/size combos.
+class GemmTileTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemmTileTest, BlockedMatchesNaive) {
+  const std::size_t tile = GetParam();
+  constexpr std::size_t m = 33, k = 17, n = 29;  // deliberately non-round
+  const auto a = random_matrix(m, k, 5);
+  const auto b = random_matrix(k, n, 6);
+  std::vector<float> naive(m * n), blocked(m * n);
+  gemm_naive(a, b, naive, m, k, n);
+  gemm_blocked(a, b, blocked, m, k, n, tile);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    max_err = std::max(max_err,
+                       static_cast<double>(std::abs(naive[i] - blocked[i])));
+  }
+  EXPECT_LT(max_err, 1e-3) << "tile=" << tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, GemmTileTest,
+                         ::testing::Values(1, 2, 7, 16, 32, 64, 100));
+
+}  // namespace
+}  // namespace rb::accel

@@ -1,0 +1,138 @@
+#include "accel/hash_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sim/random.hpp"
+
+namespace rb::accel {
+namespace {
+
+std::vector<Row> make_rows(std::initializer_list<std::pair<int, int>> kv) {
+  std::vector<Row> rows;
+  for (const auto& [k, v] : kv) {
+    rows.push_back(Row{static_cast<std::uint64_t>(k),
+                       static_cast<std::uint64_t>(v)});
+  }
+  return rows;
+}
+
+std::size_t nested_loop_count(std::span<const Row> left,
+                              std::span<const Row> right) {
+  std::size_t n = 0;
+  for (const auto& l : left) {
+    for (const auto& r : right) n += (l.key == r.key);
+  }
+  return n;
+}
+
+TEST(HashJoin, EmptyInputs) {
+  const auto rows = make_rows({{1, 1}});
+  EXPECT_TRUE(hash_join({}, rows).empty());
+  EXPECT_TRUE(hash_join(rows, {}).empty());
+  EXPECT_EQ(hash_join_count({}, {}), 0u);
+}
+
+TEST(HashJoin, SimpleMatch) {
+  const auto left = make_rows({{1, 10}, {2, 20}});
+  const auto right = make_rows({{2, 200}, {3, 300}});
+  const auto out = hash_join(left, right);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, 2u);
+  EXPECT_EQ(out[0].left_payload, 20u);
+  EXPECT_EQ(out[0].right_payload, 200u);
+}
+
+TEST(HashJoin, DuplicateKeysProduceCrossProduct) {
+  const auto left = make_rows({{5, 1}, {5, 2}});
+  const auto right = make_rows({{5, 10}, {5, 20}, {5, 30}});
+  EXPECT_EQ(hash_join(left, right).size(), 6u);
+  EXPECT_EQ(hash_join_count(left, right), 6u);
+}
+
+TEST(HashJoin, RejectsBadRadixBits) {
+  const auto rows = make_rows({{1, 1}});
+  JoinParams params;
+  params.radix_bits = -1;
+  EXPECT_THROW(hash_join(rows, rows, params), std::invalid_argument);
+  params.radix_bits = 17;
+  EXPECT_THROW(hash_join(rows, rows, params), std::invalid_argument);
+}
+
+TEST(HashJoin, RadixAndNonRadixAgree) {
+  sim::Rng rng{43};
+  std::vector<Row> left, right;
+  for (int i = 0; i < 5000; ++i) {
+    left.push_back(Row{rng.uniform_index(500) + 1, rng()});
+    right.push_back(Row{rng.uniform_index(500) + 1, rng()});
+  }
+  JoinParams flat;
+  flat.radix_bits = 0;
+  JoinParams radix;
+  radix.radix_bits = 6;
+  EXPECT_EQ(hash_join_count(left, right, flat),
+            hash_join_count(left, right, radix));
+}
+
+TEST(HashJoin, CountMatchesNestedLoopReference) {
+  sim::Rng rng{47};
+  std::vector<Row> left, right;
+  for (int i = 0; i < 800; ++i) {
+    left.push_back(Row{rng.uniform_index(100), rng()});
+    right.push_back(Row{rng.uniform_index(100), rng()});
+  }
+  EXPECT_EQ(hash_join_count(left, right), nested_loop_count(left, right));
+}
+
+TEST(HashJoin, MaterializedMatchesCount) {
+  sim::Rng rng{53};
+  std::vector<Row> left, right;
+  for (int i = 0; i < 2000; ++i) {
+    left.push_back(Row{rng.uniform_index(300), rng.uniform_index(1000)});
+    right.push_back(Row{rng.uniform_index(300), rng.uniform_index(1000)});
+  }
+  EXPECT_EQ(hash_join(left, right).size(), hash_join_count(left, right));
+}
+
+TEST(HashJoin, KeyZeroJoins) {
+  const auto left = make_rows({{0, 1}});
+  const auto right = make_rows({{0, 2}});
+  EXPECT_EQ(hash_join_count(left, right), 1u);
+}
+
+TEST(HashJoin, SkewedKeysStillCorrect) {
+  // Zipf-skewed foreign keys (the realistic case order_tables generates).
+  sim::Rng rng{59};
+  const sim::ZipfDistribution zipf{200, 1.2};
+  std::vector<Row> left, right;
+  for (std::uint64_t k = 0; k < 200; ++k) left.push_back(Row{k, k});
+  for (int i = 0; i < 10000; ++i) {
+    right.push_back(Row{static_cast<std::uint64_t>(zipf(rng)), 1});
+  }
+  // Every right row matches exactly one left row.
+  EXPECT_EQ(hash_join_count(left, right), 10000u);
+}
+
+/// Radix-bits sweep: all partitionings agree with the reference.
+class RadixBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixBitsTest, AgreesWithReference) {
+  sim::Rng rng{61};
+  std::vector<Row> left, right;
+  for (int i = 0; i < 3000; ++i) {
+    left.push_back(Row{rng.uniform_index(400), rng()});
+    right.push_back(Row{rng.uniform_index(400), rng()});
+  }
+  JoinParams params;
+  params.radix_bits = GetParam();
+  EXPECT_EQ(hash_join_count(left, right, params),
+            nested_loop_count(left, right));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, RadixBitsTest,
+                         ::testing::Values(0, 1, 2, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace rb::accel

@@ -1,0 +1,127 @@
+#include "accel/ml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "workloads/generators.hpp"
+
+namespace rb::accel {
+namespace {
+
+TEST(KMeans, RejectsBadArguments) {
+  Matrix empty;
+  EXPECT_THROW(kmeans(empty, 2, 10, 1), std::invalid_argument);
+  const auto data = workloads::gaussian_blobs(10, 2, 2, 0.1, 1);
+  EXPECT_THROW(kmeans(data.points, 0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(kmeans(data.points, 11, 10, 1), std::invalid_argument);
+  EXPECT_THROW(kmeans(data.points, 2, 0, 1), std::invalid_argument);
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const auto data = workloads::gaussian_blobs(600, 4, 3, 0.5, 5);
+  const auto result = kmeans(data.points, 3, 50, 5);
+  EXPECT_EQ(result.centroids.rows, 3u);
+  EXPECT_EQ(result.labels.size(), 600u);
+  // Cluster purity: each k-means cluster should be dominated by one blob.
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    std::array<int, 3> blob_counts{};
+    int total = 0;
+    for (std::size_t i = 0; i < data.labels.size(); ++i) {
+      if (result.labels[i] == c) {
+        ++blob_counts[data.labels[i] % 3];
+        ++total;
+      }
+    }
+    if (total == 0) continue;
+    const int majority =
+        *std::max_element(blob_counts.begin(), blob_counts.end());
+    EXPECT_GT(static_cast<double>(majority) / total, 0.9);
+  }
+}
+
+TEST(KMeans, InertiaNonIncreasingWithK) {
+  const auto data = workloads::gaussian_blobs(400, 4, 4, 1.0, 7);
+  double prev = 1e300;
+  for (std::size_t k = 1; k <= 8; k *= 2) {
+    const auto result = kmeans(data.points, k, 30, 7);
+    EXPECT_LE(result.inertia, prev * 1.001) << "k=" << k;
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const auto data = workloads::gaussian_blobs(200, 3, 3, 1.0, 9);
+  const auto a = kmeans(data.points, 3, 20, 1234);
+  const auto b = kmeans(data.points, 3, 20, 1234);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, ConvergesBeforeMaxIters) {
+  const auto data = workloads::gaussian_blobs(300, 2, 2, 0.2, 11);
+  const auto result = kmeans(data.points, 2, 100, 11);
+  EXPECT_LT(result.iterations_run, 100);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  const auto data = workloads::gaussian_blobs(8, 2, 2, 1.0, 13);
+  const auto result = kmeans(data.points, 8, 20, 13);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(Sgd, RejectsBadArguments) {
+  const auto data = workloads::gaussian_blobs(20, 2, 2, 0.5, 1);
+  EXPECT_THROW(sgd_logistic(data.points, {}, 3, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sgd_logistic(data.points, data.labels, 0, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sgd_logistic(data.points, data.labels, 3, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Sgd, LearnsSeparableBlobs) {
+  const auto data = workloads::gaussian_blobs(500, 4, 2, 0.8, 17);
+  const auto model = sgd_logistic(data.points, data.labels, 10, 0.05, 17);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.points.rows; ++i) {
+    const double p = logistic_predict(model, data.points.row(i));
+    correct += ((p > 0.5) == (data.labels[i] == 1));
+  }
+  EXPECT_GT(static_cast<double>(correct) / 500.0, 0.95);
+}
+
+TEST(Sgd, LossDecreasesOverEpochs) {
+  const auto data = workloads::gaussian_blobs(400, 4, 2, 1.0, 19);
+  const auto short_run = sgd_logistic(data.points, data.labels, 1, 0.02, 19);
+  const auto long_run = sgd_logistic(data.points, data.labels, 15, 0.02, 19);
+  EXPECT_LT(long_run.final_loss, short_run.final_loss);
+}
+
+TEST(Sgd, DeterministicForFixedSeed) {
+  const auto data = workloads::gaussian_blobs(100, 3, 2, 1.0, 23);
+  const auto a = sgd_logistic(data.points, data.labels, 5, 0.05, 99);
+  const auto b = sgd_logistic(data.points, data.labels, 5, 0.05, 99);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST(Predict, RejectsDimensionMismatch) {
+  const auto data = workloads::gaussian_blobs(50, 4, 2, 1.0, 29);
+  const auto model = sgd_logistic(data.points, data.labels, 2, 0.05, 29);
+  const std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(logistic_predict(model, wrong), std::invalid_argument);
+}
+
+TEST(Predict, OutputsProbability) {
+  const auto data = workloads::gaussian_blobs(100, 4, 2, 1.0, 31);
+  const auto model = sgd_logistic(data.points, data.labels, 3, 0.05, 31);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double p = logistic_predict(model, data.points.row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rb::accel

@@ -1,0 +1,146 @@
+#include "accel/offload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::accel {
+namespace {
+
+TEST(BlockProfile, RejectsBadBytesPerRow) {
+  EXPECT_THROW(block_profile(BlockKind::kSort, 100, 0.0),
+               std::invalid_argument);
+}
+
+TEST(BlockProfile, ScalesWithRows) {
+  const auto small = block_profile(BlockKind::kHashJoin, 1000);
+  const auto large = block_profile(BlockKind::kHashJoin, 1'000'000);
+  EXPECT_GT(large.flops, small.flops);
+  EXPECT_GT(large.bytes, small.bytes);
+}
+
+TEST(BlockProfile, InferenceIsComputeBound) {
+  const auto prof = block_profile(BlockKind::kDnnInference, 10000, 256.0);
+  EXPECT_GT(prof.arithmetic_intensity(), 10.0);
+  const auto scan = block_profile(BlockKind::kSelectScan, 10000, 16.0);
+  EXPECT_LT(scan.arithmetic_intensity(), 1.0);
+}
+
+TEST(PathEfficiency, TunedAlwaysAtLeastGeneric) {
+  for (const auto kind :
+       {node::DeviceKind::kCpu, node::DeviceKind::kGpu,
+        node::DeviceKind::kFpga, node::DeviceKind::kAsic,
+        node::DeviceKind::kNeuromorphic}) {
+    EXPECT_GE(path_efficiency(kind, CodePath::kDeviceTuned),
+              path_efficiency(kind, CodePath::kGenericPortable))
+        << node::to_string(kind);
+  }
+}
+
+TEST(PathEfficiency, GapWidensWithSpecialization) {
+  // Sec IV.C.3: the more specialized the device, the worse portable code
+  // does relative to tuned code.
+  const auto gap = [](node::DeviceKind k) {
+    return path_efficiency(k, CodePath::kDeviceTuned) /
+           path_efficiency(k, CodePath::kGenericPortable);
+  };
+  EXPECT_LT(gap(node::DeviceKind::kCpu), gap(node::DeviceKind::kGpu));
+  EXPECT_LT(gap(node::DeviceKind::kGpu), gap(node::DeviceKind::kFpga));
+  EXPECT_LE(gap(node::DeviceKind::kFpga), gap(node::DeviceKind::kAsic));
+}
+
+TEST(Supports, AsicOnlyRunsItsFunction) {
+  EXPECT_TRUE(supports(node::DeviceKind::kAsic, BlockKind::kDnnInference));
+  EXPECT_FALSE(supports(node::DeviceKind::kAsic, BlockKind::kSort));
+  EXPECT_FALSE(supports(node::DeviceKind::kAsic, BlockKind::kHashJoin));
+}
+
+TEST(Supports, ProgrammableDevicesRunEverything) {
+  for (const auto block : all_blocks()) {
+    EXPECT_TRUE(supports(node::DeviceKind::kCpu, block));
+    EXPECT_TRUE(supports(node::DeviceKind::kGpu, block));
+    EXPECT_TRUE(supports(node::DeviceKind::kFpga, block));
+  }
+}
+
+TEST(BlockTime, ThrowsOnUnsupportedPair) {
+  const auto asic = node::find_device(node::DeviceKind::kAsic);
+  EXPECT_THROW(block_time(asic, BlockKind::kSort, 1000,
+                          CodePath::kDeviceTuned),
+               std::invalid_argument);
+}
+
+TEST(BlockTime, TunedFasterThanGenericOnAccelerators) {
+  const auto gpu = node::find_device(node::DeviceKind::kGpu);
+  const auto tuned = block_time(gpu, BlockKind::kKMeans, 1'000'000,
+                                CodePath::kDeviceTuned);
+  const auto generic = block_time(gpu, BlockKind::kKMeans, 1'000'000,
+                                  CodePath::kGenericPortable);
+  EXPECT_LT(tuned, generic);
+}
+
+TEST(BestDevice, RequiresHostCpu) {
+  const std::vector<node::DeviceModel> no_cpu = {
+      node::find_device(node::DeviceKind::kGpu)};
+  EXPECT_THROW(best_device(no_cpu, BlockKind::kSort, 1000,
+                           CodePath::kDeviceTuned),
+               std::invalid_argument);
+}
+
+TEST(BestDevice, PicksGpuForKMeans) {
+  const auto catalog = node::standard_catalog();
+  const auto decision = best_device(catalog, BlockKind::kKMeans, 8'000'000,
+                                    CodePath::kDeviceTuned);
+  EXPECT_EQ(decision.device.kind, node::DeviceKind::kGpu);
+  EXPECT_GT(decision.speedup_vs_host, 1.0);
+}
+
+TEST(BestDevice, KeepsScanOnCpu) {
+  // Streaming scans are PCIe-bound on every accelerator: stay home.
+  const auto catalog = node::standard_catalog();
+  const auto decision = best_device(catalog, BlockKind::kSelectScan,
+                                    8'000'000, CodePath::kDeviceTuned);
+  EXPECT_EQ(decision.device.kind, node::DeviceKind::kCpu);
+  EXPECT_DOUBLE_EQ(decision.speedup_vs_host, 1.0);
+}
+
+TEST(BestDevice, AsicDominatesInference) {
+  const auto catalog = node::standard_catalog();
+  const auto decision = best_device(catalog, BlockKind::kDnnInference,
+                                    1'000'000, CodePath::kDeviceTuned);
+  EXPECT_EQ(decision.device.kind, node::DeviceKind::kAsic);
+  EXPECT_GT(decision.speedup_vs_host, 5.0);
+}
+
+TEST(BestDevice, GenericPathShrinksSpeedups) {
+  const auto catalog = node::standard_catalog();
+  const auto tuned = best_device(catalog, BlockKind::kKMeans, 8'000'000,
+                                 CodePath::kDeviceTuned);
+  const auto generic = best_device(catalog, BlockKind::kKMeans, 8'000'000,
+                                   CodePath::kGenericPortable);
+  EXPECT_GE(tuned.speedup_vs_host, generic.speedup_vs_host);
+}
+
+/// Every block has a to_string and a profile that is internally consistent.
+class BlockSweepTest : public ::testing::TestWithParam<BlockKind> {};
+
+TEST_P(BlockSweepTest, ProfileAndNamesWellFormed) {
+  const auto block = GetParam();
+  EXPECT_FALSE(to_string(block).empty());
+  const auto prof = block_profile(block, 100'000);
+  EXPECT_GE(prof.flops, 0.0);
+  EXPECT_GT(prof.bytes, 0.0);
+  EXPECT_GT(prof.parallel_fraction, 0.0);
+  EXPECT_LE(prof.parallel_fraction, 1.0);
+}
+
+TEST_P(BlockSweepTest, BestDeviceNeverSlowerThanHost) {
+  const auto catalog = node::standard_catalog();
+  const auto decision =
+      best_device(catalog, GetParam(), 4'000'000, CodePath::kDeviceTuned);
+  EXPECT_GE(decision.speedup_vs_host, 1.0) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBlocks, BlockSweepTest,
+                         ::testing::ValuesIn(all_blocks()));
+
+}  // namespace
+}  // namespace rb::accel

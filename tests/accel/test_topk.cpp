@@ -1,0 +1,93 @@
+#include "accel/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+
+namespace rb::accel {
+namespace {
+
+TEST(TopK, EmptyAndZeroK) {
+  EXPECT_TRUE(top_k({}, 5).empty());
+  const std::vector<std::uint64_t> v{1, 2, 3};
+  EXPECT_TRUE(top_k(v, 0).empty());
+}
+
+TEST(TopK, KLargerThanInputReturnsAllSorted) {
+  const std::vector<std::uint64_t> v{3, 1, 2};
+  EXPECT_EQ(top_k(v, 10), (std::vector<std::uint64_t>{3, 2, 1}));
+}
+
+TEST(TopK, SimpleSelection) {
+  const std::vector<std::uint64_t> v{5, 1, 9, 3, 7};
+  EXPECT_EQ(top_k(v, 2), (std::vector<std::uint64_t>{9, 7}));
+}
+
+TEST(TopK, DuplicatesKept) {
+  const std::vector<std::uint64_t> v{4, 4, 4, 1};
+  EXPECT_EQ(top_k(v, 3), (std::vector<std::uint64_t>{4, 4, 4}));
+}
+
+TEST(TopK, MatchesSortReference) {
+  sim::Rng rng{5};
+  std::vector<std::uint64_t> v(20000);
+  for (auto& x : v) x = rng.uniform_index(1'000'000);
+  for (const std::size_t k : {1u, 10u, 100u, 5000u}) {
+    auto reference = v;
+    std::sort(reference.begin(), reference.end(), std::greater<>{});
+    reference.resize(k);
+    EXPECT_EQ(top_k(v, k), reference) << "k=" << k;
+  }
+}
+
+TEST(TopKGroups, HeavyHitters) {
+  // Key 7 dominates by total payload even though key 1 has more rows.
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back(Row{1, 1});
+  for (int i = 0; i < 3; ++i) rows.push_back(Row{7, 100});
+  rows.push_back(Row{9, 50});
+  const auto top = top_k_groups(rows, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 7u);
+  EXPECT_EQ(top[0].value, 300u);
+  EXPECT_EQ(top[1].key, 9u);
+}
+
+TEST(TopKGroups, TieBreaksOnSmallerKey) {
+  const std::vector<Row> rows{{5, 10}, {3, 10}};
+  const auto top = top_k_groups(rows, 2);
+  EXPECT_EQ(top[0].key, 3u);
+  EXPECT_EQ(top[1].key, 5u);
+}
+
+TEST(TopKGroups, FewerGroupsThanK) {
+  const std::vector<Row> rows{{1, 5}, {2, 9}};
+  const auto top = top_k_groups(rows, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 2u);
+}
+
+TEST(TopKGroups, MatchesFullAggregateReference) {
+  sim::Rng rng{7};
+  std::vector<Row> rows;
+  for (int i = 0; i < 30000; ++i) {
+    rows.push_back(Row{rng.uniform_index(500), rng.uniform_index(100)});
+  }
+  auto reference = group_aggregate(rows, AggOp::kSum);
+  std::sort(reference.begin(), reference.end(),
+            [](const GroupResult& a, const GroupResult& b) {
+              return a.value != b.value ? a.value > b.value : a.key < b.key;
+            });
+  reference.resize(25);
+  const auto top = top_k_groups(rows, 25);
+  ASSERT_EQ(top.size(), 25u);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(top[i].key, reference[i].key) << i;
+    EXPECT_EQ(top[i].value, reference[i].value) << i;
+  }
+}
+
+}  // namespace
+}  // namespace rb::accel

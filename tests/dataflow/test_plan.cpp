@@ -1,0 +1,96 @@
+#include "dataflow/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::dataflow {
+namespace {
+
+TEST(JobGraph, AddStageValidatesDeps) {
+  JobGraph job{"test"};
+  StageSpec s;
+  s.name = "a";
+  s.task_count = 2;
+  const auto a = job.add_stage(s);
+  StageSpec bad;
+  bad.task_count = 1;
+  bad.deps = {5};
+  EXPECT_THROW(job.add_stage(bad), std::invalid_argument);
+  StageSpec ok;
+  ok.task_count = 1;
+  ok.deps = {a};
+  EXPECT_NO_THROW(job.add_stage(ok));
+}
+
+TEST(JobGraph, RejectsZeroTasks) {
+  JobGraph job{"test"};
+  StageSpec s;
+  s.task_count = 0;
+  EXPECT_THROW(job.add_stage(s), std::invalid_argument);
+}
+
+TEST(JobGraph, TotalTasksSumsStages) {
+  const auto job = make_wordcount_job(1 << 20, 8);
+  EXPECT_EQ(job.total_tasks(), 16u);  // map 8 + reduce 8
+}
+
+TEST(JobGraph, RunnableRespectsDependencies) {
+  const auto job = make_join_job(1 << 20, 1 << 20, 4);
+  std::vector<bool> done(job.stage_count(), false);
+  auto runnable = job.runnable(done);
+  EXPECT_EQ(runnable.size(), 2u);  // both scans
+  done[0] = true;
+  runnable = job.runnable(done);
+  EXPECT_EQ(runnable.size(), 1u);  // right scan only; join still blocked
+  done[1] = true;
+  runnable = job.runnable(done);
+  ASSERT_EQ(runnable.size(), 1u);
+  EXPECT_EQ(runnable[0], 2u);  // the join stage
+}
+
+TEST(JobGraph, RunnableRejectsWrongMask) {
+  const auto job = make_wordcount_job(1024, 2);
+  std::vector<bool> wrong(job.stage_count() + 1, false);
+  EXPECT_THROW(job.runnable(wrong), std::invalid_argument);
+}
+
+TEST(CanonicalJobs, WordcountShape) {
+  const auto job = make_wordcount_job(1 << 30, 16);
+  EXPECT_EQ(job.stage_count(), 2u);
+  EXPECT_EQ(job.stage(1).deps, (std::vector<std::size_t>{0}));
+  // Map stage reads the input; reduce reads the (smaller) shuffle.
+  EXPECT_GT(job.stage(0).per_task_kernel.bytes,
+            job.stage(1).per_task_kernel.bytes);
+}
+
+TEST(CanonicalJobs, KmeansIsAChain) {
+  const auto job = make_kmeans_job(1 << 26, 5, 8);
+  EXPECT_EQ(job.stage_count(), 5u);
+  for (std::size_t s = 1; s < 5; ++s) {
+    EXPECT_EQ(job.stage(s).deps, (std::vector<std::size_t>{s - 1}));
+  }
+  // Compute-heavy: high arithmetic intensity.
+  EXPECT_GT(job.stage(0).per_task_kernel.arithmetic_intensity(), 8.0);
+}
+
+TEST(CanonicalJobs, StencilIsComputeBound) {
+  const auto job = make_stencil_job(1 << 26, 3, 8);
+  EXPECT_EQ(job.stage_count(), 3u);
+  EXPECT_GT(job.stage(0).per_task_kernel.parallel_fraction, 0.99);
+}
+
+TEST(CanonicalJobs, RejectBadArguments) {
+  EXPECT_THROW(make_wordcount_job(1024, 0), std::invalid_argument);
+  EXPECT_THROW(make_join_job(1024, 1024, 0), std::invalid_argument);
+  EXPECT_THROW(make_kmeans_job(1024, 0, 4), std::invalid_argument);
+  EXPECT_THROW(make_stencil_job(1024, -1, 4), std::invalid_argument);
+}
+
+TEST(CanonicalJobs, TaskWorkScalesWithInput) {
+  const auto small = make_wordcount_job(1 << 20, 4);
+  const auto large = make_wordcount_job(1 << 24, 4);
+  EXPECT_GT(large.stage(0).per_task_kernel.bytes,
+            small.stage(0).per_task_kernel.bytes);
+}
+
+}  // namespace
+}  // namespace rb::dataflow

@@ -1,0 +1,213 @@
+#include "dataflow/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rb::dataflow {
+namespace {
+
+using Result = WindowResult<std::string, std::int64_t>;
+
+struct SumAggregator {
+  WindowSpec spec;
+  std::vector<Result> fired;
+  WindowedAggregator<std::string, std::int64_t, std::int64_t> agg;
+
+  explicit SumAggregator(WindowSpec s)
+      : spec{s},
+        agg{s, 0,
+            [](std::int64_t acc, const std::int64_t& v) { return acc + v; },
+            [this](const Result& r) { fired.push_back(r); }} {}
+};
+
+TEST(WindowSpec, ValidatesParameters) {
+  WindowSpec bad;
+  bad.size_ms = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = WindowSpec{WindowKind::kSliding, 100, 0, 0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = WindowSpec{WindowKind::kSliding, 100, 200, 0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = WindowSpec{WindowKind::kTumbling, 100, 100, -1};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(WindowSpec, TumblingAssignsOneWindow) {
+  WindowSpec spec{WindowKind::kTumbling, 100, 100, 0};
+  EXPECT_EQ(spec.windows_for(0), (std::vector<EventTime>{0}));
+  EXPECT_EQ(spec.windows_for(99), (std::vector<EventTime>{0}));
+  EXPECT_EQ(spec.windows_for(100), (std::vector<EventTime>{100}));
+  EXPECT_EQ(spec.windows_for(250), (std::vector<EventTime>{200}));
+}
+
+TEST(WindowSpec, TumblingHandlesNegativeTimes) {
+  WindowSpec spec{WindowKind::kTumbling, 100, 100, 0};
+  EXPECT_EQ(spec.windows_for(-1), (std::vector<EventTime>{-100}));
+  EXPECT_EQ(spec.windows_for(-100), (std::vector<EventTime>{-100}));
+}
+
+TEST(WindowSpec, SlidingAssignsSizeOverSlideWindows) {
+  WindowSpec spec{WindowKind::kSliding, 100, 25, 0};
+  const auto windows = spec.windows_for(110);
+  EXPECT_EQ(windows.size(), 4u);  // starts 100, 75, 50, 25
+  EXPECT_EQ(windows.front(), 100);
+  EXPECT_EQ(windows.back(), 25);
+}
+
+TEST(WindowedAggregator, RejectsMissingCallbacks) {
+  WindowSpec spec;
+  using Agg = WindowedAggregator<int, int, int>;
+  EXPECT_THROW(Agg(spec, 0, nullptr, [](const WindowResult<int, int>&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(Agg(spec, 0, [](int a, const int&) { return a; }, nullptr),
+               std::invalid_argument);
+}
+
+TEST(WindowedAggregator, TumblingSumFiresOnWatermark) {
+  SumAggregator t{WindowSpec{WindowKind::kTumbling, 100, 100, 0}};
+  t.agg.on_event("a", 1, 10);
+  t.agg.on_event("a", 2, 20);
+  t.agg.on_event("b", 5, 50);
+  t.agg.on_event("a", 3, 150);
+  EXPECT_TRUE(t.fired.empty());
+  t.agg.advance_watermark(100);
+  ASSERT_EQ(t.fired.size(), 2u);  // window [0,100) for keys a and b
+  EXPECT_EQ(t.fired[0].key, "a");
+  EXPECT_EQ(t.fired[0].value, 3);
+  EXPECT_EQ(t.fired[0].count, 2u);
+  EXPECT_EQ(t.fired[1].key, "b");
+  EXPECT_EQ(t.fired[1].value, 5);
+  t.agg.advance_watermark(200);
+  ASSERT_EQ(t.fired.size(), 3u);  // [100,200) for a
+  EXPECT_EQ(t.fired[2].value, 3);
+}
+
+TEST(WindowedAggregator, WatermarkIsMonotone) {
+  SumAggregator t{WindowSpec{WindowKind::kTumbling, 100, 100, 0}};
+  t.agg.advance_watermark(500);
+  t.agg.advance_watermark(100);  // ignored
+  EXPECT_EQ(t.agg.watermark(), 500);
+}
+
+TEST(WindowedAggregator, LateEventsDropped) {
+  SumAggregator t{WindowSpec{WindowKind::kTumbling, 100, 100, 0}};
+  t.agg.on_event("a", 1, 50);
+  t.agg.advance_watermark(200);
+  EXPECT_FALSE(t.agg.on_event("a", 9, 150));  // behind watermark
+  EXPECT_EQ(t.agg.late_dropped(), 1u);
+}
+
+TEST(WindowedAggregator, AllowedLatenessAdmitsStragglers) {
+  SumAggregator t{WindowSpec{WindowKind::kTumbling, 100, 100, 50}};
+  t.agg.on_event("a", 1, 150);
+  t.agg.advance_watermark(180);
+  // Event at 160 is behind the watermark but within the 50 ms grace.
+  EXPECT_TRUE(t.agg.on_event("a", 2, 160));
+  // Window [100,200) fires only at watermark 250 (end + lateness).
+  t.agg.advance_watermark(200);
+  EXPECT_TRUE(t.fired.empty());
+  t.agg.advance_watermark(250);
+  ASSERT_EQ(t.fired.size(), 1u);
+  EXPECT_EQ(t.fired[0].value, 3);
+}
+
+TEST(WindowedAggregator, CloseFlushesEverything) {
+  SumAggregator t{WindowSpec{WindowKind::kTumbling, 100, 100, 0}};
+  t.agg.on_event("a", 1, 10);
+  t.agg.on_event("b", 2, 210);
+  t.agg.close();
+  EXPECT_EQ(t.fired.size(), 2u);
+  EXPECT_EQ(t.agg.open_panes(), 0u);
+}
+
+TEST(WindowedAggregator, SlidingWindowsOverlapCorrectly) {
+  SumAggregator t{WindowSpec{WindowKind::kSliding, 100, 50, 0}};
+  t.agg.on_event("k", 1, 60);  // windows starting at 50 and 0
+  t.agg.close();
+  ASSERT_EQ(t.fired.size(), 2u);
+  EXPECT_EQ(t.fired[0].window_start, 0);
+  EXPECT_EQ(t.fired[1].window_start, 50);
+  EXPECT_EQ(t.fired[0].value + t.fired[1].value, 2);
+}
+
+TEST(WindowedAggregator, MatchesBatchReferenceOnRandomStream) {
+  // Property: tumbling windowed sums over a shuffled (bounded-disorder)
+  // stream equal a batch group-by over (key, window).
+  sim::Rng rng{7};
+  const WindowSpec spec{WindowKind::kTumbling, 1000, 1000, 0};
+  SumAggregator t{spec};
+  std::map<std::pair<std::string, EventTime>, std::int64_t> reference;
+
+  EventTime clock = 0;
+  BoundedOutOfOrdernessWatermark wm{100};
+  for (int i = 0; i < 20000; ++i) {
+    clock += static_cast<EventTime>(rng.uniform_index(20));
+    // Bounded disorder: jitter each event's time by up to 80 ms backwards.
+    const EventTime event_time =
+        clock - static_cast<EventTime>(rng.uniform_index(80));
+    const std::string key = "s" + std::to_string(rng.uniform_index(5));
+    const auto value = static_cast<std::int64_t>(rng.uniform_index(100));
+    reference[{key, spec.windows_for(event_time)[0]}] += value;
+    t.agg.on_event(key, value, event_time);
+    t.agg.advance_watermark(wm.observe(event_time));
+  }
+  t.agg.close();
+  EXPECT_EQ(t.agg.late_dropped(), 0u);  // disorder is within the bound
+
+  std::map<std::pair<std::string, EventTime>, std::int64_t> got;
+  for (const auto& r : t.fired) got[{r.key, r.window_start}] += r.value;
+  EXPECT_EQ(got, reference);
+}
+
+TEST(Watermark, RejectsNegativeBound) {
+  EXPECT_THROW(BoundedOutOfOrdernessWatermark{-1}, std::invalid_argument);
+}
+
+TEST(Watermark, TracksMaxMinusBound) {
+  BoundedOutOfOrdernessWatermark wm{10};
+  EXPECT_EQ(wm.observe(100), 90);
+  EXPECT_EQ(wm.observe(50), 90);  // regression does not lower it
+  EXPECT_EQ(wm.observe(200), 190);
+}
+
+/// Window-size sweep: total counts are conserved for any configuration.
+class WindowSweepTest
+    : public ::testing::TestWithParam<std::pair<EventTime, EventTime>> {};
+
+TEST_P(WindowSweepTest, TumblingConservesEvents) {
+  const auto [size, jitter] = GetParam();
+  SumAggregator t{WindowSpec{WindowKind::kTumbling, size, size, 0}};
+  sim::Rng rng{11};
+  EventTime clock = 0;
+  BoundedOutOfOrdernessWatermark wm{jitter};
+  std::uint64_t sent = 0;
+  for (int i = 0; i < 5000; ++i) {
+    clock += static_cast<EventTime>(rng.uniform_index(10));
+    const EventTime et =
+        clock - static_cast<EventTime>(rng.uniform_index(
+                    static_cast<std::uint64_t>(jitter) + 1));
+    t.agg.on_event("k", 1, et);
+    ++sent;
+    t.agg.advance_watermark(wm.observe(et));
+  }
+  t.agg.close();
+  std::uint64_t counted = 0;
+  for (const auto& r : t.fired) counted += r.count;
+  EXPECT_EQ(counted + t.agg.late_dropped(), sent);
+  EXPECT_EQ(t.agg.late_dropped(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WindowSweepTest,
+    ::testing::Values(std::pair<EventTime, EventTime>{10, 5},
+                      std::pair<EventTime, EventTime>{100, 50},
+                      std::pair<EventTime, EventTime>{1000, 100},
+                      std::pair<EventTime, EventTime>{7, 0}));
+
+}  // namespace
+}  // namespace rb::dataflow

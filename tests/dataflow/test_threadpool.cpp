@@ -1,0 +1,91 @@
+#include "dataflow/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rb::dataflow {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSizeRespected) {
+  ThreadPool pool{3};
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool{2};
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool{2};
+  auto f = pool.submit([]() -> int { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool{2};
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::invalid_argument{"unlucky"};
+                                   }
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool{8};
+  std::vector<long long> partial(64, 0);
+  pool.parallel_for(64, [&](std::size_t i) {
+    for (long long k = 0; k < 1000; ++k) {
+      partial[i] += static_cast<long long>(i) * 1000 + k;
+    }
+  });
+  const long long total =
+      std::accumulate(partial.begin(), partial.end(), 0LL);
+  long long expected = 0;
+  for (long long i = 0; i < 64; ++i) {
+    for (long long k = 0; k < 1000; ++k) expected += i * 1000 + k;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, DefaultPoolIsSingleton) {
+  EXPECT_EQ(&default_pool(), &default_pool());
+}
+
+}  // namespace
+}  // namespace rb::dataflow

@@ -1,0 +1,147 @@
+// Smoke-level versions of the headline experiments: each E* bench has a
+// miniature counterpart here asserting the *direction* of the paper's claim,
+// so a regression that flips an experiment's conclusion fails CI before
+// anyone re-reads bench output.
+
+#include <gtest/gtest.h>
+
+#include "accel/offload.hpp"
+#include "net/disagg.hpp"
+#include "net/fabric.hpp"
+#include "net/sdn.hpp"
+#include "node/integration.hpp"
+#include "node/tco.hpp"
+#include "roadmap/scenario.hpp"
+#include "roadmap/survey.hpp"
+#include "sched/policies.hpp"
+#include "workloads/search_service.hpp"
+
+namespace rb {
+namespace {
+
+TEST(Experiments, E1_FpgaTailLatencyShape) {
+  workloads::SearchTierParams params;
+  params.queries = 15000;
+  const auto cpu = workloads::simulate_search_tier(
+      node::find_device(node::DeviceKind::kCpu), params);
+  const auto fpga = workloads::simulate_search_tier(
+      node::find_device(node::DeviceKind::kFpga), params);
+  const double reduction = 1.0 - fpga.p99_ms / cpu.p99_ms;
+  // Paper cites 29% for Catapult; accept the broad neighbourhood.
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.70);
+}
+
+TEST(Experiments, E2_SomeBlockExceeds10x) {
+  const auto catalog = node::standard_catalog();
+  double best = 1.0;
+  for (const auto block : accel::all_blocks()) {
+    const auto d = accel::best_device(catalog, block, 4'000'000,
+                                      accel::CodePath::kDeviceTuned);
+    best = std::max(best, d.speedup_vs_host);
+  }
+  EXPECT_GE(best, 10.0);  // Rec 4's "factor of ten or more"
+}
+
+TEST(Experiments, E3_FasterEthernetFasterShuffle) {
+  net::FabricParams g10, g100;
+  g10.host_gen = g10.fabric_gen = net::EthernetGen::k10G;
+  g100.host_gen = g100.fabric_gen = net::EthernetGen::k100G;
+  const auto slow =
+      net::simulate_shuffle(net::make_leaf_spine(2, 2, 2, g10), 2'000'000);
+  const auto fast =
+      net::simulate_shuffle(net::make_leaf_spine(2, 2, 2, g100), 2'000'000);
+  EXPECT_GT(static_cast<double>(slow) / static_cast<double>(fast), 5.0);
+}
+
+TEST(Experiments, E4_SdnScalesDistributedDoesNot) {
+  const auto sdn =
+      net::apply_policy_change(net::ControlPlane::kSdnCentral, 10'000, 5);
+  const auto manual = net::apply_policy_change(
+      net::ControlPlane::kDistributedPerSwitch, 10'000, 5);
+  EXPECT_LT(sdn.admin_operations * 100, manual.admin_operations);
+  EXPECT_LT(sdn.completion_time * 10, manual.completion_time);
+}
+
+TEST(Experiments, E5_DisaggregationWinsUpgradeTco) {
+  sim::Rng rng{5};
+  std::vector<net::ResourceVector> jobs;
+  for (int i = 0; i < 150; ++i) {
+    jobs.push_back({rng.uniform(2.0, 28.0), rng.uniform(16.0, 240.0),
+                    rng.uniform(0.2, 6.0)});
+  }
+  const auto tco = net::simulate_upgrades(jobs, net::ServerShape{},
+                                          net::DisaggParams{});
+  EXPECT_LT(tco.disagg_total, tco.converged_total);
+}
+
+TEST(Experiments, E6_SipBeatsSocAtLowVolume) {
+  const std::vector<node::ChipletSpec> chiplets = {
+      {{"compute", 150.0, node::leading_edge_16nm()}, 0.0},
+      {{"io", 120.0, node::mature_28nm()}, 1e7},
+  };
+  EXPECT_LT(node::sip_unit_cost(chiplets, 5e4).total(),
+            node::soc_unit_cost(260.0, node::leading_edge_16nm(), 5e4)
+                .total());
+}
+
+TEST(Experiments, E7_GpgpuRoiNeedsUtilization) {
+  node::RoiParams p;
+  p.host = node::find_device(node::DeviceKind::kCpu);
+  p.accelerator = node::find_device(node::DeviceKind::kGpu);
+  p.speedup = 8.0;
+  const double breakeven = node::breakeven_utilization(p);
+  EXPECT_GT(breakeven, 0.02);  // free lunches don't exist
+  EXPECT_LT(breakeven, 0.9);   // but hot shops do profit
+}
+
+TEST(Experiments, E8_PortabilityGapLargestOnFpga) {
+  const auto fpga = node::find_device(node::DeviceKind::kFpga);
+  const auto gpu = node::find_device(node::DeviceKind::kGpu);
+  const auto gap = [](const node::DeviceModel& d) {
+    const auto tuned = accel::block_time(d, accel::BlockKind::kKMeans,
+                                         1'000'000,
+                                         accel::CodePath::kDeviceTuned);
+    const auto generic = accel::block_time(d, accel::BlockKind::kKMeans,
+                                           1'000'000,
+                                           accel::CodePath::kGenericPortable);
+    return static_cast<double>(generic) / static_cast<double>(tuned);
+  };
+  EXPECT_GT(gap(fpga), gap(gpu));
+}
+
+TEST(Experiments, E9_HeteroSchedulingWins) {
+  const auto cluster = sched::make_hetero_cluster(
+      4, {node::DeviceKind::kGpu, node::DeviceKind::kFpga}, 2, 4);
+  const auto jobs = [] {
+    std::vector<sched::JobArrival> out;
+    out.push_back(
+        {dataflow::make_kmeans_job(128 * sim::kMiB, 4, 8), 0});
+    out.push_back(
+        {dataflow::make_wordcount_job(256 * sim::kMiB, 16), 0});
+    return out;
+  };
+  sched::FifoPolicy fifo;
+  sched::HeteroAwarePolicy hetero;
+  const auto f = sched::run_jobs(cluster, jobs(), fifo);
+  const auto h = sched::run_jobs(cluster, jobs(), hetero);
+  EXPECT_LT(h.makespan, f.makespan);
+}
+
+TEST(Experiments, E13_SurveyShapesHold) {
+  const auto results =
+      roadmap::run_survey(roadmap::make_population(70, 1), 2);
+  EXPECT_LT(results.frac_roi_convinced, results.frac_on_commodity_x86);
+  EXPECT_LT(results.frac_with_hw_roadmap, 0.5);
+}
+
+TEST(Experiments, E14_ScenarioEngineCoversAllRecommendations) {
+  const auto scores = roadmap::score_recommendations();
+  EXPECT_EQ(scores.size(), 12u);
+  double total = 0.0;
+  for (const auto& s : scores) total += s.score;
+  EXPECT_GT(total, 100.0);  // collectively the roadmap has teeth
+}
+
+}  // namespace
+}  // namespace rb

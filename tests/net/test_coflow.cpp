@@ -1,0 +1,136 @@
+#include "net/coflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace rb::net {
+namespace {
+
+/// A shuffle-like coflow: `width` sources all sending to `width` sinks.
+Coflow make_shuffle_coflow(const std::vector<NodeId>& hosts,
+                           std::size_t first, std::size_t width,
+                           sim::Bytes bytes, std::string name) {
+  Coflow coflow;
+  coflow.name = std::move(name);
+  for (std::size_t s = 0; s < width; ++s) {
+    for (std::size_t d = 0; d < width; ++d) {
+      coflow.flows.push_back(CoflowFlow{hosts[first + s],
+                                        hosts[first + width + d], bytes});
+    }
+  }
+  return coflow;
+}
+
+TEST(Coflow, RejectsEmptyInputs) {
+  const auto topo = make_star(4);
+  EXPECT_THROW(run_coflows(topo, {}, CoflowSchedule::kConcurrentFairSharing),
+               std::invalid_argument);
+  const std::vector<Coflow> with_empty{{"empty", {}}};
+  EXPECT_THROW(
+      run_coflows(topo, with_empty, CoflowSchedule::kConcurrentFairSharing),
+      std::invalid_argument);
+}
+
+TEST(Coflow, TotalBytesSums) {
+  Coflow c{"c", {{0, 1, 100}, {1, 2, 200}}};
+  EXPECT_EQ(c.total_bytes(), 300u);
+}
+
+TEST(Coflow, BottleneckMatchesAnalytic) {
+  // Star, 10G links: two flows out of the same host => bottleneck is that
+  // host's uplink carrying both.
+  const auto topo = make_star(4);
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  Coflow c{"c",
+           {{hosts[0], hosts[1], 125'000'000},
+            {hosts[0], hosts[2], 125'000'000}}};
+  EXPECT_NEAR(bottleneck_seconds(topo, c), 0.2, 1e-6);  // 2 Gb over 10 Gb/s
+}
+
+TEST(Coflow, SingleCoflowSameUnderBothSchedules) {
+  const auto topo = make_leaf_spine(2, 2, 4);
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  const std::vector<Coflow> coflows{
+      make_shuffle_coflow(hosts, 0, 2, 4'000'000, "only")};
+  const auto fair =
+      run_coflows(topo, coflows, CoflowSchedule::kConcurrentFairSharing);
+  const auto sebf =
+      run_coflows(topo, coflows, CoflowSchedule::kSmallestBottleneckFirst);
+  EXPECT_NEAR(fair.avg_cct_seconds, sebf.avg_cct_seconds, 1e-6);
+}
+
+TEST(Coflow, SebfImprovesAverageCct) {
+  // One small and one large shuffle over the SAME hosts (full contention):
+  // fair sharing makes the small one crawl at half rate; SEBF finishes it
+  // first and the large one loses almost nothing.
+  const auto topo = make_star(8);
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  const std::vector<Coflow> coflows{
+      make_shuffle_coflow(hosts, 0, 2, 64'000'000, "large"),
+      make_shuffle_coflow(hosts, 0, 2, 2'000'000, "small"),
+  };
+  const auto fair =
+      run_coflows(topo, coflows, CoflowSchedule::kConcurrentFairSharing);
+  const auto sebf =
+      run_coflows(topo, coflows, CoflowSchedule::kSmallestBottleneckFirst);
+  EXPECT_LT(sebf.avg_cct_seconds, fair.avg_cct_seconds);
+}
+
+TEST(Coflow, DisjointCoflowsUnaffectedByFairSharing) {
+  // Coflows on disjoint host sets in a star share no directed links:
+  // concurrent fair sharing must equal their standalone times.
+  const auto topo = make_star(8);
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  const std::vector<Coflow> coflows{
+      make_shuffle_coflow(hosts, 0, 2, 8'000'000, "a"),
+      make_shuffle_coflow(hosts, 4, 2, 8'000'000, "b"),
+  };
+  const auto fair =
+      run_coflows(topo, coflows, CoflowSchedule::kConcurrentFairSharing);
+  EXPECT_NEAR(fair.cct_seconds[0].second, fair.cct_seconds[1].second, 1e-6);
+}
+
+TEST(Coflow, ResultsCoverEveryCoflow) {
+  const auto topo = make_star(8);
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  const std::vector<Coflow> coflows{
+      make_shuffle_coflow(hosts, 0, 2, 4'000'000, "x"),
+      make_shuffle_coflow(hosts, 4, 2, 8'000'000, "y"),
+  };
+  for (const auto schedule : {CoflowSchedule::kConcurrentFairSharing,
+                              CoflowSchedule::kSmallestBottleneckFirst}) {
+    const auto result = run_coflows(topo, coflows, schedule);
+    ASSERT_EQ(result.cct_seconds.size(), 2u) << to_string(schedule);
+    for (const auto& [name, cct] : result.cct_seconds) {
+      EXPECT_GT(cct, 0.0) << name;
+      EXPECT_LE(cct, result.makespan_seconds + 1e-12);
+    }
+  }
+}
+
+TEST(Coflow, RandomContendingMixSebfNeverWorseOnAverage) {
+  // Property over random sizes: when coflows fully contend (same source
+  // and sink hosts), SEBF's average CCT is never worse than fair sharing
+  // beyond numerical noise — the Varys result.
+  sim::Rng rng{17};
+  const auto topo = make_star(8);
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Coflow> coflows;
+    for (int c = 0; c < 3; ++c) {
+      coflows.push_back(make_shuffle_coflow(
+          hosts, 0, 2, 1'000'000 + rng.uniform_index(64'000'000),
+          "c" + std::to_string(c)));
+    }
+    const auto fair =
+        run_coflows(topo, coflows, CoflowSchedule::kConcurrentFairSharing);
+    const auto sebf = run_coflows(topo, coflows,
+                                  CoflowSchedule::kSmallestBottleneckFirst);
+    EXPECT_LE(sebf.avg_cct_seconds, fair.avg_cct_seconds * 1.001)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rb::net

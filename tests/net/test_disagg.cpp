@@ -1,0 +1,137 @@
+#include "net/disagg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rb::net {
+namespace {
+
+std::vector<ResourceVector> random_jobs(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  std::vector<ResourceVector> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deliberately mismatched shapes: some CPU-heavy, some memory-heavy.
+    if (rng.chance(0.5)) {
+      jobs.push_back({rng.uniform(8.0, 30.0), rng.uniform(16.0, 64.0),
+                      rng.uniform(0.1, 1.0)});
+    } else {
+      jobs.push_back({rng.uniform(1.0, 6.0), rng.uniform(100.0, 250.0),
+                      rng.uniform(0.5, 4.0)});
+    }
+  }
+  return jobs;
+}
+
+TEST(Packing, JobLargerThanServerThrows) {
+  const ServerShape shape;
+  const std::vector<ResourceVector> jobs{{1000.0, 10.0, 1.0}};
+  EXPECT_THROW(pack_converged(jobs, shape), std::invalid_argument);
+}
+
+TEST(Packing, SingleJobUsesOneServer) {
+  const ServerShape shape;
+  const std::vector<ResourceVector> jobs{{10.0, 100.0, 2.0}};
+  const auto packed = pack_converged(jobs, shape);
+  EXPECT_EQ(packed.servers, 1u);
+  EXPECT_DOUBLE_EQ(packed.used.cores, 10.0);
+}
+
+TEST(Packing, CapacityIsRespected) {
+  const ServerShape shape;
+  const auto jobs = random_jobs(200, 1);
+  const auto packed = pack_converged(jobs, shape);
+  // Provisioned >= used in every dimension.
+  EXPECT_GE(packed.provisioned.cores, packed.used.cores);
+  EXPECT_GE(packed.provisioned.mem_gib, packed.used.mem_gib);
+  EXPECT_GE(packed.provisioned.storage_tib, packed.used.storage_tib);
+}
+
+TEST(Packing, FfdNotWorseThanNaiveLowerBoundFactor) {
+  const ServerShape shape;
+  const auto jobs = random_jobs(300, 2);
+  const auto packed = pack_converged(jobs, shape);
+  // Lower bound: max over dimensions of total demand / capacity.
+  ResourceVector total;
+  for (const auto& j : jobs) total += j;
+  const double lb = std::max({total.cores / shape.capacity.cores,
+                              total.mem_gib / shape.capacity.mem_gib,
+                              total.storage_tib / shape.capacity.storage_tib});
+  EXPECT_GE(static_cast<double>(packed.servers), lb);
+  // FFD for vector packing stays within a small constant of the bound here.
+  EXPECT_LE(static_cast<double>(packed.servers), lb * 3.0 + 1.0);
+}
+
+TEST(Disagg, PoolsStrandLessThanServers) {
+  // The roadmap's core claim for composability (Sec IV.A.3).
+  const ServerShape shape;
+  const auto jobs = random_jobs(300, 3);
+  const auto conv = pack_converged(jobs, shape);
+  const auto dis = pack_disaggregated(jobs);
+  const double conv_stranded_mem = conv.stranded_mem();
+  const double dis_stranded_mem =
+      (dis.provisioned.mem_gib - dis.used.mem_gib) / dis.provisioned.mem_gib;
+  EXPECT_LT(dis_stranded_mem, conv_stranded_mem);
+}
+
+TEST(Disagg, SledCountsCoverDemand) {
+  const auto jobs = random_jobs(100, 4);
+  const DisaggParams params;
+  const auto dis = pack_disaggregated(jobs, params);
+  EXPECT_GE(dis.provisioned.cores, dis.used.cores);
+  EXPECT_GE(dis.provisioned.mem_gib, dis.used.mem_gib);
+  EXPECT_GE(dis.provisioned.storage_tib, dis.used.storage_tib);
+  EXPECT_GT(dis.capex, 0.0);
+}
+
+TEST(Disagg, HeadroomIncreasesSleds) {
+  const auto jobs = random_jobs(100, 5);
+  DisaggParams tight, loose;
+  tight.headroom = 0.0;
+  loose.headroom = 0.5;
+  EXPECT_LE(pack_disaggregated(jobs, tight).cpu_sleds,
+            pack_disaggregated(jobs, loose).cpu_sleds);
+}
+
+TEST(UpgradeTco, RejectsBadParams) {
+  const auto jobs = random_jobs(10, 6);
+  UpgradeTcoParams bad;
+  bad.horizon_years = 0;
+  EXPECT_THROW(simulate_upgrades(jobs, ServerShape{}, DisaggParams{}, bad),
+               std::invalid_argument);
+}
+
+TEST(UpgradeTco, DisaggregationCheaperOverLongHorizon) {
+  // E5's headline shape: whole-server refresh vs sled-level refresh.
+  const auto jobs = random_jobs(200, 7);
+  UpgradeTcoParams params;
+  params.horizon_years = 6;
+  const auto tco =
+      simulate_upgrades(jobs, ServerShape{}, DisaggParams{}, params);
+  EXPECT_LT(tco.disagg_total, tco.converged_total);
+  EXPECT_EQ(tco.converged_capex_by_year.size(), 6u);
+  EXPECT_EQ(tco.disagg_capex_by_year.size(), 6u);
+}
+
+TEST(UpgradeTco, YearZeroBuysBothFleets) {
+  const auto jobs = random_jobs(50, 8);
+  const auto tco = simulate_upgrades(jobs, ServerShape{}, DisaggParams{});
+  EXPECT_GT(tco.converged_capex_by_year[0], 0.0);
+  EXPECT_GT(tco.disagg_capex_by_year[0], 0.0);
+}
+
+TEST(UpgradeTco, TotalsMatchYearlySums) {
+  const auto jobs = random_jobs(50, 9);
+  const auto tco = simulate_upgrades(jobs, ServerShape{}, DisaggParams{});
+  double conv = 0.0, dis = 0.0;
+  for (const auto c : tco.converged_capex_by_year) conv += c;
+  for (const auto c : tco.disagg_capex_by_year) dis += c;
+  EXPECT_DOUBLE_EQ(conv, tco.converged_total);
+  EXPECT_DOUBLE_EQ(dis, tco.disagg_total);
+}
+
+}  // namespace
+}  // namespace rb::net

@@ -1,0 +1,204 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace rb::net {
+namespace {
+
+constexpr sim::Bytes kMiBFlow = 1'000'000;
+
+struct Fixture {
+  Fixture(Topology t) : topo{std::move(t)}, router{topo}, fabric{sim, topo, router} {}
+  Topology topo;
+  sim::Simulator sim;
+  Router router;
+  FlowSimulator fabric;
+};
+
+TEST(FlowSim, SingleFlowUsesFullLinkRate) {
+  Fixture f{make_star(2)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  sim::SimTime finish = 0;
+  // 10 Gb/s host links; 125 MB takes 0.1 s + latency.
+  f.fabric.start_flow(hosts[0], hosts[1], 125'000'000,
+                      [&](const FlowRecord& r) { finish = r.finish; });
+  f.sim.run();
+  EXPECT_NEAR(sim::to_seconds(finish), 0.1, 0.001);
+  EXPECT_EQ(f.fabric.completed_flows(), 1u);
+}
+
+TEST(FlowSim, TwoFlowsShareBottleneckFairly) {
+  Fixture f{make_star(3)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  // Both flows converge on host 2's downlink: each should get 5 Gb/s.
+  sim::SimTime f1 = 0, f2 = 0;
+  f.fabric.start_flow(hosts[0], hosts[2], 62'500'000,
+                      [&](const FlowRecord& r) { f1 = r.finish; });
+  f.fabric.start_flow(hosts[1], hosts[2], 62'500'000,
+                      [&](const FlowRecord& r) { f2 = r.finish; });
+  f.sim.run();
+  EXPECT_NEAR(sim::to_seconds(f1), 0.1, 0.002);
+  EXPECT_NEAR(sim::to_seconds(f2), 0.1, 0.002);
+}
+
+TEST(FlowSim, ShortFlowFinishesThenLongSpeedsUp) {
+  Fixture f{make_star(3)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  // Long flow alone would take 0.2s; sharing with an equal-start short flow
+  // of half the size: both at 5 Gb/s until short is done at 0.1s, then long
+  // finishes its remaining 62.5 MB at 10 Gb/s in 0.05s => 0.15s total.
+  sim::SimTime done_long = 0;
+  f.fabric.start_flow(hosts[0], hosts[2], 250'000'000 / 2,
+                      [&](const FlowRecord& r) { done_long = r.finish; });
+  f.fabric.start_flow(hosts[1], hosts[2], 62'500'000, {});
+  f.sim.run();
+  EXPECT_NEAR(sim::to_seconds(done_long), 0.15, 0.003);
+}
+
+TEST(FlowSim, ZeroByteFlowCompletesAtPropagationDelay) {
+  Fixture f{make_star(2)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  sim::SimTime finish = -1;
+  f.fabric.start_flow(hosts[0], hosts[1], 0,
+                      [&](const FlowRecord& r) { finish = r.finish; });
+  f.sim.run();
+  // Two 500 ns link hops.
+  EXPECT_EQ(finish, 2 * 500 * sim::kNanosecond);
+}
+
+TEST(FlowSim, SelfFlowCompletesImmediately) {
+  Fixture f{make_star(2)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  bool done = false;
+  f.fabric.start_flow(hosts[0], hosts[0], 1'000'000,
+                      [&](const FlowRecord&) { done = true; });
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FlowSim, CurrentRateReflectsAllocation) {
+  Fixture f{make_star(3)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  const auto id1 = f.fabric.start_flow(hosts[0], hosts[2], 1'000'000'000, {});
+  EXPECT_NEAR(f.fabric.current_rate(id1), 10e9, 1e6);
+  const auto id2 = f.fabric.start_flow(hosts[1], hosts[2], 1'000'000'000, {});
+  EXPECT_NEAR(f.fabric.current_rate(id1), 5e9, 1e6);
+  EXPECT_NEAR(f.fabric.current_rate(id2), 5e9, 1e6);
+  EXPECT_THROW(f.fabric.current_rate(9999), std::invalid_argument);
+}
+
+TEST(FlowSim, OppositeDirectionsDoNotContend) {
+  Fixture f{make_star(2)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  // Full-duplex: a->b and b->a each get the full 10 Gb/s.
+  const auto ab = f.fabric.start_flow(hosts[0], hosts[1], 125'000'000, {});
+  const auto ba = f.fabric.start_flow(hosts[1], hosts[0], 125'000'000, {});
+  EXPECT_NEAR(f.fabric.current_rate(ab), 10e9, 1e6);
+  EXPECT_NEAR(f.fabric.current_rate(ba), 10e9, 1e6);
+  f.sim.run();
+}
+
+TEST(FlowSim, ManyFlowsAllComplete) {
+  Fixture f{make_leaf_spine(2, 4, 4)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  int completed = 0;
+  sim::Rng rng{3};
+  for (int i = 0; i < 200; ++i) {
+    const auto src = hosts[rng.uniform_index(hosts.size())];
+    auto dst = hosts[rng.uniform_index(hosts.size())];
+    f.fabric.start_flow(src, dst, 1'000'000 + rng.uniform_index(9'000'000),
+                        [&](const FlowRecord&) { ++completed; });
+  }
+  f.sim.run();
+  EXPECT_EQ(completed, 200);
+  EXPECT_EQ(f.fabric.active_flows(), 0u);
+}
+
+TEST(FlowSim, FctTrackerRecordsAllFlows) {
+  Fixture f{make_star(4)};
+  const auto hosts = f.topo.nodes_of_kind(NodeKind::kHost);
+  for (int i = 0; i < 3; ++i) {
+    f.fabric.start_flow(hosts[0], hosts[static_cast<std::size_t>(i) + 1],
+                        10'000'000, {});
+  }
+  f.sim.run();
+  EXPECT_EQ(f.fabric.fct_seconds().count(), 3u);
+  EXPECT_GT(f.fabric.fct_seconds().p50(), 0.0);
+}
+
+/// Generation sweep: the same shuffle must speed up with faster fabrics.
+class ShuffleGenTest : public ::testing::TestWithParam<EthernetGen> {};
+
+TEST_P(ShuffleGenTest, ShuffleCompletesAndScales) {
+  FabricParams params;
+  params.host_gen = GetParam();
+  params.fabric_gen = GetParam();
+  const auto topo = make_leaf_spine(2, 2, 2, params);
+  const auto makespan = simulate_shuffle(topo, 1'000'000);
+  EXPECT_GT(makespan, 0);
+  // Crude upper bound: 12 flows of 1 MB over >= 10 Gb/s shared 4 ways.
+  EXPECT_LT(sim::to_seconds(makespan),
+            12.0 * 8e6 / rate_of(GetParam()) * 4.0 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Generations, ShuffleGenTest,
+                         ::testing::Values(EthernetGen::k10G,
+                                           EthernetGen::k40G,
+                                           EthernetGen::k100G,
+                                           EthernetGen::k400G));
+
+TEST(Allocation, EqualShareRespectsCapacities) {
+  // The naive allocator must still be feasible: one flow per direction on a
+  // single link gets full rate; three into one host split it three ways.
+  const auto topo = make_star(4);
+  sim::Simulator sim;
+  const Router router{topo};
+  FlowSimulator fabric{sim, topo, router,
+                       RateAllocation::kEqualSharePerLink};
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  std::vector<FlowId> ids;
+  for (int i = 1; i <= 3; ++i) {
+    ids.push_back(fabric.start_flow(hosts[static_cast<std::size_t>(i)],
+                                    hosts[0], 100 * kMiBFlow, {}));
+  }
+  for (const auto id : ids) {
+    EXPECT_NEAR(fabric.current_rate(id), 10e9 / 3.0, 1e6);
+  }
+  sim.run();
+}
+
+TEST(Allocation, MaxMinNeverSlowerThanEqualShare) {
+  // Property: progressive filling reclaims what equal split strands.
+  for (const int leaves : {2, 3, 4}) {
+    FabricParams params;
+    const auto topo = make_leaf_spine(2, leaves, 3, params);
+    const auto maxmin = simulate_shuffle(topo, 4'000'000,
+                                         RateAllocation::kMaxMinFair);
+    const auto equal = simulate_shuffle(
+        topo, 4'000'000, RateAllocation::kEqualSharePerLink);
+    EXPECT_LE(maxmin, equal) << "leaves=" << leaves;
+  }
+}
+
+TEST(Shuffle, FasterFabricIsFaster) {
+  FabricParams slow, fast;
+  slow.host_gen = slow.fabric_gen = EthernetGen::k10G;
+  fast.host_gen = fast.fabric_gen = EthernetGen::k100G;
+  const auto t_slow =
+      simulate_shuffle(make_leaf_spine(2, 2, 2, slow), 4'000'000);
+  const auto t_fast =
+      simulate_shuffle(make_leaf_spine(2, 2, 2, fast), 4'000'000);
+  EXPECT_LT(t_fast, t_slow);
+  // Should be roughly 10x, allow a broad band for latency terms.
+  const double ratio =
+      static_cast<double>(t_slow) / static_cast<double>(t_fast);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+}  // namespace
+}  // namespace rb::net

@@ -1,0 +1,87 @@
+#include "net/nfv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::net {
+namespace {
+
+TEST(Nfv, RejectsEmptyChainAndNegativeLoad) {
+  EXPECT_THROW(evaluate_nfv_chain({}, 1000.0), std::invalid_argument);
+  EXPECT_THROW(evaluate_nfv_chain({FunctionKind::kNat}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_appliance_chain({}, 1000.0), std::invalid_argument);
+}
+
+TEST(Nfv, ThroughputFallsWithChainLength) {
+  const auto one = evaluate_nfv_chain({FunctionKind::kFirewall}, 0.0);
+  const auto two = evaluate_nfv_chain(
+      {FunctionKind::kFirewall, FunctionKind::kNat}, 0.0);
+  const auto four = evaluate_nfv_chain(
+      {FunctionKind::kFirewall, FunctionKind::kNat,
+       FunctionKind::kLoadBalancer, FunctionKind::kVpnEncrypt},
+      0.0);
+  EXPECT_GT(one.max_throughput_pps, two.max_throughput_pps);
+  EXPECT_GT(two.max_throughput_pps, four.max_throughput_pps);
+}
+
+TEST(Nfv, LatencyGrowsWithUtilization) {
+  const std::vector<FunctionKind> chain{FunctionKind::kFirewall,
+                                        FunctionKind::kDeepPacketInspection};
+  const auto idle = evaluate_nfv_chain(chain, 0.0);
+  const auto mid =
+      evaluate_nfv_chain(chain, idle.max_throughput_pps * 0.5);
+  const auto hot =
+      evaluate_nfv_chain(chain, idle.max_throughput_pps * 0.95);
+  EXPECT_LT(idle.latency, mid.latency);
+  EXPECT_LT(mid.latency, hot.latency);
+}
+
+TEST(Nfv, ApplianceChainCapexExceedsServer) {
+  const std::vector<FunctionKind> chain{FunctionKind::kFirewall,
+                                        FunctionKind::kNat};
+  const auto nfv = evaluate_nfv_chain(chain, 1e6);
+  const auto appliance = evaluate_appliance_chain(chain, 1e6);
+  EXPECT_GT(appliance.capex, nfv.capex);
+}
+
+TEST(Nfv, ApplianceThroughputBoundByWorstFunction) {
+  const std::vector<FunctionKind> chain{FunctionKind::kNat,
+                                        FunctionKind::kDeepPacketInspection};
+  const auto out = evaluate_appliance_chain(chain, 0.0);
+  EXPECT_DOUBLE_EQ(out.max_throughput_pps,
+                   appliance_of(FunctionKind::kDeepPacketInspection)
+                       .packets_per_second);
+}
+
+TEST(Nfv, AppliancesOutrunSoftwareAtLineRate) {
+  // The roadmap trade-off: appliances keep throughput, NFV keeps capex low.
+  const std::vector<FunctionKind> chain{FunctionKind::kFirewall};
+  const auto sw = evaluate_nfv_chain(chain, 0.0);
+  const auto hw = evaluate_appliance_chain(chain, 0.0);
+  EXPECT_LT(sw.max_throughput_pps, hw.max_throughput_pps);
+}
+
+TEST(Nfv, MoreCoresMoreThroughput) {
+  NfvServerParams small, big;
+  small.cores = 8;
+  big.cores = 32;
+  const std::vector<FunctionKind> chain{FunctionKind::kVpnEncrypt};
+  const auto s = evaluate_nfv_chain(chain, 0.0, small);
+  const auto b = evaluate_nfv_chain(chain, 0.0, big);
+  EXPECT_NEAR(b.max_throughput_pps / s.max_throughput_pps, 4.0, 1e-9);
+}
+
+TEST(Nfv, AllFunctionKindsHaveModels) {
+  for (const auto fn :
+       {FunctionKind::kFirewall, FunctionKind::kNat,
+        FunctionKind::kLoadBalancer, FunctionKind::kDeepPacketInspection,
+        FunctionKind::kVpnEncrypt}) {
+    EXPECT_GT(software_cost_ns(fn), 0.0) << to_string(fn);
+    EXPECT_GT(appliance_of(fn).packets_per_second, 0.0);
+    EXPECT_GT(appliance_of(fn).capex, 0.0);
+    EXPECT_FALSE(to_string(fn).empty());
+  }
+}
+
+}  // namespace
+}  // namespace rb::net

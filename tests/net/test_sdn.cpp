@@ -1,0 +1,73 @@
+#include "net/sdn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::net {
+namespace {
+
+TEST(Sdn, RejectsBadInputs) {
+  EXPECT_THROW(apply_policy_change(ControlPlane::kSdnCentral, 0, 3),
+               std::invalid_argument);
+  EXPECT_THROW(apply_policy_change(ControlPlane::kSdnCentral, 10, 0),
+               std::invalid_argument);
+}
+
+TEST(Sdn, SdnUsesOneAdminOperation) {
+  const auto out =
+      apply_policy_change(ControlPlane::kSdnCentral, 10'000, 5);
+  EXPECT_DOUBLE_EQ(out.admin_operations, 1.0);
+}
+
+TEST(Sdn, DistributedAdminOpsScaleLinearly) {
+  const auto small =
+      apply_policy_change(ControlPlane::kDistributedPerSwitch, 10, 5);
+  const auto large =
+      apply_policy_change(ControlPlane::kDistributedPerSwitch, 1000, 5);
+  EXPECT_DOUBLE_EQ(small.admin_operations, 10.0);
+  EXPECT_DOUBLE_EQ(large.admin_operations, 1000.0);
+}
+
+TEST(Sdn, ErrorProbabilityCompoundsPerSwitch) {
+  const auto n10 =
+      apply_policy_change(ControlPlane::kDistributedPerSwitch, 10, 5);
+  const auto n1000 =
+      apply_policy_change(ControlPlane::kDistributedPerSwitch, 1000, 5);
+  EXPECT_LT(n10.error_probability, n1000.error_probability);
+  EXPECT_GT(n1000.error_probability, 0.9);  // ~1 - 0.997^1000
+  const auto sdn = apply_policy_change(ControlPlane::kSdnCentral, 1000, 5);
+  EXPECT_LT(sdn.error_probability, 0.01);
+}
+
+TEST(Sdn, TenThousandSwitchesLookLikeOne) {
+  // Google's claim, quoted in Sec IV.A.2: completion time and operator
+  // effort at 10k switches stay within a small factor of a single switch.
+  const auto one = apply_policy_change(ControlPlane::kSdnCentral, 1, 1);
+  const auto tenk = apply_policy_change(ControlPlane::kSdnCentral, 10'000, 5);
+  EXPECT_DOUBLE_EQ(tenk.admin_operations, one.admin_operations);
+  EXPECT_LT(sim::to_seconds(tenk.completion_time),
+            10.0 * sim::to_seconds(one.completion_time));
+  // Distributed at 10k is catastrophically slower.
+  const auto manual =
+      apply_policy_change(ControlPlane::kDistributedPerSwitch, 10'000, 5);
+  EXPECT_GT(manual.completion_time, 100 * tenk.completion_time);
+}
+
+TEST(Sdn, SdnCompletionGrowsSublinearly) {
+  const auto n100 = apply_policy_change(ControlPlane::kSdnCentral, 100, 5);
+  const auto n10000 =
+      apply_policy_change(ControlPlane::kSdnCentral, 10'000, 5);
+  const double ratio = sim::to_seconds(n10000.completion_time) /
+                       sim::to_seconds(n100.completion_time);
+  EXPECT_LT(ratio, 5.0);  // 100x more switches, < 5x slower
+}
+
+TEST(Sdn, DiameterAffectsDistributedConvergence) {
+  const auto flat =
+      apply_policy_change(ControlPlane::kDistributedPerSwitch, 100, 2);
+  const auto deep =
+      apply_policy_change(ControlPlane::kDistributedPerSwitch, 100, 10);
+  EXPECT_LT(flat.completion_time, deep.completion_time);
+}
+
+}  // namespace
+}  // namespace rb::net

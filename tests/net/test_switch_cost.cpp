@@ -1,0 +1,78 @@
+#include "net/switch_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::net {
+namespace {
+
+TEST(SwitchCost, BareMetalCapexBelowVendor) {
+  const auto topo = make_leaf_spine(4, 8, 16);
+  const auto vendor =
+      network_cost(topo, ProcurementModel::kVendorIntegrated,
+                   EthernetGen::k40G);
+  const auto bare =
+      network_cost(topo, ProcurementModel::kBareMetal, EthernetGen::k40G);
+  EXPECT_GT(vendor.capex, bare.capex);
+  EXPECT_EQ(vendor.ports, bare.ports);
+  EXPECT_EQ(vendor.switches, bare.switches);
+}
+
+TEST(SwitchCost, WhiteBoxBetweenBareMetalAndVendor) {
+  const auto topo = make_leaf_spine(4, 8, 16);
+  const auto vendor = network_cost(topo, ProcurementModel::kVendorIntegrated,
+                                   EthernetGen::k100G);
+  const auto bare =
+      network_cost(topo, ProcurementModel::kBareMetal, EthernetGen::k100G);
+  const auto white =
+      network_cost(topo, ProcurementModel::kWhiteBox, EthernetGen::k100G);
+  EXPECT_GE(white.capex, bare.capex);
+  EXPECT_LT(white.capex, vendor.capex);
+}
+
+TEST(SwitchCost, OpexIncludesPowerForAllModels) {
+  const auto topo = make_star(10);
+  for (const auto model :
+       {ProcurementModel::kVendorIntegrated, ProcurementModel::kBareMetal,
+        ProcurementModel::kWhiteBox}) {
+    const auto cost = network_cost(topo, model, EthernetGen::k10G);
+    EXPECT_GT(cost.opex_per_year, 0.0) << to_string(model);
+  }
+}
+
+TEST(SwitchCost, TotalGrowsWithHorizon) {
+  const auto topo = make_leaf_spine(2, 4, 8);
+  const auto cost =
+      network_cost(topo, ProcurementModel::kBareMetal, EthernetGen::k40G);
+  EXPECT_LT(cost.total(1.0), cost.total(3.0));
+  EXPECT_DOUBLE_EQ(cost.total(0.0), cost.capex);
+}
+
+TEST(SwitchCost, PortCountExcludesHostNics) {
+  const auto topo = make_star(8);
+  const auto cost =
+      network_cost(topo, ProcurementModel::kBareMetal, EthernetGen::k10G);
+  EXPECT_EQ(cost.ports, 8u);   // switch side only
+  EXPECT_EQ(cost.switches, 1u);
+}
+
+/// Over a long horizon, vendor support (15%/yr of inflated capex) dominates:
+/// bare metal total cost stays below vendor for every generation.
+class ProcurementGenTest : public ::testing::TestWithParam<EthernetGen> {};
+
+TEST_P(ProcurementGenTest, BareMetalWinsOverFiveYears) {
+  const auto topo = make_leaf_spine(4, 8, 16);
+  const auto vendor = network_cost(topo, ProcurementModel::kVendorIntegrated,
+                                   GetParam());
+  const auto bare =
+      network_cost(topo, ProcurementModel::kBareMetal, GetParam());
+  EXPECT_LT(bare.total(5.0), vendor.total(5.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Generations, ProcurementGenTest,
+                         ::testing::Values(EthernetGen::k10G,
+                                           EthernetGen::k40G,
+                                           EthernetGen::k100G,
+                                           EthernetGen::k400G));
+
+}  // namespace
+}  // namespace rb::net

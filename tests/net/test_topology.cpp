@@ -1,0 +1,172 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::net {
+namespace {
+
+TEST(EthernetGen, RatesMatchNames) {
+  EXPECT_DOUBLE_EQ(rate_of(EthernetGen::k10G), 10e9);
+  EXPECT_DOUBLE_EQ(rate_of(EthernetGen::k40G), 40e9);
+  EXPECT_DOUBLE_EQ(rate_of(EthernetGen::k100G), 100e9);
+  EXPECT_DOUBLE_EQ(rate_of(EthernetGen::k400G), 400e9);
+}
+
+TEST(EthernetGen, AvailabilityYearsOrdered) {
+  EXPECT_LT(availability_year(EthernetGen::k10G),
+            availability_year(EthernetGen::k40G));
+  EXPECT_LT(availability_year(EthernetGen::k100G),
+            availability_year(EthernetGen::k400G));
+  // Sec IV.A.3: beyond-400GbE appliances available "after 2020".
+  EXPECT_GT(availability_year(EthernetGen::k400G), 2020);
+}
+
+TEST(EthernetGen, CostPerGbpsFalls) {
+  const double c10 = port_cost(EthernetGen::k10G) / 10.0;
+  const double c40 = port_cost(EthernetGen::k40G) / 40.0;
+  const double c100 = port_cost(EthernetGen::k100G) / 100.0;
+  const double c400 = port_cost(EthernetGen::k400G) / 400.0;
+  EXPECT_GT(c10, c40);
+  EXPECT_GT(c40, c100);
+  EXPECT_GT(c100, c400);
+}
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology topo;
+  const auto a = topo.add_node(NodeKind::kHost, "a");
+  const auto b = topo.add_node(NodeKind::kEdgeSwitch, "b");
+  const auto link = topo.add_link(a, b, 10e9, 100);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(topo.link(link).a, a);
+  EXPECT_EQ(topo.adjacency(a).size(), 1u);
+  EXPECT_EQ(topo.adjacency(a)[0].first, b);
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology topo;
+  const auto a = topo.add_node(NodeKind::kHost, "a");
+  const auto b = topo.add_node(NodeKind::kHost, "b");
+  EXPECT_THROW(topo.add_link(a, a, 1e9, 0), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(a, 99, 1e9, 0), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(a, b, 0.0, 0), std::invalid_argument);
+}
+
+TEST(FatTree, RejectsOddOrTinyK) {
+  EXPECT_THROW(make_fat_tree(3), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree(0), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree(-4), std::invalid_argument);
+}
+
+/// Structural property sweep over fat-tree sizes.
+class FatTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeTest, HasCanonicalCounts) {
+  const int k = GetParam();
+  const auto topo = make_fat_tree(k);
+  const auto half = k / 2;
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kCoreSwitch).size(),
+            static_cast<std::size_t>(half * half));
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kAggSwitch).size(),
+            static_cast<std::size_t>(k * half));
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kEdgeSwitch).size(),
+            static_cast<std::size_t>(k * half));
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kHost).size(),
+            static_cast<std::size_t>(k * half * half));
+  // Links: hosts + edge-agg + agg-core = k^3/4 + k*(k/2)^2 * 2.
+  EXPECT_EQ(topo.link_count(),
+            static_cast<std::size_t>(k * half * half * 3));
+}
+
+TEST_P(FatTreeTest, EverySwitchHasKPorts) {
+  const int k = GetParam();
+  const auto topo = make_fat_tree(k);
+  for (NodeId id = 0; id < topo.node_count(); ++id) {
+    if (topo.node(id).kind == NodeKind::kHost) {
+      EXPECT_EQ(topo.adjacency(id).size(), 1u);
+    } else {
+      EXPECT_EQ(topo.adjacency(id).size(), static_cast<std::size_t>(k))
+          << topo.node(id).name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FatTreeTest, ::testing::Values(2, 4, 6, 8));
+
+TEST(LeafSpine, StructureMatches) {
+  const auto topo = make_leaf_spine(4, 6, 10);
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kAggSwitch).size(), 4u);
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kEdgeSwitch).size(), 6u);
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kHost).size(), 60u);
+  EXPECT_EQ(topo.link_count(), 4u * 6u + 60u);
+}
+
+TEST(LeafSpine, RejectsNonPositiveCounts) {
+  EXPECT_THROW(make_leaf_spine(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(make_leaf_spine(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_leaf_spine(1, 1, 0), std::invalid_argument);
+}
+
+TEST(Star, SwitchPortsCountsOnlySwitchEndpoints) {
+  const auto topo = make_star(5);
+  // 5 host links, each with exactly one switch endpoint.
+  EXPECT_EQ(topo.switch_ports(), 5u);
+}
+
+TEST(DisaggregatedRack, StructureAndPoolLinks) {
+  const auto topo =
+      make_disaggregated_rack(6, 3, EthernetGen::k100G);
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kHost).size(), 6u);
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kResourcePool).size(), 3u);
+  EXPECT_EQ(topo.nodes_of_kind(NodeKind::kEdgeSwitch).size(), 1u);
+  EXPECT_EQ(topo.link_count(), 9u);
+  // Pool links run at the pool generation, host links at the host gen.
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const auto& link = topo.link(l);
+    const bool pool_link =
+        topo.node(link.a).kind == NodeKind::kResourcePool ||
+        topo.node(link.b).kind == NodeKind::kResourcePool;
+    EXPECT_DOUBLE_EQ(link.rate, pool_link ? 100e9 : 10e9);
+  }
+}
+
+TEST(DisaggregatedRack, RejectsBadCounts) {
+  EXPECT_THROW(make_disaggregated_rack(0, 1), std::invalid_argument);
+  EXPECT_THROW(make_disaggregated_rack(1, 0), std::invalid_argument);
+}
+
+TEST(DisaggregatedRack, PoolsReachableFromHosts) {
+  const auto topo = make_disaggregated_rack(4, 2);
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  const auto pools = topo.nodes_of_kind(NodeKind::kResourcePool);
+  // Host <-> pool traffic crosses exactly the rack switch (2 hops).
+  EXPECT_EQ(topo.adjacency(pools[0]).size(), 1u);
+  EXPECT_EQ(topo.adjacency(hosts[0]).size(), 1u);
+  EXPECT_EQ(topo.adjacency(hosts[0])[0].first,
+            topo.adjacency(pools[0])[0].first);
+}
+
+TEST(FabricParams, GenerationsPropagateToLinkRates) {
+  FabricParams params;
+  params.host_gen = EthernetGen::k40G;
+  params.fabric_gen = EthernetGen::k100G;
+  const auto topo = make_leaf_spine(2, 2, 2, params);
+  bool saw_host = false, saw_fabric = false;
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    const auto& link = topo.link(l);
+    const bool host_link = topo.node(link.a).kind == NodeKind::kHost ||
+                           topo.node(link.b).kind == NodeKind::kHost;
+    if (host_link) {
+      EXPECT_DOUBLE_EQ(link.rate, 40e9);
+      saw_host = true;
+    } else {
+      EXPECT_DOUBLE_EQ(link.rate, 100e9);
+      saw_fabric = true;
+    }
+  }
+  EXPECT_TRUE(saw_host);
+  EXPECT_TRUE(saw_fabric);
+}
+
+}  // namespace
+}  // namespace rb::net

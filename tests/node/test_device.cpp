@@ -1,0 +1,76 @@
+#include "node/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rb::node {
+namespace {
+
+TEST(Catalog, ContainsAllKinds) {
+  std::set<DeviceKind> kinds;
+  for (const auto& d : standard_catalog()) kinds.insert(d.kind);
+  EXPECT_EQ(kinds.size(), 5u);
+}
+
+TEST(Catalog, FindDeviceReturnsMatchingKind) {
+  for (const auto kind :
+       {DeviceKind::kCpu, DeviceKind::kGpu, DeviceKind::kFpga,
+        DeviceKind::kAsic, DeviceKind::kNeuromorphic}) {
+    EXPECT_EQ(find_device(kind).kind, kind);
+  }
+}
+
+TEST(Catalog, AllParametersPhysical) {
+  for (const auto& d : standard_catalog()) {
+    EXPECT_GT(d.peak_gflops, 0.0) << d.name;
+    EXPECT_GT(d.mem_bw_gbs, 0.0) << d.name;
+    EXPECT_GE(d.idle_power, 0.0) << d.name;
+    EXPECT_GT(d.active_power, d.idle_power) << d.name;
+    EXPECT_GT(d.unit_price, 0.0) << d.name;
+    EXPECT_GE(d.service_cv, 0.0) << d.name;
+    EXPECT_FALSE(d.name.empty());
+  }
+}
+
+TEST(Catalog, HostCpuHasNoPcie) {
+  EXPECT_DOUBLE_EQ(find_device(DeviceKind::kCpu).pcie_gbs, 0.0);
+}
+
+TEST(Catalog, AcceleratorsArePcieAttached) {
+  for (const auto kind : {DeviceKind::kGpu, DeviceKind::kFpga,
+                          DeviceKind::kAsic, DeviceKind::kNeuromorphic}) {
+    EXPECT_GT(find_device(kind).pcie_gbs, 0.0) << to_string(kind);
+  }
+}
+
+TEST(Catalog, FixedFunctionHasLowestVariability) {
+  // Sec I / E1 premise: FPGA/ASIC pipelines are near-deterministic.
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const auto fpga = find_device(DeviceKind::kFpga);
+  const auto asic = find_device(DeviceKind::kAsic);
+  EXPECT_LT(fpga.service_cv, cpu.service_cv);
+  EXPECT_LT(asic.service_cv, cpu.service_cv);
+}
+
+TEST(Catalog, PortingEffortOrdering) {
+  // Sec IV.B/IV.C: CPU free, GPU moderate, FPGA hard, ASIC/neuro hardest.
+  const auto pm = [](DeviceKind k) {
+    return find_device(k).porting_person_months;
+  };
+  EXPECT_EQ(pm(DeviceKind::kCpu), 0.0);
+  EXPECT_LT(pm(DeviceKind::kGpu), pm(DeviceKind::kFpga));
+  EXPECT_LT(pm(DeviceKind::kFpga), pm(DeviceKind::kAsic));
+  EXPECT_LE(pm(DeviceKind::kAsic), pm(DeviceKind::kNeuromorphic));
+}
+
+TEST(Catalog, ToStringCoversAllKinds) {
+  EXPECT_EQ(to_string(DeviceKind::kCpu), "cpu");
+  EXPECT_EQ(to_string(DeviceKind::kGpu), "gpu");
+  EXPECT_EQ(to_string(DeviceKind::kFpga), "fpga");
+  EXPECT_EQ(to_string(DeviceKind::kAsic), "asic");
+  EXPECT_EQ(to_string(DeviceKind::kNeuromorphic), "neuromorphic");
+}
+
+}  // namespace
+}  // namespace rb::node

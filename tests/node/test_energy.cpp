@@ -1,0 +1,66 @@
+#include "node/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rb::node {
+namespace {
+
+TEST(Power, BoundsAtIdleAndFull) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  EXPECT_DOUBLE_EQ(power_at(cpu, 0.0), cpu.idle_power);
+  EXPECT_DOUBLE_EQ(power_at(cpu, 1.0), cpu.active_power);
+}
+
+TEST(Power, RejectsOutOfRangeUtilization) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  EXPECT_THROW(power_at(cpu, -0.1), std::invalid_argument);
+  EXPECT_THROW(power_at(cpu, 1.1), std::invalid_argument);
+}
+
+TEST(Power, LinearInterpolation) {
+  const auto gpu = find_device(DeviceKind::kGpu);
+  const double mid = power_at(gpu, 0.5);
+  EXPECT_DOUBLE_EQ(mid, (gpu.idle_power + gpu.active_power) / 2.0);
+}
+
+TEST(Energy, KernelEnergyEqualsPowerTimesTime) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const KernelProfile kernel{1e12, 1e9, 1.0};
+  const double seconds = sim::to_seconds(offload_time(cpu, kernel));
+  EXPECT_NEAR(kernel_energy(cpu, kernel), cpu.active_power * seconds, 1e-6);
+}
+
+TEST(Energy, NodeEnergyIncludesIdleDevices) {
+  const std::vector<DeviceModel> node_devices = {
+      find_device(DeviceKind::kCpu), find_device(DeviceKind::kGpu)};
+  const auto& cpu = node_devices[0];
+  const KernelProfile kernel{1e12, 1e9, 1.0};
+  const double alone = kernel_energy(cpu, kernel);
+  const double with_gpu_idling = node_energy(node_devices, cpu, kernel);
+  EXPECT_GT(with_gpu_idling, alone);
+}
+
+TEST(Energy, NeuromorphicMostEfficientOnItsWorkload) {
+  // Rec 7's quantitative premise.
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const auto neuro = find_device(DeviceKind::kNeuromorphic);
+  const KernelProfile spikes{1e10, 1e9, 0.99};
+  EXPECT_GT(gflops_per_joule(neuro, spikes), gflops_per_joule(cpu, spikes));
+}
+
+TEST(Energy, GpuBeatsCpuEfficiencyOnDenseCompute) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const auto gpu = find_device(DeviceKind::kGpu);
+  const KernelProfile dense{1e13, 1e9, 0.999};
+  EXPECT_GT(gflops_per_joule(gpu, dense), gflops_per_joule(cpu, dense));
+}
+
+TEST(Energy, ZeroKernelHasZeroEfficiency) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  EXPECT_DOUBLE_EQ(gflops_per_joule(cpu, {0.0, 0.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace rb::node

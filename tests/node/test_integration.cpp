@@ -1,0 +1,119 @@
+#include "node/integration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::node {
+namespace {
+
+TEST(Yield, InUnitInterval) {
+  const auto process = leading_edge_16nm();
+  for (double area = 10.0; area <= 800.0; area += 50.0) {
+    const double y = die_yield(area, process);
+    EXPECT_GT(y, 0.0);
+    EXPECT_LE(y, 1.0);
+  }
+}
+
+TEST(Yield, FallsWithArea) {
+  const auto process = leading_edge_16nm();
+  EXPECT_GT(die_yield(50.0, process), die_yield(400.0, process));
+}
+
+TEST(Yield, BetterOnMatureProcess) {
+  EXPECT_GT(die_yield(200.0, legacy_65nm()),
+            die_yield(200.0, leading_edge_16nm()));
+}
+
+TEST(Yield, RejectsNonPositiveArea) {
+  EXPECT_THROW(die_yield(0.0, mature_28nm()), std::invalid_argument);
+  EXPECT_THROW(dies_per_wafer(-1.0), std::invalid_argument);
+}
+
+TEST(DiesPerWafer, DecreasesWithArea) {
+  EXPECT_GT(dies_per_wafer(50.0), dies_per_wafer(100.0));
+  EXPECT_GT(dies_per_wafer(100.0), dies_per_wafer(400.0));
+}
+
+TEST(GoodDieCost, SuperlinearInArea) {
+  // Doubling area more than doubles cost (yield + fewer dies per wafer).
+  const auto process = leading_edge_16nm();
+  const double c200 = good_die_cost(200.0, process);
+  const double c400 = good_die_cost(400.0, process);
+  EXPECT_GT(c400, 2.0 * c200);
+}
+
+TEST(SocCost, NreAmortizesWithVolume) {
+  const auto process = leading_edge_16nm();
+  const auto low = soc_unit_cost(300.0, process, 1e4);
+  const auto high = soc_unit_cost(300.0, process, 1e7);
+  EXPECT_GT(low.nre_amortized, high.nre_amortized);
+  EXPECT_DOUBLE_EQ(low.silicon, high.silicon);
+}
+
+TEST(SipCost, RejectsEmptyAndBadVolume) {
+  EXPECT_THROW(sip_unit_cost({}, 1e5), std::invalid_argument);
+  const std::vector<ChipletSpec> chiplets = {
+      {{"c", 100.0, mature_28nm()}, 0.0}};
+  EXPECT_THROW(sip_unit_cost(chiplets, 0.5), std::invalid_argument);
+}
+
+TEST(SipCost, ReusedChipletAmortizesOverLargerVolume) {
+  const std::vector<ChipletSpec> fresh = {
+      {{"compute", 150.0, leading_edge_16nm()}, 0.0}};
+  const std::vector<ChipletSpec> reused = {
+      {{"compute", 150.0, leading_edge_16nm()}, 1e8}};
+  EXPECT_GT(sip_unit_cost(fresh, 1e5).nre_amortized,
+            sip_unit_cost(reused, 1e5).nre_amortized);
+}
+
+TEST(SocVsSip, SipWinsAtSmeVolume) {
+  // Sec IV.B.3: "flexibility may give smaller companies a better
+  // opportunity to compete" — at 100k units the chiplet assembly must be
+  // cheaper than a monolithic 400 mm^2 leading-edge SoC.
+  const std::vector<ChipletSpec> chiplets = {
+      {{"compute", 150.0, leading_edge_16nm()}, 0.0},
+      {{"io", 120.0, mature_28nm()}, 1e7},
+      {{"accel", 130.0, mature_28nm()}, 1e6},
+  };
+  const auto soc = soc_unit_cost(400.0, leading_edge_16nm(), 1e5);
+  const auto sip = sip_unit_cost(chiplets, 1e5);
+  EXPECT_LT(sip.total(), soc.total());
+}
+
+TEST(SocVsSip, CrossoverIsFiniteAndOrdered) {
+  const std::vector<ChipletSpec> chiplets = {
+      {{"compute", 150.0, leading_edge_16nm()}, 0.0},
+      {{"io", 120.0, mature_28nm()}, 1e7},
+  };
+  const double crossover =
+      soc_sip_crossover_volume(260.0, leading_edge_16nm(), chiplets);
+  // Below the crossover SiP is cheaper, above the SoC.
+  if (crossover > 1.0 && crossover < 1e9) {
+    const auto below = crossover / 2.0;
+    const auto above = crossover * 2.0;
+    EXPECT_LT(sip_unit_cost(chiplets, below).total(),
+              soc_unit_cost(260.0, leading_edge_16nm(), below).total());
+    EXPECT_GT(sip_unit_cost(chiplets, above).total(),
+              soc_unit_cost(260.0, leading_edge_16nm(), above).total());
+  }
+}
+
+/// Property sweep: for every area, yield * gross dies <= gross dies and
+/// unit silicon cost is positive.
+class YieldAreaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(YieldAreaTest, CostPositiveAndYieldSane) {
+  const double area = GetParam();
+  for (const auto& process :
+       {leading_edge_16nm(), mature_28nm(), legacy_65nm()}) {
+    EXPECT_GT(good_die_cost(area, process), 0.0) << process.name;
+    EXPECT_LE(die_yield(area, process), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Areas, YieldAreaTest,
+                         ::testing::Values(25.0, 50.0, 100.0, 200.0, 400.0,
+                                           600.0, 800.0));
+
+}  // namespace
+}  // namespace rb::node

@@ -1,0 +1,125 @@
+#include "node/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::node {
+namespace {
+
+TieredMemory dram_only(double gib) {
+  return TieredMemory{{{dram_ddr4(), gib}}};
+}
+
+TEST(MemoryTiers, ParametersOrdered) {
+  // Faster tiers cost more per GiB and burn more power per GiB.
+  EXPECT_LT(dram_ddr4().latency_ns, nvm_xpoint().latency_ns);
+  EXPECT_LT(nvm_xpoint().latency_ns, flash_nvme().latency_ns);
+  EXPECT_GT(dram_ddr4().dollars_per_gib, nvm_xpoint().dollars_per_gib);
+  EXPECT_GT(nvm_xpoint().dollars_per_gib, flash_nvme().dollars_per_gib);
+}
+
+TEST(MemoryTiers, CapexAndPowerSumTiers) {
+  TieredMemory config{{{dram_ddr4(), 100.0}, {nvm_xpoint(), 400.0}}};
+  EXPECT_DOUBLE_EQ(config.capex(), 100.0 * 8.0 + 400.0 * 2.5);
+  EXPECT_DOUBLE_EQ(config.total_capacity_gib(), 500.0);
+  EXPECT_GT(config.power(), 0.0);
+}
+
+TEST(Evaluate, RejectsBadArguments) {
+  EXPECT_THROW(evaluate_memory(TieredMemory{}, 100.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_memory(dram_only(10), 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_memory(dram_only(10), 100.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_memory(dram_only(10), 100.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Evaluate, FullCoverageGivesTierLatency) {
+  // DRAM >= working set: every access hits DRAM.
+  const auto eval = evaluate_memory(dram_only(256.0), 128.0, 0.5);
+  EXPECT_DOUBLE_EQ(eval.avg_latency_ns, dram_ddr4().latency_ns);
+  EXPECT_DOUBLE_EQ(eval.hit_fraction_covered, 1.0);
+}
+
+TEST(Evaluate, SkewMakesSmallDramEffective) {
+  // With alpha = 0.5, 25% of capacity captures 50% of accesses.
+  const auto eval = evaluate_memory(dram_only(32.0), 128.0, 0.5);
+  EXPECT_NEAR(eval.hit_fraction_covered, 0.5, 1e-9);
+  EXPECT_GT(eval.avg_latency_ns, dram_ddr4().latency_ns);
+}
+
+TEST(Evaluate, MoreDramNeverSlower) {
+  double prev = 1e18;
+  for (const double gib : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    const auto eval = evaluate_memory(dram_only(gib), 256.0, 0.5);
+    EXPECT_LE(eval.avg_latency_ns, prev);
+    prev = eval.avg_latency_ns;
+  }
+}
+
+TEST(Evaluate, NvmUnderDramBeatsOverflowing) {
+  // A DRAM-only config smaller than the working set pays the 4x overflow
+  // penalty; backing it with NVM removes it.
+  const TieredMemory small = dram_only(64.0);
+  TieredMemory tiered = small;
+  tiered.tiers.push_back({nvm_xpoint(), 512.0});
+  const auto bare = evaluate_memory(small, 512.0, 0.5);
+  const auto backed = evaluate_memory(tiered, 512.0, 0.5);
+  EXPECT_LT(backed.avg_latency_ns, bare.avg_latency_ns);
+  EXPECT_DOUBLE_EQ(backed.hit_fraction_covered, 1.0);
+}
+
+TEST(Evaluate, StrongerSkewLowersLatency) {
+  // Smaller alpha = hotter head = the same DRAM covers more accesses.
+  const auto mild = evaluate_memory(dram_only(64.0), 512.0, 0.9);
+  const auto skewed = evaluate_memory(dram_only(64.0), 512.0, 0.3);
+  EXPECT_LT(skewed.avg_latency_ns, mild.avg_latency_ns);
+}
+
+TEST(Budget, RejectsNonPositiveBudget) {
+  EXPECT_THROW(best_memory_under_budget(0.0, 100.0), std::invalid_argument);
+}
+
+TEST(Budget, StaysWithinBudget) {
+  for (const double budget : {500.0, 2000.0, 10000.0}) {
+    const auto plan = best_memory_under_budget(budget, 1024.0);
+    EXPECT_LE(plan.evaluation.capex, budget * 1.001);
+  }
+}
+
+TEST(Budget, TieringWinsWhenDramCannotCoverWorkingSet) {
+  // Rec 5's claim: for big working sets on a fixed budget, NVM under DRAM
+  // beats DRAM-only.
+  const double budget = 2000.0;   // buys 250 GiB DRAM
+  const double working_set = 2048.0;  // 2 TiB
+  const auto plan = best_memory_under_budget(budget, working_set, 0.5);
+  EXPECT_NE(plan.label, "dram-only");
+  const auto dram_plan = evaluate_memory(
+      dram_only(budget / dram_ddr4().dollars_per_gib), working_set, 0.5);
+  EXPECT_LT(plan.evaluation.avg_latency_ns, dram_plan.avg_latency_ns);
+}
+
+TEST(Budget, DramOnlyWinsWhenItCoversEverything) {
+  // Small working set: just buy DRAM.
+  const auto plan = best_memory_under_budget(4000.0, 128.0, 0.5);
+  EXPECT_EQ(plan.label, "dram-only");
+  EXPECT_DOUBLE_EQ(plan.evaluation.avg_latency_ns, dram_ddr4().latency_ns);
+}
+
+/// Alpha sweep: evaluation is well-formed across localities.
+class AlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweepTest, LatencyBetweenBestTierAndOverflowCeiling) {
+  TieredMemory config{{{dram_ddr4(), 64.0}, {nvm_xpoint(), 256.0}}};
+  const auto eval = evaluate_memory(config, 1024.0, GetParam());
+  EXPECT_GE(eval.avg_latency_ns, dram_ddr4().latency_ns);
+  // Upper bound: everything paging to storage at the overflow penalty.
+  EXPECT_LE(eval.avg_latency_ns, flash_nvme().latency_ns * 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweepTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+}  // namespace
+}  // namespace rb::node

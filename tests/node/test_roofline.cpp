@@ -1,0 +1,115 @@
+#include "node/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::node {
+namespace {
+
+TEST(Roofline, AttainableCappedByPeak) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  EXPECT_DOUBLE_EQ(attainable_gflops(cpu, 1e9), cpu.peak_gflops);
+}
+
+TEST(Roofline, BandwidthBoundAtLowIntensity) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const double ai = 0.5;
+  EXPECT_DOUBLE_EQ(attainable_gflops(cpu, ai), ai * cpu.mem_bw_gbs);
+}
+
+TEST(Roofline, MonotoneInIntensity) {
+  const auto gpu = find_device(DeviceKind::kGpu);
+  double prev = 0.0;
+  for (double ai = 0.01; ai < 1000.0; ai *= 2.0) {
+    const double g = attainable_gflops(gpu, ai);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(DeviceTime, RejectsBadProfiles) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  EXPECT_THROW(device_time(cpu, {-1.0, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(device_time(cpu, {1.0, -1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(device_time(cpu, {1.0, 1.0, 1.5}), std::invalid_argument);
+  EXPECT_THROW(device_time(cpu, {1.0, 1.0, -0.1}), std::invalid_argument);
+}
+
+TEST(DeviceTime, EmptyKernelIsFree) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  EXPECT_EQ(device_time(cpu, {0.0, 0.0, 1.0}), 0);
+}
+
+TEST(DeviceTime, ComputeBoundMatchesAnalytic) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  // 1e12 flops at AI=1000 (compute bound): t = 1e12 / (peak * 1e9).
+  const KernelProfile kernel{1e12, 1e9, 1.0};
+  const double expected = 1e12 / (cpu.peak_gflops * 1e9);
+  EXPECT_NEAR(sim::to_seconds(device_time(cpu, kernel)), expected,
+              expected * 0.01);
+}
+
+TEST(DeviceTime, SerialTailSlowsDown) {
+  const auto gpu = find_device(DeviceKind::kGpu);
+  const KernelProfile par{1e12, 1e9, 1.0};
+  const KernelProfile amdahl{1e12, 1e9, 0.9};
+  EXPECT_LT(device_time(gpu, par), device_time(gpu, amdahl));
+}
+
+TEST(DeviceTime, MemoryOnlyKernelUsesBandwidth) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const KernelProfile copy{0.0, 120e9, 1.0};  // one second of bandwidth
+  EXPECT_NEAR(sim::to_seconds(device_time(cpu, copy)), 1.0, 0.01);
+}
+
+TEST(OffloadTime, HostHasNoTransferCost) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const KernelProfile kernel{1e10, 1e8, 1.0};
+  EXPECT_EQ(offload_time(cpu, kernel), device_time(cpu, kernel));
+}
+
+TEST(OffloadTime, AcceleratorPaysPcieAndLatency)
+{
+  const auto gpu = find_device(DeviceKind::kGpu);
+  const KernelProfile kernel{1e10, 1e8, 1.0};
+  EXPECT_GT(offload_time(gpu, kernel),
+            device_time(gpu, kernel) + gpu.offload_latency - 1);
+}
+
+TEST(Speedup, GpuWinsOnComputeBoundKernels) {
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const auto gpu = find_device(DeviceKind::kGpu);
+  const KernelProfile dense{1e13, 1e9, 0.999};  // AI = 10^4
+  EXPECT_GT(speedup_vs(gpu, cpu, dense), 5.0);
+}
+
+TEST(Speedup, TransferBoundKernelsStayOnCpu) {
+  // Low-intensity streaming: PCIe makes the GPU lose (the roadmap's point
+  // about uncertain accelerator ROI on data-movement-heavy analytics).
+  const auto cpu = find_device(DeviceKind::kCpu);
+  const auto gpu = find_device(DeviceKind::kGpu);
+  const KernelProfile scan{1e9, 1e10, 0.99};  // AI = 0.1
+  EXPECT_LT(speedup_vs(gpu, cpu, scan), 1.0);
+}
+
+/// Property: more bytes never make a kernel faster on any device.
+class RooflineMonotoneTest : public ::testing::TestWithParam<DeviceKind> {};
+
+TEST_P(RooflineMonotoneTest, TimeMonotoneInBytesAndFlops) {
+  const auto device = find_device(GetParam());
+  sim::SimTime prev = 0;
+  for (double scale = 1.0; scale <= 1024.0; scale *= 4.0) {
+    const KernelProfile kernel{1e9 * scale, 1e8 * scale, 0.99};
+    const auto t = offload_time(device, kernel);
+    EXPECT_GE(t, prev) << to_string(GetParam()) << " scale=" << scale;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, RooflineMonotoneTest,
+                         ::testing::Values(DeviceKind::kCpu, DeviceKind::kGpu,
+                                           DeviceKind::kFpga,
+                                           DeviceKind::kAsic,
+                                           DeviceKind::kNeuromorphic));
+
+}  // namespace
+}  // namespace rb::node

@@ -1,0 +1,127 @@
+#include "node/tco.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+namespace rb::node {
+namespace {
+
+RoiParams gpu_params() {
+  RoiParams p;
+  p.host = find_device(DeviceKind::kCpu);
+  p.accelerator = find_device(DeviceKind::kGpu);
+  return p;
+}
+
+TEST(Roi, RejectsBadInputs) {
+  auto p = gpu_params();
+  p.speedup = 0.0;
+  EXPECT_THROW(accelerator_roi(p), std::invalid_argument);
+  p = gpu_params();
+  p.utilization = 1.5;
+  EXPECT_THROW(accelerator_roi(p), std::invalid_argument);
+  p = gpu_params();
+  p.horizon = 0.0;
+  EXPECT_THROW(accelerator_roi(p), std::invalid_argument);
+}
+
+TEST(Roi, InvestmentIncludesPortingEffort) {
+  const auto p = gpu_params();
+  const auto out = accelerator_roi(p);
+  EXPECT_GT(out.investment, p.accelerator.unit_price);
+}
+
+TEST(Roi, IncreasesWithUtilization) {
+  auto p = gpu_params();
+  p.utilization = 0.05;
+  const double low = accelerator_roi(p).roi;
+  p.utilization = 0.8;
+  const double high = accelerator_roi(p).roi;
+  EXPECT_GT(high, low);
+}
+
+TEST(Roi, LowUtilizationIsNotWorthwhile) {
+  // Finding 2 / Sec IV.B.2: "power consumption is too high and utilization
+  // too low to justify the investment".
+  auto p = gpu_params();
+  p.utilization = 0.01;
+  p.speedup = 5.0;
+  EXPECT_FALSE(accelerator_roi(p).worthwhile());
+}
+
+TEST(Roi, HighUtilizationHighSpeedupPaysBack) {
+  auto p = gpu_params();
+  p.utilization = 0.8;
+  p.speedup = 10.0;
+  EXPECT_TRUE(accelerator_roi(p).worthwhile());
+}
+
+TEST(Roi, BreakevenSeparatesRegimes) {
+  auto p = gpu_params();
+  p.speedup = 8.0;
+  const double breakeven = breakeven_utilization(p);
+  ASSERT_GT(breakeven, 0.0);
+  ASSERT_LE(breakeven, 1.0);
+  p.utilization = breakeven * 0.5;
+  EXPECT_FALSE(accelerator_roi(p).worthwhile());
+  p.utilization = std::min(1.0, breakeven * 1.5);
+  EXPECT_TRUE(accelerator_roi(p).worthwhile());
+}
+
+TEST(Roi, HopelessAcceleratorNeverBreaksEven) {
+  auto p = gpu_params();
+  p.speedup = 1.01;               // nearly no gain
+  p.value_per_work_unit = 0.01;   // nearly worthless work
+  EXPECT_GT(breakeven_utilization(p), 1.0);
+}
+
+TEST(Roi, FpgaPortingCostRaisesBreakeven) {
+  // FPGAs need more re-engineering (Sec IV.C.3), so at equal speedup the
+  // utilization bar is higher than the GPU's.
+  auto gpu = gpu_params();
+  gpu.speedup = 6.0;
+  auto fpga = gpu_params();
+  fpga.accelerator = find_device(DeviceKind::kFpga);
+  fpga.speedup = 6.0;
+  EXPECT_GT(breakeven_utilization(fpga), breakeven_utilization(gpu));
+}
+
+TEST(VendorSwitch, DistanceScalesNre) {
+  const auto gpu = find_device(DeviceKind::kGpu);
+  const auto fpga = find_device(DeviceKind::kFpga);
+  EXPECT_LT(vendor_switch_nre(gpu, fpga, 0.3),
+            vendor_switch_nre(gpu, fpga, 1.0));
+  EXPECT_THROW(vendor_switch_nre(gpu, fpga, 1.5), std::invalid_argument);
+}
+
+TEST(VendorSwitch, SameKindCheaperThanCrossKind) {
+  // GPU vendor A -> GPU vendor B is cheaper than GPU -> FPGA (Sec IV.B.2).
+  const auto gpu = find_device(DeviceKind::kGpu);
+  const auto fpga = find_device(DeviceKind::kFpga);
+  EXPECT_LT(vendor_switch_nre(gpu, gpu, 0.8),
+            vendor_switch_nre(gpu, fpga, 0.8));
+}
+
+/// Sweep speedup x utilization: ROI must be monotone in both.
+class RoiMonotoneTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RoiMonotoneTest, MonotoneInSpeedup) {
+  const auto [speedup, utilization] = GetParam();
+  auto p = gpu_params();
+  p.utilization = utilization;
+  p.speedup = speedup;
+  const double base = accelerator_roi(p).roi;
+  p.speedup = speedup * 2.0;
+  EXPECT_GE(accelerator_roi(p).roi, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RoiMonotoneTest,
+    ::testing::Combine(::testing::Values(2.0, 5.0, 10.0, 20.0),
+                       ::testing::Values(0.1, 0.3, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace rb::node

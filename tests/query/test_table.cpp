@@ -1,0 +1,241 @@
+#include "query/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::query {
+namespace {
+
+Table people() {
+  Table t;
+  t.add_string_column("name", {"ada", "bob", "cyd", "dan"});
+  t.add_int_column("age", {30, 25, 35, 25});
+  t.add_int_column("team", {1, 2, 1, 3});
+  return t;
+}
+
+TEST(Table, AddColumnsAndAccess) {
+  const auto t = people();
+  EXPECT_EQ(t.row_count(), 4u);
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_TRUE(t.has_column("age"));
+  EXPECT_FALSE(t.has_column("salary"));
+  EXPECT_EQ(t.column_type("name"), ColumnType::kString);
+  EXPECT_EQ(t.ints("age")[2], 35);
+  EXPECT_EQ(t.strings("name")[0], "ada");
+}
+
+TEST(Table, RejectsBadColumns) {
+  Table t;
+  t.add_int_column("a", {1, 2});
+  EXPECT_THROW(t.add_int_column("a", {3, 4}), std::invalid_argument);
+  EXPECT_THROW(t.add_int_column("b", {1}), std::invalid_argument);
+  EXPECT_THROW(t.add_int_column("", {1, 2}), std::invalid_argument);
+  EXPECT_THROW(t.ints("missing"), std::invalid_argument);
+  EXPECT_THROW(t.strings("a"), std::invalid_argument);
+}
+
+TEST(Table, GatherSelectsAndReorders) {
+  const auto t = people();
+  const auto picked = t.gather({2, 0});
+  EXPECT_EQ(picked.row_count(), 2u);
+  EXPECT_EQ(picked.strings("name")[0], "cyd");
+  EXPECT_EQ(picked.strings("name")[1], "ada");
+  EXPECT_EQ(picked.ints("age")[0], 35);
+}
+
+TEST(Table, GatherOutOfRangeThrows) {
+  EXPECT_THROW(people().gather({99}), std::out_of_range);
+}
+
+TEST(Table, ToStringShowsHeaderAndRows) {
+  const auto text = people().to_string(2);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("ada"), std::string::npos);
+  EXPECT_NE(text.find("(4 rows)"), std::string::npos);
+}
+
+TEST(Query, WhereIntFilters) {
+  const auto result = Query(people())
+                          .where_int("age", [](std::int64_t a) { return a > 26; })
+                          .run();
+  EXPECT_EQ(result.row_count(), 2u);
+  EXPECT_EQ(result.strings("name")[0], "ada");
+  EXPECT_EQ(result.strings("name")[1], "cyd");
+}
+
+TEST(Query, WhereStringFilters) {
+  const auto result =
+      Query(people())
+          .where_string("name",
+                        [](const std::string& n) { return n < "c"; })
+          .run();
+  EXPECT_EQ(result.row_count(), 2u);
+}
+
+TEST(Query, ChainedFiltersCompose) {
+  const auto result =
+      Query(people())
+          .where_int("age", [](std::int64_t a) { return a >= 25; })
+          .where_int("team", [](std::int64_t t) { return t == 1; })
+          .run();
+  EXPECT_EQ(result.row_count(), 2u);
+}
+
+TEST(Query, ProjectKeepsOnlyNamedColumns) {
+  const auto result =
+      Query(people()).project({"age", "name"}).run();
+  EXPECT_EQ(result.column_count(), 2u);
+  EXPECT_EQ(result.column_names()[0], "age");
+  EXPECT_THROW(result.ints("team"), std::invalid_argument);
+}
+
+TEST(Query, OrderByAscendingAndDescending) {
+  const auto asc = Query(people()).order_by("age").run();
+  EXPECT_EQ(asc.ints("age").front(), 25);
+  EXPECT_EQ(asc.ints("age").back(), 35);
+  const auto desc = Query(people()).order_by("age", true).run();
+  EXPECT_EQ(desc.ints("age").front(), 35);
+}
+
+TEST(Query, OrderByIsStable) {
+  // bob and dan both have age 25; their relative order must be preserved.
+  const auto result = Query(people()).order_by("age").run();
+  EXPECT_EQ(result.strings("name")[0], "bob");
+  EXPECT_EQ(result.strings("name")[1], "dan");
+}
+
+TEST(Query, LimitTruncates) {
+  EXPECT_EQ(Query(people()).limit(2).run().row_count(), 2u);
+  EXPECT_EQ(Query(people()).limit(99).run().row_count(), 4u);
+}
+
+TEST(Query, GroupByIntKeySum) {
+  const auto result =
+      Query(people()).group_by("team", Aggregate::kSum, "age", "total").run();
+  EXPECT_EQ(result.row_count(), 3u);
+  // team 1: 30 + 35.
+  const auto& teams = result.ints("team");
+  const auto& totals = result.ints("total");
+  for (std::size_t i = 0; i < teams.size(); ++i) {
+    if (teams[i] == 1) { EXPECT_EQ(totals[i], 65); }
+    if (teams[i] == 2) { EXPECT_EQ(totals[i], 25); }
+  }
+}
+
+TEST(Query, GroupByStringKeyCount) {
+  Table t;
+  t.add_string_column("word", {"big", "data", "big", "big"});
+  t.add_int_column("one", {1, 1, 1, 1});
+  const auto result =
+      Query(std::move(t))
+          .group_by("word", Aggregate::kCount, "one", "n")
+          .run();
+  EXPECT_EQ(result.row_count(), 2u);
+  const auto& words = result.strings("word");
+  const auto& counts = result.ints("n");
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(counts[i], words[i] == "big" ? 3 : 1);
+  }
+}
+
+TEST(Query, GroupByMinMax) {
+  const auto min_result =
+      Query(people()).group_by("team", Aggregate::kMin, "age", "m").run();
+  const auto max_result =
+      Query(people()).group_by("team", Aggregate::kMax, "age", "m").run();
+  for (std::size_t i = 0; i < min_result.row_count(); ++i) {
+    if (min_result.ints("team")[i] == 1) {
+      EXPECT_EQ(min_result.ints("m")[i], 30);
+    }
+  }
+  for (std::size_t i = 0; i < max_result.row_count(); ++i) {
+    if (max_result.ints("team")[i] == 1) {
+      EXPECT_EQ(max_result.ints("m")[i], 35);
+    }
+  }
+}
+
+TEST(Query, GroupByMinMaxHandlesNegativeValues) {
+  Table t;
+  t.add_int_column("g", {1, 1, 1, 2, 2});
+  t.add_int_column("v", {-10, 5, -3, -7, -2});
+  const auto min_r = Query(t).group_by("g", Aggregate::kMin, "v", "m").run();
+  const auto max_r = Query(t).group_by("g", Aggregate::kMax, "v", "m").run();
+  const auto sum_r = Query(t).group_by("g", Aggregate::kSum, "v", "m").run();
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (min_r.ints("g")[i] == 1) { EXPECT_EQ(min_r.ints("m")[i], -10); }
+    if (min_r.ints("g")[i] == 2) { EXPECT_EQ(min_r.ints("m")[i], -7); }
+    if (max_r.ints("g")[i] == 1) { EXPECT_EQ(max_r.ints("m")[i], 5); }
+    if (max_r.ints("g")[i] == 2) { EXPECT_EQ(max_r.ints("m")[i], -2); }
+    if (sum_r.ints("g")[i] == 1) { EXPECT_EQ(sum_r.ints("m")[i], -8); }
+    if (sum_r.ints("g")[i] == 2) { EXPECT_EQ(sum_r.ints("m")[i], -9); }
+  }
+}
+
+TEST(Query, JoinInnerSemantics) {
+  Table teams;
+  teams.add_int_column("team", {1, 2, 9});
+  teams.add_string_column("team_name", {"arch", "db", "ghost"});
+  const auto result =
+      Query(people()).join(std::move(teams), "team", "team").run();
+  // ada(1), bob(2), cyd(1) match; dan(3) and ghost(9) do not.
+  EXPECT_EQ(result.row_count(), 3u);
+  EXPECT_TRUE(result.has_column("team_name"));
+  EXPECT_TRUE(result.has_column("team_r"));  // collision suffix
+  for (std::size_t i = 0; i < result.row_count(); ++i) {
+    EXPECT_EQ(result.ints("team")[i], result.ints("team_r")[i]);
+  }
+}
+
+TEST(Query, JoinDuplicateKeysCrossProduct) {
+  Table left;
+  left.add_int_column("k", {5, 5});
+  Table right;
+  right.add_int_column("k", {5, 5, 5});
+  const auto result = Query(std::move(left)).join(std::move(right), "k", "k").run();
+  EXPECT_EQ(result.row_count(), 6u);
+}
+
+TEST(Query, EmptyResultFlowsThroughPipeline) {
+  const auto result =
+      Query(people())
+          .where_int("age", [](std::int64_t) { return false; })
+          .group_by("team", Aggregate::kSum, "age", "t")
+          .order_by("t")
+          .limit(5)
+          .run();
+  EXPECT_EQ(result.row_count(), 0u);
+}
+
+TEST(Query, MissingColumnSurfacesAtRun) {
+  auto q = Query(people()).where_int("salary",
+                                     [](std::int64_t) { return true; });
+  EXPECT_THROW(q.run(), std::invalid_argument);
+}
+
+TEST(Query, FullAnalyticsPipeline) {
+  // The README query shape: join, filter, aggregate, order, limit.
+  Table orders;
+  orders.add_int_column("order_id", {1, 2, 3, 4});
+  orders.add_string_column("customer", {"acme", "acme", "bit", "core"});
+  Table items;
+  items.add_int_column("order_id", {1, 1, 2, 3, 3, 4});
+  items.add_int_column("amount", {100, 50, 300, 20, 80, 500});
+
+  const auto result =
+      Query(std::move(orders))
+          .join(std::move(items), "order_id", "order_id")
+          .where_int("amount", [](std::int64_t a) { return a >= 50; })
+          .group_by("customer", Aggregate::kSum, "amount", "revenue")
+          .order_by("revenue", true)
+          .limit(2)
+          .run();
+  ASSERT_EQ(result.row_count(), 2u);
+  EXPECT_EQ(result.strings("customer")[0], "core");  // 500
+  EXPECT_EQ(result.ints("revenue")[0], 500);
+  EXPECT_EQ(result.strings("customer")[1], "acme");  // 100+50+300
+  EXPECT_EQ(result.ints("revenue")[1], 450);
+}
+
+}  // namespace
+}  // namespace rb::query

@@ -1,0 +1,93 @@
+#include "roadmap/adoption.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::roadmap {
+namespace {
+
+TEST(Adoption, ZeroBeforeIntroduction) {
+  const TechnologyAdoption tech{"x", 2020, 0.03, 0.4, 1.0};
+  EXPECT_DOUBLE_EQ(adoption_at(tech, 2019.0), 0.0);
+  EXPECT_DOUBLE_EQ(adoption_at(tech, 2020.0), 0.0);
+}
+
+TEST(Adoption, MonotoneNonDecreasing) {
+  for (const auto& tech : technology_portfolio()) {
+    double prev = 0.0;
+    for (int year = tech.introduction_year; year < 2060; ++year) {
+      const double f = adoption_at(tech, static_cast<double>(year));
+      EXPECT_GE(f, prev) << tech.name << " " << year;
+      prev = f;
+    }
+  }
+}
+
+TEST(Adoption, ApproachesCeiling) {
+  const TechnologyAdoption tech{"x", 2016, 0.05, 0.5, 0.8};
+  EXPECT_NEAR(adoption_at(tech, 2100.0), 0.8, 1e-3);
+  EXPECT_LE(adoption_at(tech, 2100.0), 0.8);
+}
+
+TEST(Adoption, RejectsBadParameters) {
+  const TechnologyAdoption bad{"x", 2016, 0.0, 0.4, 1.0};
+  EXPECT_THROW(adoption_at(bad, 2020.0), std::invalid_argument);
+  const TechnologyAdoption tech{"x", 2016, 0.03, 0.4, 1.0};
+  EXPECT_THROW(year_of_adoption(tech, 0.0), std::invalid_argument);
+  EXPECT_THROW(year_of_adoption(tech, 1.0), std::invalid_argument);
+}
+
+TEST(Adoption, YearOfAdoptionConsistent) {
+  const TechnologyAdoption tech{"x", 2016, 0.04, 0.45, 1.0};
+  const int y25 = year_of_adoption(tech, 0.25);
+  const int y50 = year_of_adoption(tech, 0.5);
+  EXPECT_LT(y25, y50);
+  EXPECT_GE(adoption_at(tech, static_cast<double>(y25)), 0.25);
+  EXPECT_LT(adoption_at(tech, static_cast<double>(y25 - 1)), 0.25);
+}
+
+TEST(Adoption, PortfolioOrderingMatchesPaperNarrative) {
+  const auto portfolio = technology_portfolio();
+  const auto find = [&portfolio](const std::string& name) {
+    for (const auto& t : portfolio) {
+      if (t.name == name) return t;
+    }
+    throw std::runtime_error{"missing " + name};
+  };
+  // Mature commodity networking diffuses before exotic compute.
+  EXPECT_LT(year_of_adoption(find("10/40GbE"), 0.5),
+            year_of_adoption(find("FPGA-accel"), 0.5));
+  // Neuromorphic is the long pole (Rec 7: no market ecosystem).
+  for (const auto& t : portfolio) {
+    if (t.name == "Neuromorphic") continue;
+    EXPECT_LE(year_of_adoption(t, 0.25),
+              year_of_adoption(find("Neuromorphic"), 0.25))
+        << t.name;
+  }
+}
+
+TEST(Adoption, InterventionAcceleratesAdoption) {
+  // The roadmap's whole purpose: EC action should pull adoption forward.
+  const auto base = technology_portfolio()[4];  // FPGA-accel
+  const auto boosted = with_intervention(base, 0.5, 0.3);
+  EXPECT_LE(year_of_adoption(boosted, 0.25), year_of_adoption(base, 0.25));
+  EXPECT_GT(adoption_at(boosted, 2025.0), adoption_at(base, 2025.0));
+}
+
+TEST(Adoption, InterventionRejectsNegativeBoost) {
+  EXPECT_THROW(with_intervention(technology_portfolio()[0], -0.1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Adoption, FourHundredGbeAfter2020) {
+  const auto portfolio = technology_portfolio();
+  for (const auto& t : portfolio) {
+    if (t.name == "400GbE") {
+      EXPECT_GT(t.introduction_year, 2020);  // "after 2020" [18]
+      return;
+    }
+  }
+  FAIL() << "400GbE missing from portfolio";
+}
+
+}  // namespace
+}  // namespace rb::roadmap

@@ -1,0 +1,153 @@
+#include "roadmap/market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rb::roadmap {
+namespace {
+
+TEST(Market, BaselineMatchesFindingFour) {
+  const auto market = server_market_2016();
+  // "The vast majority of server hardware is based on Intel processors."
+  EXPECT_GT(market[0].share, 0.9);
+  EXPECT_GT(hhi(market), 0.8);
+  // "Europe currently has no market share in server compute CPUs."
+  EXPECT_LT(european_share(market), 0.05);
+}
+
+TEST(Market, SharesSumToOne) {
+  const auto market = server_market_2016();
+  double total = 0.0;
+  for (const auto& v : market) total += v.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Market, RejectsBadInputs) {
+  EXPECT_THROW(simulate_market({}, MarketParams{}), std::invalid_argument);
+  auto market = server_market_2016();
+  MarketParams params;
+  params.gamma = 0.0;
+  EXPECT_THROW(simulate_market(market, params), std::invalid_argument);
+  params = MarketParams{};
+  params.years = -1;
+  EXPECT_THROW(simulate_market(market, params), std::invalid_argument);
+  market[0].attractiveness = 0.0;
+  EXPECT_THROW(simulate_market(market, MarketParams{}),
+               std::invalid_argument);
+}
+
+TEST(Market, TrajectoryLengthAndNormalization) {
+  MarketParams params;
+  params.years = 7;
+  const auto trajectory = simulate_market(server_market_2016(), params);
+  ASSERT_EQ(trajectory.size(), 8u);
+  for (const auto& snapshot : trajectory) {
+    double total = 0.0;
+    for (const auto& v : snapshot) total += v.share;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Market, LockInEntrenchesTheIncumbent) {
+  // gamma > 1: the dominant vendor's share must not erode even with mildly
+  // better challengers — the Finding-4 dynamic.
+  MarketParams params;
+  params.years = 10;
+  params.gamma = 1.15;
+  const auto trajectory = simulate_market(server_market_2016(), params);
+  EXPECT_GE(trajectory.back()[0].share, trajectory.front()[0].share - 0.02);
+  EXPECT_GT(hhi(trajectory.back()), hhi(trajectory.front()) - 0.02);
+}
+
+TEST(Market, WithoutLockInAttractivenessWins) {
+  // A European vendor with a genuinely better product (attractiveness 1.1
+  // vs the incumbent's 1.0): with gamma == 1 it grows; with lock-in
+  // (gamma > 1) the same better product still loses share — the paper's
+  // point that quality alone does not beat the ecosystem.
+  auto market = server_market_2016();
+  for (auto& v : market) {
+    if (v.name == "arm-server-eu") v.attractiveness = 1.1;
+  }
+  MarketParams fair;
+  fair.years = 20;
+  fair.gamma = 1.0;
+  const auto open = simulate_market(market, fair);
+  EXPECT_GT(european_share(open.back()), european_share(open.front()));
+
+  MarketParams locked;
+  locked.years = 20;
+  locked.gamma = 1.15;
+  const auto entrenched = simulate_market(market, locked);
+  EXPECT_LT(entrenched.back()[3].share, entrenched.front()[3].share);
+}
+
+TEST(Market, MonopolyIsAbsorbingUnderLockIn) {
+  std::vector<Vendor> market{{"mono", 1.0, 1.0, false},
+                             {"zero", 0.0, 5.0, true}};
+  MarketParams params;
+  params.years = 5;
+  const auto trajectory = simulate_market(market, params);
+  EXPECT_NEAR(trajectory.back()[0].share, 1.0, 1e-12);
+}
+
+TEST(Market, EntrantBoostValidatesArguments) {
+  const auto market = server_market_2016();
+  MarketParams params;
+  EXPECT_THROW(
+      required_entrant_boost(market, "nonexistent", 0.1, params),
+      std::invalid_argument);
+  EXPECT_THROW(required_entrant_boost(market, "arm-server-eu", 0.0, params),
+               std::invalid_argument);
+  EXPECT_THROW(required_entrant_boost(market, "arm-server-eu", 1.0, params),
+               std::invalid_argument);
+}
+
+TEST(Market, EntrantBoostIsSufficient) {
+  const auto market = server_market_2016();
+  MarketParams params;
+  params.years = 10;
+  const double boost =
+      required_entrant_boost(market, "arm-server-eu", 0.10, params);
+  ASSERT_LE(boost, 64.0);
+  // Applying the boost reaches the target; 80% of it falls short.
+  auto boosted = market;
+  for (auto& v : boosted) {
+    if (v.name == "arm-server-eu") v.attractiveness *= boost;
+  }
+  const auto with = simulate_market(boosted, params);
+  EXPECT_GE(with.back()[3].share, 0.10 - 1e-6);
+  auto under = market;
+  for (auto& v : under) {
+    if (v.name == "arm-server-eu") v.attractiveness *= boost * 0.8;
+  }
+  const auto without = simulate_market(under, params);
+  EXPECT_LT(without.back()[3].share, 0.10);
+}
+
+TEST(Market, HigherTargetNeedsBiggerBoost) {
+  const auto market = server_market_2016();
+  MarketParams params;
+  params.years = 10;
+  const double small =
+      required_entrant_boost(market, "arm-server-eu", 0.05, params);
+  const double large =
+      required_entrant_boost(market, "arm-server-eu", 0.20, params);
+  EXPECT_LT(small, large);
+}
+
+TEST(Market, StrongerLockInRaisesTheBar) {
+  const auto market = server_market_2016();
+  MarketParams weak, strong;
+  weak.gamma = 1.05;
+  strong.gamma = 1.30;
+  weak.years = strong.years = 10;
+  const double weak_boost =
+      required_entrant_boost(market, "arm-server-eu", 0.10, weak);
+  const double strong_boost =
+      required_entrant_boost(market, "arm-server-eu", 0.10, strong);
+  EXPECT_LT(weak_boost, strong_boost);
+}
+
+}  // namespace
+}  // namespace rb::roadmap

@@ -1,0 +1,95 @@
+#include "roadmap/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rb::roadmap {
+namespace {
+
+TEST(Registry, ConsortiumMatchesTable1) {
+  const auto& partners = consortium();
+  EXPECT_EQ(partners.size(), 9u);  // nine rows in Table 1
+  std::set<std::string> abbrevs;
+  for (const auto& p : partners) abbrevs.insert(p.abbreviation);
+  for (const auto* expected :
+       {"BSC", "TUB", "EPFL", "CWI", "UoM", "UPM", "ARM", "IMR", "THALES"}) {
+    EXPECT_TRUE(abbrevs.count(expected)) << expected;
+  }
+}
+
+TEST(Registry, ConsortiumLeaderIsBsc) {
+  EXPECT_EQ(consortium().front().abbreviation, "BSC");
+}
+
+TEST(Registry, ConsortiumMixesIndustryAndAcademia) {
+  int academic = 0, industry = 0, sme = 0;
+  for (const auto& p : consortium()) {
+    switch (p.kind) {
+      case Partner::Kind::kAcademic: ++academic; break;
+      case Partner::Kind::kLargeIndustry: ++industry; break;
+      case Partner::Kind::kSme: ++sme; break;
+    }
+  }
+  EXPECT_EQ(academic, 6);
+  EXPECT_EQ(industry, 2);  // ARM, Thales
+  EXPECT_EQ(sme, 1);       // IMR
+}
+
+TEST(Registry, EcosystemHasExactlyOneBigDataHwOwner) {
+  int owners = 0;
+  for (const auto& i : ecosystem()) owners += i.covers_big_data_hw;
+  EXPECT_EQ(owners, 1);
+  EXPECT_EQ(ecosystem().front().name, "RETHINK big");
+}
+
+TEST(Registry, EcosystemCoversPaperInitiatives) {
+  std::set<std::string> names;
+  for (const auto& i : ecosystem()) names.insert(i.name);
+  for (const auto* expected : {"ETP4HPC", "BDVA", "NEM", "NESSI", "EPoSS",
+                               "Photonics21", "5G-PPP"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Registry, FourKeyFindings) {
+  const auto& findings = key_findings();
+  ASSERT_EQ(findings.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(findings[static_cast<std::size_t>(i)].number, i + 1);
+    EXPECT_FALSE(findings[static_cast<std::size_t>(i)].statement.empty());
+  }
+}
+
+TEST(Registry, TwelveRecommendationsNumberedInOrder) {
+  const auto& recs = recommendations();
+  ASSERT_EQ(recs.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(recs[static_cast<std::size_t>(i)].number, i + 1);
+    EXPECT_FALSE(recs[static_cast<std::size_t>(i)].title.empty());
+    EXPECT_GT(recs[static_cast<std::size_t>(i)].horizon_years, 0);
+  }
+}
+
+TEST(Registry, EveryRecommendationHasEvidenceBench) {
+  for (const auto& rec : recommendations()) {
+    EXPECT_FALSE(rec.evidence_bench.empty()) << rec.number;
+    EXPECT_EQ(rec.evidence_bench.rfind("bench_", 0), 0u) << rec.number;
+  }
+}
+
+TEST(Registry, AreasCoverAllFour) {
+  std::set<Area> areas;
+  for (const auto& rec : recommendations()) areas.insert(rec.area);
+  EXPECT_EQ(areas.size(), 4u);
+}
+
+TEST(Registry, SurveyCampaignMatchesPaper) {
+  const auto campaign = survey_campaign();
+  EXPECT_EQ(campaign.interviews, 89);
+  EXPECT_EQ(campaign.companies, 70);
+  EXPECT_EQ(campaign.sectors.size(), 6u);
+}
+
+}  // namespace
+}  // namespace rb::roadmap

@@ -1,0 +1,71 @@
+#include "roadmap/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::roadmap {
+namespace {
+
+TEST(Report, ConsortiumTableListsAllPartners) {
+  const auto table = render_consortium_table();
+  for (const auto* name : {"Barcelona Supercomputing Center", "ARM Ltd.",
+                           "Thales SA", "Internet Memory Research"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(table.find("Table 1"), std::string::npos);
+}
+
+TEST(Report, EcosystemFigureMarksRethinkBig) {
+  const auto fig = render_ecosystem_figure();
+  EXPECT_NE(fig.find("Figure 1"), std::string::npos);
+  EXPECT_NE(fig.find("[*] RETHINK big"), std::string::npos);
+  EXPECT_NE(fig.find("ETP4HPC"), std::string::npos);
+}
+
+TEST(Report, FindingsListsFour) {
+  const auto text = render_findings();
+  for (const auto* marker : {"(1)", "(2)", "(3)", "(4)"}) {
+    EXPECT_NE(text.find(marker), std::string::npos) << marker;
+  }
+  EXPECT_NE(text.find("89 interviews"), std::string::npos);
+}
+
+TEST(Report, RecommendationMatrixHasTwelveRows) {
+  const auto matrix = render_recommendation_matrix();
+  for (int i = 1; i <= 12; ++i) {
+    // Each row starts with the number followed by padding.
+    EXPECT_NE(matrix.find('\n' + std::to_string(i) + ' '),
+              std::string::npos)
+        << "row " << i;
+  }
+  EXPECT_NE(matrix.find("bench_e9_hetero_scheduling"), std::string::npos);
+}
+
+TEST(Report, AdoptionTimelineSpansYears) {
+  const auto timeline = render_adoption_timeline(2016, 2026);
+  EXPECT_NE(timeline.find("2016"), std::string::npos);
+  EXPECT_NE(timeline.find("2026"), std::string::npos);
+  EXPECT_NE(timeline.find("Neuromorphic"), std::string::npos);
+  EXPECT_NE(timeline.find("400GbE"), std::string::npos);
+}
+
+TEST(Report, MarketOutlookShowsConcentration) {
+  const auto text = render_market_outlook(6);
+  EXPECT_NE(text.find("HHI"), std::string::npos);
+  EXPECT_NE(text.find("EU share"), std::string::npos);
+  EXPECT_NE(text.find("incumbent"), std::string::npos);
+}
+
+TEST(Report, FundingPlanListsProgrammes) {
+  const auto text = render_funding_plan(100e6);
+  EXPECT_NE(text.find("funding plan"), std::string::npos);
+  EXPECT_NE(text.find("adoption gain"), std::string::npos);
+  EXPECT_NE(text.find("spent $"), std::string::npos);
+}
+
+TEST(Report, RenderersAreDeterministic) {
+  EXPECT_EQ(render_consortium_table(), render_consortium_table());
+  EXPECT_EQ(render_recommendation_matrix(), render_recommendation_matrix());
+}
+
+}  // namespace
+}  // namespace rb::roadmap

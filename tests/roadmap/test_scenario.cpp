@@ -1,0 +1,101 @@
+#include "roadmap/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::roadmap {
+namespace {
+
+TEST(Scenario, UnsupportedPairIsNotRecommended) {
+  CompanyProfile company;
+  TechnologyScenario scenario;
+  scenario.device = node::DeviceKind::kAsic;
+  scenario.workload = accel::BlockKind::kSort;  // ASIC cannot sort
+  const auto out = evaluate_scenario(company, scenario);
+  EXPECT_FALSE(out.recommended);
+  EXPECT_FALSE(out.feasible);
+}
+
+TEST(Scenario, AsicInferenceForHotCompanyIsRecommended) {
+  CompanyProfile company;
+  company.accel_utilization = 0.7;
+  company.engineering_budget_pm = 30;
+  TechnologyScenario scenario;
+  scenario.device = node::DeviceKind::kAsic;
+  scenario.workload = accel::BlockKind::kDnnInference;
+  const auto out = evaluate_scenario(company, scenario);
+  EXPECT_GT(out.speedup, 5.0);
+  EXPECT_TRUE(out.feasible);
+  EXPECT_TRUE(out.recommended);
+}
+
+TEST(Scenario, TinyEngineeringBudgetBlocksFpga) {
+  CompanyProfile company;
+  company.engineering_budget_pm = 2;  // cannot afford HDL work
+  TechnologyScenario scenario;
+  scenario.device = node::DeviceKind::kFpga;
+  scenario.workload = accel::BlockKind::kKMeans;
+  const auto out = evaluate_scenario(company, scenario);
+  EXPECT_FALSE(out.feasible);
+  EXPECT_FALSE(out.recommended);
+}
+
+TEST(Scenario, GenericPathWeakensTheCase) {
+  CompanyProfile company;
+  company.accel_utilization = 0.6;
+  TechnologyScenario tuned, generic;
+  tuned.device = generic.device = node::DeviceKind::kGpu;
+  tuned.workload = generic.workload = accel::BlockKind::kKMeans;
+  tuned.path = accel::CodePath::kDeviceTuned;
+  generic.path = accel::CodePath::kGenericPortable;
+  EXPECT_GE(evaluate_scenario(company, tuned).speedup,
+            evaluate_scenario(company, generic).speedup);
+}
+
+TEST(Scenario, SummaryMentionsVerdict) {
+  CompanyProfile company;
+  TechnologyScenario scenario;
+  const auto out = evaluate_scenario(company, scenario);
+  EXPECT_TRUE(out.summary.find("ADOPT") != std::string::npos ||
+              out.summary.find("WAIT") != std::string::npos);
+}
+
+TEST(Scenario, AdoptionYearPopulated) {
+  CompanyProfile company;
+  TechnologyScenario scenario;
+  scenario.device = node::DeviceKind::kGpu;
+  const auto out = evaluate_scenario(company, scenario);
+  EXPECT_GT(out.adoption_year_25pct, 2000);
+}
+
+TEST(Scores, AllTwelveScored) {
+  const auto scores = score_recommendations();
+  ASSERT_EQ(scores.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(scores[i].rec.number, static_cast<int>(i) + 1);
+    EXPECT_GE(scores[i].score, 0.0);
+    EXPECT_LE(scores[i].score, 100.0);
+    EXPECT_FALSE(scores[i].evidence.empty());
+  }
+}
+
+TEST(Scores, AcceleratorRecommendationsScoreHigh) {
+  // Recs 4 and 10 rest on the strongest quantitative evidence in the
+  // models (>= 10x block speedups), so they must score near the top.
+  const auto scores = score_recommendations();
+  const auto by_number = [&scores](int n) {
+    return scores[static_cast<std::size_t>(n - 1)].score;
+  };
+  EXPECT_GT(by_number(4), 50.0);
+  EXPECT_GT(by_number(10), 30.0);
+}
+
+TEST(Scores, Deterministic) {
+  const auto a = score_recommendations();
+  const auto b = score_recommendations();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace rb::roadmap

@@ -1,0 +1,110 @@
+#include "roadmap/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "roadmap/registry.hpp"
+
+namespace rb::roadmap {
+namespace {
+
+TEST(Survey, RejectsEmptyPopulation) {
+  EXPECT_THROW(make_population(0, 1), std::invalid_argument);
+  EXPECT_THROW(run_survey({}, 1), std::invalid_argument);
+}
+
+TEST(Survey, PopulationCoversAllSectors) {
+  const auto pop = make_population(70, 1);
+  std::set<std::string> sectors;
+  for (const auto& c : pop) sectors.insert(c.sector);
+  EXPECT_EQ(sectors.size(), survey_campaign().sectors.size());
+}
+
+TEST(Survey, InterviewCountMatchesCampaignRatio) {
+  const auto results = run_survey(make_population(70, 2), 3);
+  EXPECT_EQ(results.companies, 70u);
+  EXPECT_EQ(results.interviews, 89u);  // 70 + 70*19/70
+}
+
+TEST(Survey, RegeneratesFindingOne) {
+  // Finding 1: industry does not see hardware bottlenecks.
+  const auto results = run_survey(make_population(70, 4), 5);
+  EXPECT_LT(results.frac_bottleneck_aware, 0.35);
+}
+
+TEST(Survey, RegeneratesFindingTwo) {
+  // Finding 2: majority not convinced of accelerator ROI.
+  const auto results = run_survey(make_population(70, 6), 7);
+  EXPECT_LT(results.frac_roi_convinced, 0.5);
+}
+
+TEST(Survey, RegeneratesFindingThree) {
+  // Finding 3: almost no hardware roadmaps.
+  const auto results = run_survey(make_population(70, 8), 9);
+  EXPECT_LT(results.frac_with_hw_roadmap, 0.35);
+}
+
+TEST(Survey, RegeneratesFindingFour) {
+  // Finding 4: commodity x86 dominates.
+  const auto results = run_survey(make_population(70, 10), 11);
+  EXPECT_GT(results.frac_on_commodity_x86, 0.7);
+}
+
+TEST(Survey, FinanceLeadsRoiConviction) {
+  // Rec 4: FPGA/accelerator use "most prominent in financial and oil
+  // industries" — the finance sector must top the ROI-convinced ranking.
+  const auto results = run_survey(make_population(700, 12), 13);
+  double finance = 0.0, max_other = 0.0;
+  for (const auto& [sector, frac] : results.roi_by_sector) {
+    if (sector == "finance") {
+      finance = frac;
+    } else {
+      max_other = std::max(max_other, frac);
+    }
+  }
+  EXPECT_GT(finance, max_other);
+}
+
+TEST(Survey, DeterministicPerSeed) {
+  const auto a = run_survey(make_population(70, 20), 21);
+  const auto b = run_survey(make_population(70, 20), 21);
+  EXPECT_DOUBLE_EQ(a.frac_roi_convinced, b.frac_roi_convinced);
+  EXPECT_DOUBLE_EQ(a.frac_bottleneck_aware, b.frac_bottleneck_aware);
+}
+
+TEST(Survey, UtilizationDrivesConviction) {
+  // Companies convinced of ROI must on average run hotter accelerators.
+  auto pop = make_population(500, 30);
+  const auto results = run_survey(pop, 31);
+  (void)results;
+  // Re-run to inspect per-company outcomes.
+  double convinced_util = 0.0, unconvinced_util = 0.0;
+  std::size_t nc = 0, nu = 0;
+  auto population = make_population(500, 30);
+  const auto res2 = run_survey(population, 31);
+  (void)res2;
+  // The survey mutates its own copy; recompute conviction via the model.
+  node::RoiParams base;
+  base.host = node::find_device(node::DeviceKind::kCpu);
+  base.accelerator = node::find_device(node::DeviceKind::kGpu);
+  base.speedup = 8.0;
+  for (const auto& c : population) {
+    auto p = base;
+    p.utilization = c.accel_utilization;
+    if (node::accelerator_roi(p).worthwhile()) {
+      convinced_util += c.accel_utilization;
+      ++nc;
+    } else {
+      unconvinced_util += c.accel_utilization;
+      ++nu;
+    }
+  }
+  ASSERT_GT(nc, 0u);
+  ASSERT_GT(nu, 0u);
+  EXPECT_GT(convinced_util / nc, unconvinced_util / nu);
+}
+
+}  // namespace
+}  // namespace rb::roadmap

@@ -1,0 +1,54 @@
+#include "sched/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace rb::sched {
+namespace {
+
+TEST(Cluster, RejectsBadArguments) {
+  EXPECT_THROW(make_cpu_cluster(0), std::invalid_argument);
+  EXPECT_THROW(make_cpu_cluster(2, 0), std::invalid_argument);
+  EXPECT_THROW(make_hetero_cluster(2, {}, 0), std::invalid_argument);
+}
+
+TEST(Cluster, CpuClusterShape) {
+  const auto cluster = make_cpu_cluster(4, 8);
+  EXPECT_EQ(cluster.machine_count(), 4u);
+  EXPECT_EQ(cluster.total_slots(), 32u);
+  for (const auto& m : cluster.machines) {
+    EXPECT_EQ(m.cpu.kind, node::DeviceKind::kCpu);
+    EXPECT_TRUE(m.accelerators.empty());
+  }
+}
+
+TEST(Cluster, HeteroClusterPlacesAccelerators) {
+  const auto cluster = make_hetero_cluster(
+      4, {node::DeviceKind::kGpu, node::DeviceKind::kFpga}, 2, 4);
+  // Machines 0 and 2 carry accelerators.
+  EXPECT_EQ(cluster.machines[0].accelerators.size(), 2u);
+  EXPECT_TRUE(cluster.machines[1].accelerators.empty());
+  EXPECT_EQ(cluster.machines[2].accelerators.size(), 2u);
+  EXPECT_TRUE(cluster.machines[3].accelerators.empty());
+  EXPECT_EQ(cluster.total_slots(), 16u + 4u);
+}
+
+TEST(Cluster, AccelEveryOnePutsAccelEverywhere) {
+  const auto cluster =
+      make_hetero_cluster(3, {node::DeviceKind::kGpu}, 1, 2);
+  for (const auto& m : cluster.machines) {
+    EXPECT_EQ(m.accelerators.size(), 1u);
+  }
+}
+
+TEST(Cluster, MachineNamesAreUnique) {
+  const auto cluster = make_cpu_cluster(10);
+  std::set<std::string> names;
+  for (const auto& m : cluster.machines) names.insert(m.name);
+  EXPECT_EQ(names.size(), 10u);
+}
+
+}  // namespace
+}  // namespace rb::sched

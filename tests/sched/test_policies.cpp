@@ -1,0 +1,146 @@
+#include "sched/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace rb::sched {
+namespace {
+
+/// Mixed workload: compute-heavy ML chains + shuffle-heavy wordcounts.
+std::vector<JobArrival> mixed_jobs() {
+  std::vector<JobArrival> jobs;
+  jobs.push_back(
+      JobArrival{dataflow::make_kmeans_job(128 * sim::kMiB, 4, 8), 0});
+  jobs.push_back(
+      JobArrival{dataflow::make_wordcount_job(256 * sim::kMiB, 16), 0});
+  jobs.push_back(JobArrival{
+      dataflow::make_join_job(64 * sim::kMiB, 64 * sim::kMiB, 8),
+      2 * sim::kSecond});
+  jobs.push_back(
+      JobArrival{dataflow::make_stencil_job(128 * sim::kMiB, 3, 8),
+                 4 * sim::kSecond});
+  return jobs;
+}
+
+Cluster hetero_cluster() {
+  return make_hetero_cluster(
+      4, {node::DeviceKind::kGpu, node::DeviceKind::kFpga}, 2, 4);
+}
+
+TEST(Policies, AllPoliciesCompleteTheWorkload) {
+  FifoPolicy fifo;
+  FairPolicy fair;
+  LocalityPolicy locality;
+  HeteroAwarePolicy hetero;
+  EnergyAwarePolicy energy;
+  DrfPolicy drf;
+  RandomPolicy random{7};
+  const std::size_t expected_tasks = [] {
+    std::size_t n = 0;
+    for (const auto& j : mixed_jobs()) n += j.graph.total_tasks();
+    return n;
+  }();
+  for (Policy* policy : std::initializer_list<Policy*>{
+           &fifo, &fair, &locality, &hetero, &energy, &drf, &random}) {
+    const auto result = run_jobs(hetero_cluster(), mixed_jobs(), *policy);
+    EXPECT_EQ(result.tasks_run, expected_tasks) << policy->name();
+    EXPECT_GT(result.makespan, 0) << policy->name();
+  }
+}
+
+TEST(Policies, DrfBalancesDominantShares) {
+  // DRF must not let one job starve: its mean job duration stays within a
+  // small factor of FIFO's on the mixed trace (and is deterministic).
+  DrfPolicy drf;
+  FifoPolicy fifo;
+  const auto d = run_jobs(hetero_cluster(), mixed_jobs(), drf);
+  const auto f = run_jobs(hetero_cluster(), mixed_jobs(), fifo);
+  EXPECT_LT(d.mean_job_seconds(), f.mean_job_seconds() * 1.5);
+  const auto d2 = run_jobs(hetero_cluster(), mixed_jobs(), drf);
+  EXPECT_EQ(d.makespan, d2.makespan);
+}
+
+TEST(Policies, NamesAreDistinct) {
+  FifoPolicy fifo;
+  FairPolicy fair;
+  HeteroAwarePolicy hetero;
+  EXPECT_NE(fifo.name(), fair.name());
+  EXPECT_NE(fair.name(), hetero.name());
+}
+
+TEST(Policies, HeteroAwareBeatsFifoOnMixedCluster) {
+  // Rec 11's premise: exploiting device-speed spread shortens makespan.
+  FifoPolicy fifo;
+  HeteroAwarePolicy hetero;
+  const auto fifo_result = run_jobs(hetero_cluster(), mixed_jobs(), fifo);
+  const auto hetero_result = run_jobs(hetero_cluster(), mixed_jobs(), hetero);
+  EXPECT_LT(hetero_result.makespan, fifo_result.makespan);
+}
+
+TEST(Policies, LocalityReducesRemoteTasks) {
+  FifoPolicy fifo;
+  LocalityPolicy locality;
+  const auto fifo_result = run_jobs(hetero_cluster(), mixed_jobs(), fifo);
+  const auto local_result =
+      run_jobs(hetero_cluster(), mixed_jobs(), locality);
+  EXPECT_LT(local_result.remote_tasks, fifo_result.remote_tasks);
+}
+
+TEST(Policies, EnergyAwareUsesLessEnergyThanHetero) {
+  EnergyAwarePolicy energy;
+  HeteroAwarePolicy hetero;
+  const auto e = run_jobs(hetero_cluster(), mixed_jobs(), energy);
+  const auto h = run_jobs(hetero_cluster(), mixed_jobs(), hetero);
+  // Energy-aware trades time for joules; it must not be *more* hungry on
+  // the task-energy-dominated mixed workload.
+  EXPECT_LE(e.energy, h.energy * 1.2);
+}
+
+TEST(Policies, FairReducesWorstJobLatencyVsFifo) {
+  // FIFO lets the first job hog the cluster; fair sharing helps the others.
+  FairPolicy fair;
+  FifoPolicy fifo;
+  const auto fair_result = run_jobs(hetero_cluster(), mixed_jobs(), fair);
+  const auto fifo_result = run_jobs(hetero_cluster(), mixed_jobs(), fifo);
+  // Mean job duration under fair should not be catastrophically worse.
+  EXPECT_LT(fair_result.mean_job_seconds(),
+            fifo_result.mean_job_seconds() * 2.0);
+}
+
+TEST(Policies, RandomIsDeterministicPerSeed) {
+  RandomPolicy a{42}, b{42};
+  const auto r1 = run_jobs(hetero_cluster(), mixed_jobs(), a);
+  const auto r2 = run_jobs(hetero_cluster(), mixed_jobs(), b);
+  EXPECT_EQ(r1.makespan, r2.makespan);
+}
+
+/// Cross-policy invariant sweep: conservation and sane utilization.
+class PolicySweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicySweepTest, InvariantsHold) {
+  std::unique_ptr<Policy> policy;
+  switch (GetParam()) {
+    case 0: policy = std::make_unique<FifoPolicy>(); break;
+    case 1: policy = std::make_unique<FairPolicy>(); break;
+    case 2: policy = std::make_unique<LocalityPolicy>(); break;
+    case 3: policy = std::make_unique<HeteroAwarePolicy>(); break;
+    case 4: policy = std::make_unique<EnergyAwarePolicy>(); break;
+    case 5: policy = std::make_unique<DrfPolicy>(); break;
+    default: policy = std::make_unique<RandomPolicy>(11); break;
+  }
+  const auto result = run_jobs(hetero_cluster(), mixed_jobs(), *policy);
+  EXPECT_GT(result.energy, 0.0);
+  EXPECT_LE(result.cpu_utilization, 1.0 + 1e-9);
+  EXPECT_LE(result.accel_utilization, 1.0 + 1e-9);
+  for (const auto& job : result.jobs) {
+    EXPECT_GT(job.completion, job.arrival);
+    EXPECT_LE(job.completion, result.makespan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweepTest,
+                         ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace rb::sched

@@ -1,0 +1,166 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rb::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{7};
+  Rng child = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == child());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{13};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng{17};
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{19};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{23};
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 1.5);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(std::sqrt(var), 1.5, 0.02);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{29};
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, BoundedParetoWithinBounds) {
+  Rng rng{31};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.bounded_pareto(1.3, 2.0, 1000.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng{37};
+  for (const double mean : {0.5, 4.0, 30.0, 200.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, ChanceProbabilityMatches) {
+  Rng rng{41};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfDistribution zipf{100, 1.2};
+  double total = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroIsMostProbable) {
+  const ZipfDistribution zipf{50, 1.0};
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_GE(zipf.pmf(0), zipf.pmf(k));
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfDistribution zipf{10, 0.0};
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(Zipf, SamplesInRange) {
+  Rng rng{43};
+  const ZipfDistribution zipf{37, 1.1};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng), 37u);
+}
+
+/// Property sweep: empirical frequency of rank 0 matches pmf(0).
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalMatchesPmf) {
+  const double s = GetParam();
+  Rng rng{47};
+  const ZipfDistribution zipf{64, s};
+  const int n = 100000;
+  int rank0 = 0;
+  for (int i = 0; i < n; ++i) rank0 += (zipf(rng) == 0);
+  EXPECT_NEAR(static_cast<double>(rank0) / n, zipf.pmf(0), 0.01) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfFrequencyTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 1.5, 2.0));
+
+}  // namespace
+}  // namespace rb::sim

@@ -1,0 +1,163 @@
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "accel/text.hpp"
+
+namespace rb::workloads {
+namespace {
+
+TEST(ZipfDocument, WordCountMatches) {
+  const auto doc = zipf_document(1000, 100, 1.1, 1);
+  const auto tokens = accel::tokenize(doc);
+  EXPECT_EQ(tokens.size(), 1000u);
+}
+
+TEST(ZipfDocument, DeterministicPerSeed) {
+  EXPECT_EQ(zipf_document(100, 50, 1.0, 7), zipf_document(100, 50, 1.0, 7));
+  EXPECT_NE(zipf_document(100, 50, 1.0, 7), zipf_document(100, 50, 1.0, 8));
+}
+
+TEST(ZipfDocument, SkewMakesHeadHeavy) {
+  const auto doc = zipf_document(20000, 1000, 1.3, 3);
+  std::map<std::string, int> counts;
+  for (const auto& t : accel::tokenize(doc)) {
+    ++counts[std::string{t}];
+  }
+  // w0 must be the most frequent token.
+  int max_count = 0;
+  for (const auto& [w, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_EQ(counts.at("w0"), max_count);
+}
+
+TEST(ZipfDocument, RejectsEmptyVocabulary) {
+  EXPECT_THROW(zipf_document(10, 0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(WebLog, LineCountAndIncidents) {
+  const auto lines = web_log(20000, 5);
+  EXPECT_EQ(lines.size(), 20000u);
+  const accel::PatternMatcher matcher{incident_patterns()};
+  std::size_t hits = 0;
+  for (const auto& line : lines) hits += matcher.count_matches(line);
+  // ~1.5% incident rate.
+  EXPECT_GT(hits, 100u);
+  EXPECT_LT(hits, 1000u);
+}
+
+TEST(WebLog, TimestampsMonotone) {
+  const auto lines = web_log(100, 7);
+  std::int64_t prev = 0;
+  for (const auto& line : lines) {
+    const std::int64_t ts = std::stoll(line.substr(0, line.find(' ')));
+    EXPECT_GE(ts, prev);
+    prev = ts;
+  }
+}
+
+TEST(SensorStream, RejectsBadArguments) {
+  EXPECT_THROW(sensor_stream(10, 0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(sensor_stream(10, 1, 1.5, 1), std::invalid_argument);
+}
+
+TEST(SensorStream, AnomalyRateApproximatelyRespected) {
+  const auto readings = sensor_stream(50000, 16, 0.02, 9);
+  std::size_t anomalies = 0;
+  for (const auto& r : readings) anomalies += r.anomaly;
+  EXPECT_NEAR(static_cast<double>(anomalies) / 50000.0, 0.02, 0.005);
+}
+
+TEST(SensorStream, AnomaliesAreOutliers) {
+  const auto readings = sensor_stream(20000, 4, 0.05, 11);
+  double normal_sum = 0.0, anomaly_dev = 0.0;
+  std::size_t normal_n = 0, anomaly_n = 0;
+  for (const auto& r : readings) {
+    if (r.anomaly) {
+      anomaly_dev += std::abs(r.value - 20.0);
+      ++anomaly_n;
+    } else {
+      normal_sum += std::abs(r.value - 20.0);
+      ++normal_n;
+    }
+  }
+  ASSERT_GT(anomaly_n, 0u);
+  EXPECT_GT(anomaly_dev / anomaly_n, 1.5 * (normal_sum / normal_n));
+}
+
+TEST(SensorStream, TimestampsStrictlyIncrease) {
+  const auto readings = sensor_stream(1000, 8, 0.0, 13);
+  for (std::size_t i = 1; i < readings.size(); ++i) {
+    EXPECT_GT(readings[i].timestamp_ms, readings[i - 1].timestamp_ms);
+  }
+}
+
+TEST(OrderTables, SizesMatch) {
+  const auto tables = order_tables(1000, 4.0, 0.5, 15);
+  EXPECT_EQ(tables.orders.size(), 1000u);
+  EXPECT_EQ(tables.lineitems.size(), 4000u);
+}
+
+TEST(OrderTables, ForeignKeysResolve) {
+  const auto tables = order_tables(500, 3.0, 1.0, 17);
+  std::set<std::uint64_t> order_ids;
+  for (const auto& o : tables.orders) order_ids.insert(o.key);
+  for (const auto& l : tables.lineitems) {
+    EXPECT_TRUE(order_ids.count(l.key)) << l.key;
+  }
+}
+
+TEST(OrderTables, SkewConcentratesLineitems) {
+  const auto skewed = order_tables(1000, 10.0, 1.4, 19);
+  std::map<std::uint64_t, int> per_order;
+  for (const auto& l : skewed.lineitems) ++per_order[l.key];
+  int hottest = 0;
+  for (const auto& [k, c] : per_order) hottest = std::max(hottest, c);
+  // With strong skew the hottest order gets far more than the mean (10).
+  EXPECT_GT(hottest, 100);
+}
+
+TEST(RmatGraph, EdgeCountAndVertexRange) {
+  const auto edges = rmat_graph(10, 5000, 21);
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.src, 1024u);
+    EXPECT_LT(e.dst, 1024u);
+  }
+}
+
+TEST(RmatGraph, RejectsBadScale) {
+  EXPECT_THROW(rmat_graph(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(rmat_graph(31, 10, 1), std::invalid_argument);
+}
+
+TEST(RmatGraph, DegreeDistributionIsSkewed) {
+  const auto edges = rmat_graph(12, 40000, 23);
+  std::map<std::uint32_t, int> out_degree;
+  for (const auto& e : edges) ++out_degree[e.src];
+  int max_degree = 0;
+  for (const auto& [v, d] : out_degree) max_degree = std::max(max_degree, d);
+  const double mean =
+      40000.0 / static_cast<double>(out_degree.size());
+  EXPECT_GT(static_cast<double>(max_degree), mean * 5.0);
+}
+
+TEST(GaussianBlobs, ShapeAndLabels) {
+  const auto data = gaussian_blobs(300, 5, 3, 1.0, 25);
+  EXPECT_EQ(data.points.rows, 300u);
+  EXPECT_EQ(data.points.cols, 5u);
+  EXPECT_EQ(data.labels.size(), 300u);
+  for (const auto l : data.labels) EXPECT_LT(l, 3);
+}
+
+TEST(GaussianBlobs, RejectsBadArguments) {
+  EXPECT_THROW(gaussian_blobs(0, 2, 2, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(gaussian_blobs(10, 0, 2, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(gaussian_blobs(10, 2, 0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(gaussian_blobs(10, 2, 20, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rb::workloads

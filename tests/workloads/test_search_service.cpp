@@ -1,0 +1,99 @@
+#include "workloads/search_service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::workloads {
+namespace {
+
+SearchTierParams quick_params() {
+  SearchTierParams p;
+  p.queries = 20000;
+  return p;
+}
+
+TEST(SearchTier, RejectsBadParams) {
+  auto p = quick_params();
+  p.servers = 0;
+  EXPECT_THROW(simulate_search_tier(
+                   node::find_device(node::DeviceKind::kCpu), p),
+               std::invalid_argument);
+  p = quick_params();
+  p.ranking_fraction = 1.5;
+  EXPECT_THROW(simulate_search_tier(
+                   node::find_device(node::DeviceKind::kCpu), p),
+               std::invalid_argument);
+  p = quick_params();
+  p.offload_speedup = 0.5;
+  EXPECT_THROW(simulate_search_tier(
+                   node::find_device(node::DeviceKind::kCpu), p),
+               std::invalid_argument);
+}
+
+TEST(SearchTier, PercentilesOrdered) {
+  const auto r = simulate_search_tier(
+      node::find_device(node::DeviceKind::kCpu), quick_params());
+  EXPECT_LE(r.p50_ms, r.p95_ms);
+  EXPECT_LE(r.p95_ms, r.p99_ms);
+  EXPECT_GT(r.p50_ms, 0.0);
+}
+
+TEST(SearchTier, FpgaOffloadCutsTailLatency) {
+  // E1's headline: the FPGA configuration must cut p99 substantially
+  // (the paper's citation [4] reports 29% for Bing).
+  auto params = quick_params();
+  const auto cpu = simulate_search_tier(
+      node::find_device(node::DeviceKind::kCpu), params);
+  const auto fpga = simulate_search_tier(
+      node::find_device(node::DeviceKind::kFpga), params);
+  EXPECT_LT(fpga.p99_ms, cpu.p99_ms);
+  const double reduction = 1.0 - fpga.p99_ms / cpu.p99_ms;
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.80);
+}
+
+TEST(SearchTier, OffloadCutsMeanToo) {
+  const auto cpu = simulate_search_tier(
+      node::find_device(node::DeviceKind::kCpu), quick_params());
+  const auto fpga = simulate_search_tier(
+      node::find_device(node::DeviceKind::kFpga), quick_params());
+  EXPECT_LT(fpga.mean_ms, cpu.mean_ms);
+}
+
+TEST(SearchTier, HigherLoadHigherTail) {
+  auto params = quick_params();
+  const auto device = node::find_device(node::DeviceKind::kCpu);
+  const auto base = simulate_search_tier(device, params);
+  params.arrival_qps = base.offered_qps * 1.3;  // push toward saturation
+  const auto hot = simulate_search_tier(device, params);
+  EXPECT_GT(hot.p99_ms, base.p99_ms);
+}
+
+TEST(SearchTier, DeterministicPerSeed) {
+  const auto device = node::find_device(node::DeviceKind::kFpga);
+  const auto a = simulate_search_tier(device, quick_params());
+  const auto b = simulate_search_tier(device, quick_params());
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+}
+
+TEST(SearchTier, MoreServersLowerLatencyAtFixedLoad) {
+  auto small = quick_params();
+  small.servers = 8;
+  small.arrival_qps = 400.0;
+  auto large = quick_params();
+  large.servers = 32;
+  large.arrival_qps = 400.0;
+  const auto device = node::find_device(node::DeviceKind::kCpu);
+  EXPECT_GE(simulate_search_tier(device, small).p99_ms,
+            simulate_search_tier(device, large).p99_ms);
+}
+
+TEST(SearchTier, UtilizationReported) {
+  const auto r = simulate_search_tier(
+      node::find_device(node::DeviceKind::kCpu), quick_params());
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LT(r.utilization, 1.0);
+  EXPECT_GT(r.throughput_qps, 0.0);
+}
+
+}  // namespace
+}  // namespace rb::workloads

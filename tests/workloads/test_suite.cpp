@@ -1,0 +1,100 @@
+#include "workloads/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rb::workloads {
+namespace {
+
+TEST(Suite, StandardSuiteHasEightDistinctWorkloads) {
+  const auto entries = standard_suite();
+  EXPECT_EQ(entries.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& e : entries) names.insert(e.workload);
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Suite, ScaleScalesRows) {
+  const auto small = standard_suite(0.1);
+  const auto big = standard_suite(1.0);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_LT(small[i].rows, big[i].rows);
+  }
+  EXPECT_THROW(standard_suite(0.0), std::invalid_argument);
+}
+
+TEST(Suite, MeasuredSuiteRunsAllWorkloads) {
+  const auto results = run_measured_suite(0.02, 1);
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.seconds, 0.0) << r.workload;
+    EXPECT_GT(r.mrows_per_second, 0.0) << r.workload;
+    EXPECT_GT(r.rows, 0u);
+  }
+}
+
+TEST(Suite, MeasuredChecksumsDeterministic) {
+  const auto a = run_measured_suite(0.02, 99);
+  const auto b = run_measured_suite(0.02, 99);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].checksum, b[i].checksum) << a[i].workload;
+  }
+}
+
+TEST(Suite, ProjectionCoversSupportedPairsOnly) {
+  const auto catalog = node::standard_catalog();
+  const auto results =
+      project_suite(catalog, accel::CodePath::kDeviceTuned, 0.1);
+  for (const auto& r : results) {
+    EXPECT_GT(r.seconds, 0.0) << r.workload << " on " << r.device;
+    EXPECT_GT(r.joules, 0.0);
+  }
+  // The ASIC appears only for inference.
+  std::size_t asic_rows = 0;
+  for (const auto& r : results) {
+    if (r.device == "asic-inference") {
+      ++asic_rows;
+      EXPECT_EQ(r.workload, "inference");
+    }
+  }
+  EXPECT_EQ(asic_rows, 1u);
+}
+
+TEST(Suite, CpuProjectionHasUnitSpeedup) {
+  const auto catalog = node::standard_catalog();
+  const auto results =
+      project_suite(catalog, accel::CodePath::kDeviceTuned, 0.1);
+  for (const auto& r : results) {
+    if (r.device == "xeon-2s") {
+      EXPECT_NEAR(r.speedup_vs_cpu, 1.0, 1e-9) << r.workload;
+    }
+  }
+}
+
+TEST(Suite, TunedProjectionNeverSlowerThanGeneric) {
+  const auto catalog = node::standard_catalog();
+  const auto tuned =
+      project_suite(catalog, accel::CodePath::kDeviceTuned, 0.1);
+  const auto generic =
+      project_suite(catalog, accel::CodePath::kGenericPortable, 0.1);
+  ASSERT_EQ(tuned.size(), generic.size());
+  for (std::size_t i = 0; i < tuned.size(); ++i) {
+    EXPECT_LE(tuned[i].seconds, generic[i].seconds * 1.0001)
+        << tuned[i].workload << " on " << tuned[i].device;
+  }
+}
+
+TEST(Suite, SomeWorkloadReaches10x) {
+  // Rec 4: "demonstrate significant (10x) increase in throughput per node
+  // on real analytics applications".
+  const auto catalog = node::standard_catalog();
+  const auto results =
+      project_suite(catalog, accel::CodePath::kDeviceTuned, 1.0);
+  double best = 0.0;
+  for (const auto& r : results) best = std::max(best, r.speedup_vs_cpu);
+  EXPECT_GE(best, 10.0);
+}
+
+}  // namespace
+}  // namespace rb::workloads

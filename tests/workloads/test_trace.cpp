@@ -1,0 +1,115 @@
+#include "workloads/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rb::workloads {
+namespace {
+
+TEST(Trace, RejectsBadParams) {
+  TraceParams p;
+  p.jobs = 0;
+  EXPECT_THROW(generate_trace(p, 1), std::invalid_argument);
+  p = TraceParams{};
+  p.jobs_per_hour = 0.0;
+  EXPECT_THROW(generate_trace(p, 1), std::invalid_argument);
+  p = TraceParams{};
+  p.diurnal_amplitude = 1.0;
+  EXPECT_THROW(generate_trace(p, 1), std::invalid_argument);
+  p = TraceParams{};
+  p.w_wordcount = p.w_join = p.w_kmeans = p.w_stencil = 0.0;
+  EXPECT_THROW(generate_trace(p, 1), std::invalid_argument);
+  p = TraceParams{};
+  p.max_input = p.min_input;
+  EXPECT_THROW(generate_trace(p, 1), std::invalid_argument);
+}
+
+TEST(Trace, ProducesRequestedJobCount) {
+  TraceParams p;
+  p.jobs = 37;
+  EXPECT_EQ(generate_trace(p, 2).size(), 37u);
+}
+
+TEST(Trace, ArrivalsAreMonotone) {
+  TraceParams p;
+  p.jobs = 100;
+  const auto trace = generate_trace(p, 3);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  }
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  TraceParams p;
+  p.jobs = 30;
+  const auto a = generate_trace(p, 7);
+  const auto b = generate_trace(p, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].input_bytes, b[i].input_bytes);
+  }
+}
+
+TEST(Trace, SizesWithinBounds) {
+  TraceParams p;
+  p.jobs = 200;
+  for (const auto& job : generate_trace(p, 11)) {
+    EXPECT_GE(job.input_bytes, p.min_input);
+    EXPECT_LE(job.input_bytes, p.max_input);
+  }
+}
+
+TEST(Trace, SizesAreHeavyTailed) {
+  TraceParams p;
+  p.jobs = 500;
+  const auto trace = generate_trace(p, 13);
+  // Median far below mean is the heavy-tail signature.
+  std::vector<sim::Bytes> sizes;
+  double sum = 0.0;
+  for (const auto& job : trace) {
+    sizes.push_back(job.input_bytes);
+    sum += static_cast<double>(job.input_bytes);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const double mean = sum / static_cast<double>(sizes.size());
+  const double median = static_cast<double>(sizes[sizes.size() / 2]);
+  EXPECT_GT(mean, median * 1.5);
+}
+
+TEST(Trace, TypeMixRoughlyMatchesWeights) {
+  TraceParams p;
+  p.jobs = 2000;
+  std::map<std::string, int> counts;
+  for (const auto& job : generate_trace(p, 17)) ++counts[job.kind];
+  const double n = 2000.0;
+  EXPECT_NEAR(counts["wordcount"] / n, 0.4, 0.05);
+  EXPECT_NEAR(counts["join"] / n, 0.3, 0.05);
+  EXPECT_NEAR(counts["kmeans"] / n, 0.2, 0.05);
+  EXPECT_NEAR(counts["stencil"] / n, 0.1, 0.05);
+}
+
+TEST(Trace, TaskCountScalesWithInput) {
+  TraceParams p;
+  p.jobs = 100;
+  for (const auto& job : generate_trace(p, 19)) {
+    const std::size_t expected = std::max<std::size_t>(
+        1, static_cast<std::size_t>(job.input_bytes / p.bytes_per_task));
+    EXPECT_EQ(job.graph.stage(0).task_count, expected) << job.kind;
+  }
+}
+
+TEST(Trace, FlatProcessWhenAmplitudeZero) {
+  TraceParams p;
+  p.jobs = 300;
+  p.diurnal_amplitude = 0.0;
+  const auto trace = generate_trace(p, 23);
+  // Mean inter-arrival ~ 1/rate hours = 30 s.
+  double total_s = sim::to_seconds(trace.back().arrival);
+  const double mean_gap = total_s / static_cast<double>(trace.size());
+  EXPECT_NEAR(mean_gap, 3600.0 / p.jobs_per_hour, 8.0);
+}
+
+}  // namespace
+}  // namespace rb::workloads
