@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_benchmark_suite"
+  "../bench/bench_e10_benchmark_suite.pdb"
+  "CMakeFiles/bench_e10_benchmark_suite.dir/bench_e10_benchmark_suite.cpp.o"
+  "CMakeFiles/bench_e10_benchmark_suite.dir/bench_e10_benchmark_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_benchmark_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_nfv_chains"
+  "../bench/bench_e11_nfv_chains.pdb"
+  "CMakeFiles/bench_e11_nfv_chains.dir/bench_e11_nfv_chains.cpp.o"
+  "CMakeFiles/bench_e11_nfv_chains.dir/bench_e11_nfv_chains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_nfv_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_survey_findings"
+  "../bench/bench_e13_survey_findings.pdb"
+  "CMakeFiles/bench_e13_survey_findings.dir/bench_e13_survey_findings.cpp.o"
+  "CMakeFiles/bench_e13_survey_findings.dir/bench_e13_survey_findings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_survey_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

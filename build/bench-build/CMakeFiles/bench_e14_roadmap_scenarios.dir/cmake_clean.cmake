@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e14_roadmap_scenarios"
+  "../bench/bench_e14_roadmap_scenarios.pdb"
+  "CMakeFiles/bench_e14_roadmap_scenarios.dir/bench_e14_roadmap_scenarios.cpp.o"
+  "CMakeFiles/bench_e14_roadmap_scenarios.dir/bench_e14_roadmap_scenarios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_roadmap_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

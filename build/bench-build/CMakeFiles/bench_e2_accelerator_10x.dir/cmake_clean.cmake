@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_accelerator_10x"
+  "../bench/bench_e2_accelerator_10x.pdb"
+  "CMakeFiles/bench_e2_accelerator_10x.dir/bench_e2_accelerator_10x.cpp.o"
+  "CMakeFiles/bench_e2_accelerator_10x.dir/bench_e2_accelerator_10x.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_accelerator_10x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_ethernet_generations"
+  "../bench/bench_e3_ethernet_generations.pdb"
+  "CMakeFiles/bench_e3_ethernet_generations.dir/bench_e3_ethernet_generations.cpp.o"
+  "CMakeFiles/bench_e3_ethernet_generations.dir/bench_e3_ethernet_generations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_ethernet_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

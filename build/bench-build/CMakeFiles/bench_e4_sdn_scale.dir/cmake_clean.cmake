@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_sdn_scale"
+  "../bench/bench_e4_sdn_scale.pdb"
+  "CMakeFiles/bench_e4_sdn_scale.dir/bench_e4_sdn_scale.cpp.o"
+  "CMakeFiles/bench_e4_sdn_scale.dir/bench_e4_sdn_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_sdn_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_disaggregation"
+  "../bench/bench_e5_disaggregation.pdb"
+  "CMakeFiles/bench_e5_disaggregation.dir/bench_e5_disaggregation.cpp.o"
+  "CMakeFiles/bench_e5_disaggregation.dir/bench_e5_disaggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_disaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_soc_vs_sip"
+  "../bench/bench_e6_soc_vs_sip.pdb"
+  "CMakeFiles/bench_e6_soc_vs_sip.dir/bench_e6_soc_vs_sip.cpp.o"
+  "CMakeFiles/bench_e6_soc_vs_sip.dir/bench_e6_soc_vs_sip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_soc_vs_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_gpgpu_roi"
+  "../bench/bench_e7_gpgpu_roi.pdb"
+  "CMakeFiles/bench_e7_gpgpu_roi.dir/bench_e7_gpgpu_roi.cpp.o"
+  "CMakeFiles/bench_e7_gpgpu_roi.dir/bench_e7_gpgpu_roi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_gpgpu_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_abstraction_gap"
+  "../bench/bench_e8_abstraction_gap.pdb"
+  "CMakeFiles/bench_e8_abstraction_gap.dir/bench_e8_abstraction_gap.cpp.o"
+  "CMakeFiles/bench_e8_abstraction_gap.dir/bench_e8_abstraction_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_abstraction_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_hetero_scheduling"
+  "../bench/bench_e9_hetero_scheduling.pdb"
+  "CMakeFiles/bench_e9_hetero_scheduling.dir/bench_e9_hetero_scheduling.cpp.o"
+  "CMakeFiles/bench_e9_hetero_scheduling.dir/bench_e9_hetero_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_hetero_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

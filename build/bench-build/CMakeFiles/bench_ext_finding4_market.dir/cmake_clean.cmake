@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_finding4_market"
+  "../bench/bench_ext_finding4_market.pdb"
+  "CMakeFiles/bench_ext_finding4_market.dir/bench_ext_finding4_market.cpp.o"
+  "CMakeFiles/bench_ext_finding4_market.dir/bench_ext_finding4_market.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_finding4_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_rec3_buffers"
+  "../bench/bench_ext_rec3_buffers.pdb"
+  "CMakeFiles/bench_ext_rec3_buffers.dir/bench_ext_rec3_buffers.cpp.o"
+  "CMakeFiles/bench_ext_rec3_buffers.dir/bench_ext_rec3_buffers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rec3_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

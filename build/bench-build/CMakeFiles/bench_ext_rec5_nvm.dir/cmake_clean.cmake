@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_rec5_nvm"
+  "../bench/bench_ext_rec5_nvm.pdb"
+  "CMakeFiles/bench_ext_rec5_nvm.dir/bench_ext_rec5_nvm.cpp.o"
+  "CMakeFiles/bench_ext_rec5_nvm.dir/bench_ext_rec5_nvm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rec5_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

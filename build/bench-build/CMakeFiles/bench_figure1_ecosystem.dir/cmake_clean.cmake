@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure1_ecosystem"
+  "../bench/bench_figure1_ecosystem.pdb"
+  "CMakeFiles/bench_figure1_ecosystem.dir/bench_figure1_ecosystem.cpp.o"
+  "CMakeFiles/bench_figure1_ecosystem.dir/bench_figure1_ecosystem.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

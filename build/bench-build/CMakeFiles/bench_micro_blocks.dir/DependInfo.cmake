@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_blocks.cpp" "bench-build/CMakeFiles/bench_micro_blocks.dir/bench_micro_blocks.cpp.o" "gcc" "bench-build/CMakeFiles/bench_micro_blocks.dir/bench_micro_blocks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/rb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rb_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_blocks"
+  "../bench/bench_micro_blocks.pdb"
+  "CMakeFiles/bench_micro_blocks.dir/bench_micro_blocks.cpp.o"
+  "CMakeFiles/bench_micro_blocks.dir/bench_micro_blocks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_consortium"
+  "../bench/bench_table1_consortium.pdb"
+  "CMakeFiles/bench_table1_consortium.dir/bench_table1_consortium.cpp.o"
+  "CMakeFiles/bench_table1_consortium.dir/bench_table1_consortium.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_consortium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

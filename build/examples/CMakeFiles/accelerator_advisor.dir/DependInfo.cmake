@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/accelerator_advisor.cpp" "examples/CMakeFiles/accelerator_advisor.dir/accelerator_advisor.cpp.o" "gcc" "examples/CMakeFiles/accelerator_advisor.dir/accelerator_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadmap/CMakeFiles/rb_roadmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rb_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

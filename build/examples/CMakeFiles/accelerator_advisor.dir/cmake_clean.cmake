@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_advisor.dir/accelerator_advisor.cpp.o"
+  "CMakeFiles/accelerator_advisor.dir/accelerator_advisor.cpp.o.d"
+  "accelerator_advisor"
+  "accelerator_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composable_datacenter.dir/composable_datacenter.cpp.o"
+  "CMakeFiles/composable_datacenter.dir/composable_datacenter.cpp.o.d"
+  "composable_datacenter"
+  "composable_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composable_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

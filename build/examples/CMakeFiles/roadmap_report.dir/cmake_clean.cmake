@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmap_report.dir/roadmap_report.cpp.o"
+  "CMakeFiles/roadmap_report.dir/roadmap_report.cpp.o.d"
+  "roadmap_report"
+  "roadmap_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmap_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

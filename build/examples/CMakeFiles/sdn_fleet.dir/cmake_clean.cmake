@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_fleet.dir/sdn_fleet.cpp.o"
+  "CMakeFiles/sdn_fleet.dir/sdn_fleet.cpp.o.d"
+  "sdn_fleet"
+  "sdn_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

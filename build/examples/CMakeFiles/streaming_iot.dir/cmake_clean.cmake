@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_iot.dir/streaming_iot.cpp.o"
+  "CMakeFiles/streaming_iot.dir/streaming_iot.cpp.o.d"
+  "streaming_iot"
+  "streaming_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/aggregate.cpp" "src/accel/CMakeFiles/rb_accel.dir/aggregate.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/aggregate.cpp.o.d"
+  "/root/repo/src/accel/compression.cpp" "src/accel/CMakeFiles/rb_accel.dir/compression.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/compression.cpp.o.d"
+  "/root/repo/src/accel/gemm.cpp" "src/accel/CMakeFiles/rb_accel.dir/gemm.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/gemm.cpp.o.d"
+  "/root/repo/src/accel/graph.cpp" "src/accel/CMakeFiles/rb_accel.dir/graph.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/graph.cpp.o.d"
+  "/root/repo/src/accel/hash_join.cpp" "src/accel/CMakeFiles/rb_accel.dir/hash_join.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/hash_join.cpp.o.d"
+  "/root/repo/src/accel/hash_table.cpp" "src/accel/CMakeFiles/rb_accel.dir/hash_table.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/hash_table.cpp.o.d"
+  "/root/repo/src/accel/ml.cpp" "src/accel/CMakeFiles/rb_accel.dir/ml.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/ml.cpp.o.d"
+  "/root/repo/src/accel/offload.cpp" "src/accel/CMakeFiles/rb_accel.dir/offload.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/offload.cpp.o.d"
+  "/root/repo/src/accel/scan.cpp" "src/accel/CMakeFiles/rb_accel.dir/scan.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/scan.cpp.o.d"
+  "/root/repo/src/accel/sort.cpp" "src/accel/CMakeFiles/rb_accel.dir/sort.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/sort.cpp.o.d"
+  "/root/repo/src/accel/text.cpp" "src/accel/CMakeFiles/rb_accel.dir/text.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/text.cpp.o.d"
+  "/root/repo/src/accel/topk.cpp" "src/accel/CMakeFiles/rb_accel.dir/topk.cpp.o" "gcc" "src/accel/CMakeFiles/rb_accel.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_accel.dir/aggregate.cpp.o"
+  "CMakeFiles/rb_accel.dir/aggregate.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/compression.cpp.o"
+  "CMakeFiles/rb_accel.dir/compression.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/gemm.cpp.o"
+  "CMakeFiles/rb_accel.dir/gemm.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/graph.cpp.o"
+  "CMakeFiles/rb_accel.dir/graph.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/hash_join.cpp.o"
+  "CMakeFiles/rb_accel.dir/hash_join.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/hash_table.cpp.o"
+  "CMakeFiles/rb_accel.dir/hash_table.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/ml.cpp.o"
+  "CMakeFiles/rb_accel.dir/ml.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/offload.cpp.o"
+  "CMakeFiles/rb_accel.dir/offload.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/scan.cpp.o"
+  "CMakeFiles/rb_accel.dir/scan.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/sort.cpp.o"
+  "CMakeFiles/rb_accel.dir/sort.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/text.cpp.o"
+  "CMakeFiles/rb_accel.dir/text.cpp.o.d"
+  "CMakeFiles/rb_accel.dir/topk.cpp.o"
+  "CMakeFiles/rb_accel.dir/topk.cpp.o.d"
+  "librb_accel.a"
+  "librb_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

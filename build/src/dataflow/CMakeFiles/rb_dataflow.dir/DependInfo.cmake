@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/plan.cpp" "src/dataflow/CMakeFiles/rb_dataflow.dir/plan.cpp.o" "gcc" "src/dataflow/CMakeFiles/rb_dataflow.dir/plan.cpp.o.d"
+  "/root/repo/src/dataflow/streaming.cpp" "src/dataflow/CMakeFiles/rb_dataflow.dir/streaming.cpp.o" "gcc" "src/dataflow/CMakeFiles/rb_dataflow.dir/streaming.cpp.o.d"
+  "/root/repo/src/dataflow/threadpool.cpp" "src/dataflow/CMakeFiles/rb_dataflow.dir/threadpool.cpp.o" "gcc" "src/dataflow/CMakeFiles/rb_dataflow.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

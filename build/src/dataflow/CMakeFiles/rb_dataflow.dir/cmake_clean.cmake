@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_dataflow.dir/plan.cpp.o"
+  "CMakeFiles/rb_dataflow.dir/plan.cpp.o.d"
+  "CMakeFiles/rb_dataflow.dir/streaming.cpp.o"
+  "CMakeFiles/rb_dataflow.dir/streaming.cpp.o.d"
+  "CMakeFiles/rb_dataflow.dir/threadpool.cpp.o"
+  "CMakeFiles/rb_dataflow.dir/threadpool.cpp.o.d"
+  "librb_dataflow.a"
+  "librb_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/coflow.cpp" "src/net/CMakeFiles/rb_net.dir/coflow.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/coflow.cpp.o.d"
+  "/root/repo/src/net/disagg.cpp" "src/net/CMakeFiles/rb_net.dir/disagg.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/disagg.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/rb_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/nfv.cpp" "src/net/CMakeFiles/rb_net.dir/nfv.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/nfv.cpp.o.d"
+  "/root/repo/src/net/queueing.cpp" "src/net/CMakeFiles/rb_net.dir/queueing.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/queueing.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/rb_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/sdn.cpp" "src/net/CMakeFiles/rb_net.dir/sdn.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/sdn.cpp.o.d"
+  "/root/repo/src/net/switch_cost.cpp" "src/net/CMakeFiles/rb_net.dir/switch_cost.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/switch_cost.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/rb_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/rb_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_net.dir/coflow.cpp.o"
+  "CMakeFiles/rb_net.dir/coflow.cpp.o.d"
+  "CMakeFiles/rb_net.dir/disagg.cpp.o"
+  "CMakeFiles/rb_net.dir/disagg.cpp.o.d"
+  "CMakeFiles/rb_net.dir/fabric.cpp.o"
+  "CMakeFiles/rb_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/rb_net.dir/nfv.cpp.o"
+  "CMakeFiles/rb_net.dir/nfv.cpp.o.d"
+  "CMakeFiles/rb_net.dir/queueing.cpp.o"
+  "CMakeFiles/rb_net.dir/queueing.cpp.o.d"
+  "CMakeFiles/rb_net.dir/routing.cpp.o"
+  "CMakeFiles/rb_net.dir/routing.cpp.o.d"
+  "CMakeFiles/rb_net.dir/sdn.cpp.o"
+  "CMakeFiles/rb_net.dir/sdn.cpp.o.d"
+  "CMakeFiles/rb_net.dir/switch_cost.cpp.o"
+  "CMakeFiles/rb_net.dir/switch_cost.cpp.o.d"
+  "CMakeFiles/rb_net.dir/topology.cpp.o"
+  "CMakeFiles/rb_net.dir/topology.cpp.o.d"
+  "librb_net.a"
+  "librb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/device.cpp" "src/node/CMakeFiles/rb_node.dir/device.cpp.o" "gcc" "src/node/CMakeFiles/rb_node.dir/device.cpp.o.d"
+  "/root/repo/src/node/energy.cpp" "src/node/CMakeFiles/rb_node.dir/energy.cpp.o" "gcc" "src/node/CMakeFiles/rb_node.dir/energy.cpp.o.d"
+  "/root/repo/src/node/integration.cpp" "src/node/CMakeFiles/rb_node.dir/integration.cpp.o" "gcc" "src/node/CMakeFiles/rb_node.dir/integration.cpp.o.d"
+  "/root/repo/src/node/memory.cpp" "src/node/CMakeFiles/rb_node.dir/memory.cpp.o" "gcc" "src/node/CMakeFiles/rb_node.dir/memory.cpp.o.d"
+  "/root/repo/src/node/roofline.cpp" "src/node/CMakeFiles/rb_node.dir/roofline.cpp.o" "gcc" "src/node/CMakeFiles/rb_node.dir/roofline.cpp.o.d"
+  "/root/repo/src/node/tco.cpp" "src/node/CMakeFiles/rb_node.dir/tco.cpp.o" "gcc" "src/node/CMakeFiles/rb_node.dir/tco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

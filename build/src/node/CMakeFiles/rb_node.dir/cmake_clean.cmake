@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_node.dir/device.cpp.o"
+  "CMakeFiles/rb_node.dir/device.cpp.o.d"
+  "CMakeFiles/rb_node.dir/energy.cpp.o"
+  "CMakeFiles/rb_node.dir/energy.cpp.o.d"
+  "CMakeFiles/rb_node.dir/integration.cpp.o"
+  "CMakeFiles/rb_node.dir/integration.cpp.o.d"
+  "CMakeFiles/rb_node.dir/memory.cpp.o"
+  "CMakeFiles/rb_node.dir/memory.cpp.o.d"
+  "CMakeFiles/rb_node.dir/roofline.cpp.o"
+  "CMakeFiles/rb_node.dir/roofline.cpp.o.d"
+  "CMakeFiles/rb_node.dir/tco.cpp.o"
+  "CMakeFiles/rb_node.dir/tco.cpp.o.d"
+  "librb_node.a"
+  "librb_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_query.dir/table.cpp.o"
+  "CMakeFiles/rb_query.dir/table.cpp.o.d"
+  "librb_query.a"
+  "librb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadmap/adoption.cpp" "src/roadmap/CMakeFiles/rb_roadmap.dir/adoption.cpp.o" "gcc" "src/roadmap/CMakeFiles/rb_roadmap.dir/adoption.cpp.o.d"
+  "/root/repo/src/roadmap/funding.cpp" "src/roadmap/CMakeFiles/rb_roadmap.dir/funding.cpp.o" "gcc" "src/roadmap/CMakeFiles/rb_roadmap.dir/funding.cpp.o.d"
+  "/root/repo/src/roadmap/market.cpp" "src/roadmap/CMakeFiles/rb_roadmap.dir/market.cpp.o" "gcc" "src/roadmap/CMakeFiles/rb_roadmap.dir/market.cpp.o.d"
+  "/root/repo/src/roadmap/registry.cpp" "src/roadmap/CMakeFiles/rb_roadmap.dir/registry.cpp.o" "gcc" "src/roadmap/CMakeFiles/rb_roadmap.dir/registry.cpp.o.d"
+  "/root/repo/src/roadmap/report.cpp" "src/roadmap/CMakeFiles/rb_roadmap.dir/report.cpp.o" "gcc" "src/roadmap/CMakeFiles/rb_roadmap.dir/report.cpp.o.d"
+  "/root/repo/src/roadmap/scenario.cpp" "src/roadmap/CMakeFiles/rb_roadmap.dir/scenario.cpp.o" "gcc" "src/roadmap/CMakeFiles/rb_roadmap.dir/scenario.cpp.o.d"
+  "/root/repo/src/roadmap/survey.cpp" "src/roadmap/CMakeFiles/rb_roadmap.dir/survey.cpp.o" "gcc" "src/roadmap/CMakeFiles/rb_roadmap.dir/survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rb_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

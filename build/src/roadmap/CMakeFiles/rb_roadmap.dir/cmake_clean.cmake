@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_roadmap.dir/adoption.cpp.o"
+  "CMakeFiles/rb_roadmap.dir/adoption.cpp.o.d"
+  "CMakeFiles/rb_roadmap.dir/funding.cpp.o"
+  "CMakeFiles/rb_roadmap.dir/funding.cpp.o.d"
+  "CMakeFiles/rb_roadmap.dir/market.cpp.o"
+  "CMakeFiles/rb_roadmap.dir/market.cpp.o.d"
+  "CMakeFiles/rb_roadmap.dir/registry.cpp.o"
+  "CMakeFiles/rb_roadmap.dir/registry.cpp.o.d"
+  "CMakeFiles/rb_roadmap.dir/report.cpp.o"
+  "CMakeFiles/rb_roadmap.dir/report.cpp.o.d"
+  "CMakeFiles/rb_roadmap.dir/scenario.cpp.o"
+  "CMakeFiles/rb_roadmap.dir/scenario.cpp.o.d"
+  "CMakeFiles/rb_roadmap.dir/survey.cpp.o"
+  "CMakeFiles/rb_roadmap.dir/survey.cpp.o.d"
+  "librb_roadmap.a"
+  "librb_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

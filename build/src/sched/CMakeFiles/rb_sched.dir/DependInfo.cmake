@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cluster.cpp" "src/sched/CMakeFiles/rb_sched.dir/cluster.cpp.o" "gcc" "src/sched/CMakeFiles/rb_sched.dir/cluster.cpp.o.d"
+  "/root/repo/src/sched/engine.cpp" "src/sched/CMakeFiles/rb_sched.dir/engine.cpp.o" "gcc" "src/sched/CMakeFiles/rb_sched.dir/engine.cpp.o.d"
+  "/root/repo/src/sched/policies.cpp" "src/sched/CMakeFiles/rb_sched.dir/policies.cpp.o" "gcc" "src/sched/CMakeFiles/rb_sched.dir/policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_sched.dir/cluster.cpp.o"
+  "CMakeFiles/rb_sched.dir/cluster.cpp.o.d"
+  "CMakeFiles/rb_sched.dir/engine.cpp.o"
+  "CMakeFiles/rb_sched.dir/engine.cpp.o.d"
+  "CMakeFiles/rb_sched.dir/policies.cpp.o"
+  "CMakeFiles/rb_sched.dir/policies.cpp.o.d"
+  "librb_sched.a"
+  "librb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/rb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rb_sim.dir/log.cpp.o"
+  "CMakeFiles/rb_sim.dir/log.cpp.o.d"
+  "CMakeFiles/rb_sim.dir/random.cpp.o"
+  "CMakeFiles/rb_sim.dir/random.cpp.o.d"
+  "CMakeFiles/rb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rb_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rb_sim.dir/stats.cpp.o"
+  "CMakeFiles/rb_sim.dir/stats.cpp.o.d"
+  "librb_sim.a"
+  "librb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_storage.dir/lsm.cpp.o"
+  "CMakeFiles/rb_storage.dir/lsm.cpp.o.d"
+  "librb_storage.a"
+  "librb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

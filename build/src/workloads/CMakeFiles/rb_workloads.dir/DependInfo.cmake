@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generators.cpp" "src/workloads/CMakeFiles/rb_workloads.dir/generators.cpp.o" "gcc" "src/workloads/CMakeFiles/rb_workloads.dir/generators.cpp.o.d"
+  "/root/repo/src/workloads/search_service.cpp" "src/workloads/CMakeFiles/rb_workloads.dir/search_service.cpp.o" "gcc" "src/workloads/CMakeFiles/rb_workloads.dir/search_service.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/rb_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/rb_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/workloads/CMakeFiles/rb_workloads.dir/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/rb_workloads.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rb_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_workloads.dir/generators.cpp.o"
+  "CMakeFiles/rb_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/rb_workloads.dir/search_service.cpp.o"
+  "CMakeFiles/rb_workloads.dir/search_service.cpp.o.d"
+  "CMakeFiles/rb_workloads.dir/suite.cpp.o"
+  "CMakeFiles/rb_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/rb_workloads.dir/trace.cpp.o"
+  "CMakeFiles/rb_workloads.dir/trace.cpp.o.d"
+  "librb_workloads.a"
+  "librb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel/test_aggregate.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_aggregate.cpp.o.d"
+  "/root/repo/tests/accel/test_compression.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_compression.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_compression.cpp.o.d"
+  "/root/repo/tests/accel/test_gemm.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_gemm.cpp.o.d"
+  "/root/repo/tests/accel/test_graph.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_graph.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_graph.cpp.o.d"
+  "/root/repo/tests/accel/test_hash_join.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_hash_join.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_hash_join.cpp.o.d"
+  "/root/repo/tests/accel/test_hash_table.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_hash_table.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_hash_table.cpp.o.d"
+  "/root/repo/tests/accel/test_ml.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_ml.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_ml.cpp.o.d"
+  "/root/repo/tests/accel/test_offload.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_offload.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_offload.cpp.o.d"
+  "/root/repo/tests/accel/test_scan.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_scan.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_scan.cpp.o.d"
+  "/root/repo/tests/accel/test_sort.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_sort.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_sort.cpp.o.d"
+  "/root/repo/tests/accel/test_text.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_text.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_text.cpp.o.d"
+  "/root/repo/tests/accel/test_topk.cpp" "tests/CMakeFiles/test_accel.dir/accel/test_topk.cpp.o" "gcc" "tests/CMakeFiles/test_accel.dir/accel/test_topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadmap/CMakeFiles/rb_roadmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rb_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

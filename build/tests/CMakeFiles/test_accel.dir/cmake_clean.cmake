@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/accel/test_aggregate.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_aggregate.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_compression.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_compression.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_gemm.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_gemm.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_graph.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_graph.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_hash_join.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_hash_join.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_hash_table.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_hash_table.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_ml.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_ml.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_offload.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_offload.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_scan.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_scan.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_sort.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_sort.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_text.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_text.cpp.o.d"
+  "CMakeFiles/test_accel.dir/accel/test_topk.cpp.o"
+  "CMakeFiles/test_accel.dir/accel/test_topk.cpp.o.d"
+  "test_accel"
+  "test_accel.pdb"
+  "test_accel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow.dir/dataflow/test_dataset.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_dataset.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_plan.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_plan.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_streaming.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_streaming.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_threadpool.cpp.o"
+  "CMakeFiles/test_dataflow.dir/dataflow/test_threadpool.cpp.o.d"
+  "test_dataflow"
+  "test_dataflow.pdb"
+  "test_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_coflow.cpp" "tests/CMakeFiles/test_net.dir/net/test_coflow.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_coflow.cpp.o.d"
+  "/root/repo/tests/net/test_disagg.cpp" "tests/CMakeFiles/test_net.dir/net/test_disagg.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_disagg.cpp.o.d"
+  "/root/repo/tests/net/test_fabric.cpp" "tests/CMakeFiles/test_net.dir/net/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_fabric.cpp.o.d"
+  "/root/repo/tests/net/test_nfv.cpp" "tests/CMakeFiles/test_net.dir/net/test_nfv.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_nfv.cpp.o.d"
+  "/root/repo/tests/net/test_queueing.cpp" "tests/CMakeFiles/test_net.dir/net/test_queueing.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_queueing.cpp.o.d"
+  "/root/repo/tests/net/test_routing.cpp" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "/root/repo/tests/net/test_sdn.cpp" "tests/CMakeFiles/test_net.dir/net/test_sdn.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_sdn.cpp.o.d"
+  "/root/repo/tests/net/test_switch_cost.cpp" "tests/CMakeFiles/test_net.dir/net/test_switch_cost.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_switch_cost.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadmap/CMakeFiles/rb_roadmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rb_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_coflow.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_coflow.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_disagg.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_disagg.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_fabric.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_fabric.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_nfv.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_nfv.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_queueing.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_queueing.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_sdn.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_sdn.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_switch_cost.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_switch_cost.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_topology.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_topology.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

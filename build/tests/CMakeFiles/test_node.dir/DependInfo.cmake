@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/node/test_device.cpp" "tests/CMakeFiles/test_node.dir/node/test_device.cpp.o" "gcc" "tests/CMakeFiles/test_node.dir/node/test_device.cpp.o.d"
+  "/root/repo/tests/node/test_energy.cpp" "tests/CMakeFiles/test_node.dir/node/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_node.dir/node/test_energy.cpp.o.d"
+  "/root/repo/tests/node/test_integration.cpp" "tests/CMakeFiles/test_node.dir/node/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_node.dir/node/test_integration.cpp.o.d"
+  "/root/repo/tests/node/test_memory.cpp" "tests/CMakeFiles/test_node.dir/node/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_node.dir/node/test_memory.cpp.o.d"
+  "/root/repo/tests/node/test_roofline.cpp" "tests/CMakeFiles/test_node.dir/node/test_roofline.cpp.o" "gcc" "tests/CMakeFiles/test_node.dir/node/test_roofline.cpp.o.d"
+  "/root/repo/tests/node/test_tco.cpp" "tests/CMakeFiles/test_node.dir/node/test_tco.cpp.o" "gcc" "tests/CMakeFiles/test_node.dir/node/test_tco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadmap/CMakeFiles/rb_roadmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rb_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rb_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rb_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node.dir/node/test_device.cpp.o"
+  "CMakeFiles/test_node.dir/node/test_device.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/test_energy.cpp.o"
+  "CMakeFiles/test_node.dir/node/test_energy.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/test_integration.cpp.o"
+  "CMakeFiles/test_node.dir/node/test_integration.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/test_memory.cpp.o"
+  "CMakeFiles/test_node.dir/node/test_memory.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/test_roofline.cpp.o"
+  "CMakeFiles/test_node.dir/node/test_roofline.cpp.o.d"
+  "CMakeFiles/test_node.dir/node/test_tco.cpp.o"
+  "CMakeFiles/test_node.dir/node/test_tco.cpp.o.d"
+  "test_node"
+  "test_node.pdb"
+  "test_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

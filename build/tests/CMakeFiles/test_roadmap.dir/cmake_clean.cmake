@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roadmap.dir/roadmap/test_adoption.cpp.o"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_adoption.cpp.o.d"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_funding.cpp.o"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_funding.cpp.o.d"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_market.cpp.o"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_market.cpp.o.d"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_registry.cpp.o"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_registry.cpp.o.d"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_report.cpp.o"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_report.cpp.o.d"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_scenario.cpp.o"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_scenario.cpp.o.d"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_survey.cpp.o"
+  "CMakeFiles/test_roadmap.dir/roadmap/test_survey.cpp.o.d"
+  "test_roadmap"
+  "test_roadmap.pdb"
+  "test_roadmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_generators.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_generators.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_search_service.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_search_service.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_suite.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_suite.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_trace.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_trace.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
