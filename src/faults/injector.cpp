@@ -1,0 +1,41 @@
+#include "faults/injector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rb::faults {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, net::Topology& topo,
+                             FaultPlan plan)
+    : sim_{&sim}, topo_{&topo}, plan_{std::move(plan)} {}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.target == FaultTarget::kMachine)
+      throw std::invalid_argument{
+          "FaultInjector: kMachine events belong to sched::run_jobs, not the "
+          "network injector"};
+    sim_->schedule_at(event.at, [this, event] { apply(event); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  switch (event.target) {
+    case FaultTarget::kLink:
+      topo_->set_link_up(event.id, event.up);
+      break;
+    case FaultTarget::kNode:
+      topo_->set_node_up(event.id, event.up);
+      break;
+    case FaultTarget::kMachine:
+      break;  // unreachable: rejected in arm()
+  }
+  ++applied_;
+  (event.up ? repairs_ : failures_)++;
+  if (fabric_ != nullptr) fabric_->handle_topology_change();
+  if (observer_) observer_(event);
+}
+
+}  // namespace rb::faults

@@ -1,0 +1,59 @@
+#pragma once
+// FaultInjector: replays a FaultPlan against a live network simulation.
+//
+// The injector owns the plan, schedules one simulator event per transition,
+// applies it to the (mutable) Topology, and then tells the attached
+// FlowSimulator to reroute/fail affected flows. Observers can hook
+// on_event() for logging or custom reactions (e.g. an SDN controller model
+// counting reconvergence operations).
+
+#include <cstdint>
+#include <functional>
+
+#include "faults/plan.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace rb::faults {
+
+class FaultInjector {
+ public:
+  /// All references must outlive the injector. Call arm() to schedule the
+  /// plan's events onto the simulator (idempotent: arms once).
+  FaultInjector(sim::Simulator& sim, net::Topology& topo, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Notify this fabric after every applied topology transition.
+  void attach(net::FlowSimulator& fabric) { fabric_ = &fabric; }
+
+  /// Observer invoked after each event is applied (post-reroute).
+  void on_event(std::function<void(const FaultEvent&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  /// Schedule every plan event onto the simulator.
+  void arm();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  std::uint64_t applied_events() const noexcept { return applied_; }
+  std::uint64_t component_failures() const noexcept { return failures_; }
+  std::uint64_t component_repairs() const noexcept { return repairs_; }
+
+ private:
+  void apply(const FaultEvent& event);
+
+  sim::Simulator* sim_;
+  net::Topology* topo_;
+  net::FlowSimulator* fabric_ = nullptr;
+  FaultPlan plan_;
+  std::function<void(const FaultEvent&)> observer_;
+  bool armed_ = false;
+  std::uint64_t applied_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace rb::faults

@@ -17,6 +17,23 @@ FlowSimulator::FlowSimulator(sim::Simulator& sim, const Topology& topo,
                              const Router& router, RateAllocation allocation)
     : sim_{&sim}, topo_{&topo}, router_{&router}, allocation_{allocation} {}
 
+void FlowSimulator::build_path(FlowId id, Active& flow) const {
+  flow.dpath.clear();
+  flow.latency = 0;
+  if (flow.src == flow.dst) return;
+  const auto links = router_->path(flow.src, flow.dst, mix64(id));
+  flow.dpath.reserve(links.size());
+  NodeId at = flow.src;
+  for (const LinkId link_id : links) {
+    const Link& link = topo_->link(link_id);
+    const int dir = (link.a == at) ? 0 : 1;
+    flow.dpath.push_back((static_cast<std::uint64_t>(link_id) << 1) |
+                         static_cast<std::uint64_t>(dir));
+    flow.latency += link.latency;
+    at = (link.a == at) ? link.b : link.a;
+  }
+}
+
 FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
                                  FlowCallback on_complete) {
   const FlowId id = next_id_++;
@@ -28,24 +45,20 @@ FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
   flow.start = sim_->now();
   flow.on_complete = std::move(on_complete);
 
-  if (src != dst) {
-    const auto links = router_->path(src, dst, mix64(id));
-    flow.dpath.reserve(links.size());
-    NodeId at = src;
-    for (const LinkId link_id : links) {
-      const Link& link = topo_->link(link_id);
-      const int dir = (link.a == at) ? 0 : 1;
-      flow.dpath.push_back((static_cast<std::uint64_t>(link_id) << 1) |
-                           static_cast<std::uint64_t>(dir));
-      flow.latency += link.latency;
-      at = (link.a == at) ? link.b : link.a;
-    }
-  }
+  build_path(id, flow);  // throws NoRouteError when disconnected
+  ++started_;
 
   if (flow.remaining_bits <= kResidualBits || flow.dpath.empty()) {
     // Degenerate flow: completes after propagation only.
     const sim::SimTime latency = flow.latency;
-    FlowRecord record{id, src, dst, size, flow.start, flow.start + latency};
+    FlowRecord record{id,
+                      src,
+                      dst,
+                      size,
+                      flow.start,
+                      flow.start + latency,
+                      FlowOutcome::kCompleted,
+                      size};
     auto cb = std::move(flow.on_complete);
     sim_->schedule_in(latency, [this, record, cb = std::move(cb)] {
       ++completed_;
@@ -60,6 +73,53 @@ FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
   reallocate();
   schedule_next_completion();
   return id;
+}
+
+bool FlowSimulator::cancel_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance_to_now();
+  flows_.erase(it);
+  ++cancelled_;
+  reallocate();
+  schedule_next_completion();
+  return true;
+}
+
+bool FlowSimulator::path_is_live(const Active& flow) const {
+  if (!topo_->node_up(flow.src) || !topo_->node_up(flow.dst)) return false;
+  for (const std::uint64_t key : flow.dpath) {
+    if (!topo_->link_usable(static_cast<LinkId>(key >> 1))) return false;
+  }
+  return true;
+}
+
+void FlowSimulator::handle_topology_change() {
+  advance_to_now();
+  // Pass 1: classify every active flow against the new component state.
+  std::vector<FlowId> broken;
+  for (const auto& [id, flow] : flows_) {
+    if (!path_is_live(flow)) broken.push_back(id);
+  }
+  if (broken.empty()) {
+    // Repairs can still open shorter paths for *new* flows; active flows
+    // stay put (no flap-induced reshuffling) — nothing to do.
+    return;
+  }
+  std::sort(broken.begin(), broken.end());  // deterministic order
+  // Pass 2: reroute around the failure or fail the flow.
+  for (const FlowId id : broken) {
+    auto& flow = flows_.at(id);
+    try {
+      build_path(id, flow);
+      ++rerouted_;
+    } catch (const NoRouteError&) {
+      auto node = flows_.extract(id);
+      fail_flow(id, std::move(node.mapped()));
+    }
+  }
+  reallocate();
+  schedule_next_completion();
 }
 
 double FlowSimulator::current_rate(FlowId id) const {
@@ -191,10 +251,30 @@ void FlowSimulator::handle_completion_event() {
 
 void FlowSimulator::finish_flow(FlowId id, Active&& flow) {
   ++completed_;
-  FlowRecord record{id,         flow.src,
-                    flow.dst,   flow.size,
-                    flow.start, sim_->now() + flow.latency};
+  FlowRecord record{id,
+                    flow.src,
+                    flow.dst,
+                    flow.size,
+                    flow.start,
+                    sim_->now() + flow.latency,
+                    FlowOutcome::kCompleted,
+                    flow.size};
   fct_.add(sim::to_seconds(record.finish - record.start));
+  if (flow.on_complete) flow.on_complete(record);
+}
+
+void FlowSimulator::fail_flow(FlowId id, Active&& flow) {
+  ++failed_;
+  const double sent_bits =
+      static_cast<double>(flow.size) * 8.0 - flow.remaining_bits;
+  FlowRecord record{id,
+                    flow.src,
+                    flow.dst,
+                    flow.size,
+                    flow.start,
+                    sim_->now(),
+                    FlowOutcome::kFailed,
+                    static_cast<sim::Bytes>(std::max(0.0, sent_bits) / 8.0)};
   if (flow.on_complete) flow.on_complete(record);
 }
 

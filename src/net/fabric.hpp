@@ -7,6 +7,12 @@
 // every flow arrival and departure, which is the standard abstraction for
 // studying DC job/network interactions at the scale the roadmap discusses
 // without simulating packets.
+//
+// Failures: when the topology's fault state changes (links/switches/hosts
+// going down or coming back), call handle_topology_change(). Every active
+// flow whose path crosses a dead component is rerouted onto a surviving
+// ECMP path if one exists; if the endpoints are disconnected the flow ends
+// with FlowOutcome::kFailed — it never hangs and never silently completes.
 
 #include <cstdint>
 #include <functional>
@@ -22,6 +28,10 @@ namespace rb::net {
 
 using FlowId = std::uint64_t;
 
+/// How a flow ended. kFailed means a component failure disconnected the
+/// endpoints mid-flight and no alternate path existed.
+enum class FlowOutcome : std::uint8_t { kCompleted, kFailed };
+
 struct FlowRecord {
   FlowId id = 0;
   NodeId src = kInvalidNode;
@@ -29,6 +39,9 @@ struct FlowRecord {
   sim::Bytes size = 0;
   sim::SimTime start = 0;
   sim::SimTime finish = 0;
+  FlowOutcome outcome = FlowOutcome::kCompleted;
+  /// Bytes actually delivered (== size when completed, partial when failed).
+  sim::Bytes bytes_delivered = 0;
 };
 
 using FlowCallback = std::function<void(const FlowRecord&)>;
@@ -50,18 +63,36 @@ class FlowSimulator {
   FlowSimulator& operator=(const FlowSimulator&) = delete;
 
   /// Start a flow of `size` bytes now. `on_complete` (optional) fires at the
-  /// flow's finish time. Zero-byte flows and src==dst complete immediately
-  /// (after path propagation latency).
+  /// flow's finish time (or failure time, with outcome kFailed). Zero-byte
+  /// flows and src==dst complete immediately (after path propagation
+  /// latency). Throws NoRouteError when the destination is unreachable at
+  /// start time.
   FlowId start_flow(NodeId src, NodeId dst, sim::Bytes size,
                     FlowCallback on_complete = {});
 
+  /// Silently abandon an active flow (no callback, no outcome). Returns
+  /// false if the flow is not active. Used when the consumer of the flow
+  /// died (e.g. the scheduler killed the task that was fetching).
+  bool cancel_flow(FlowId id);
+
+  /// React to link/node up-down changes in the topology: reroute affected
+  /// flows or fail them if disconnected. Call after every batch of
+  /// Topology::set_*_up mutations. No-op when nothing relevant changed.
+  void handle_topology_change();
+
   std::size_t active_flows() const noexcept { return flows_.size(); }
+  std::uint64_t started_flows() const noexcept { return started_; }
   std::uint64_t completed_flows() const noexcept { return completed_; }
+  std::uint64_t failed_flows() const noexcept { return failed_; }
+  std::uint64_t cancelled_flows() const noexcept { return cancelled_; }
+  /// Number of successful mid-flight path migrations (a flow surviving N
+  /// distinct failures counts N times).
+  std::uint64_t rerouted_flows() const noexcept { return rerouted_; }
 
   /// Current max-min rate of an active flow (bits/s); throws if unknown.
   double current_rate(FlowId id) const;
 
-  /// Flow completion times (seconds) of all completed flows.
+  /// Flow completion times (seconds) of all *completed* flows.
   const sim::PercentileTracker& fct_seconds() const noexcept { return fct_; }
 
  private:
@@ -77,11 +108,14 @@ class FlowSimulator {
     FlowCallback on_complete;
   };
 
+  void build_path(FlowId id, Active& flow) const;  // throws NoRouteError
+  bool path_is_live(const Active& flow) const;
   void advance_to_now();
   void reallocate();
   void schedule_next_completion();
   void handle_completion_event();
   void finish_flow(FlowId id, Active&& flow);
+  void fail_flow(FlowId id, Active&& flow);
 
   sim::Simulator* sim_;
   const Topology* topo_;
@@ -91,7 +125,11 @@ class FlowSimulator {
   FlowId next_id_ = 1;
   sim::SimTime last_advance_ = 0;
   sim::EventHandle completion_event_;
+  std::uint64_t started_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t rerouted_ = 0;
   sim::PercentileTracker fct_;
 };
 

@@ -2,7 +2,6 @@
 
 #include <deque>
 #include <limits>
-#include <stdexcept>
 
 namespace rb::net {
 
@@ -22,22 +21,32 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
 Router::Router(const Topology& topo)
     : topo_{&topo},
       dist_(topo.node_count()),
-      computed_(topo.node_count(), false) {}
+      computed_(topo.node_count(), false),
+      epoch_{topo.state_epoch()} {}
 
 void Router::ensure_dist(NodeId dst) const {
+  // Reconverge: drop every cached field when the fault state changed.
+  if (epoch_ != topo_->state_epoch()) {
+    computed_.assign(topo_->node_count(), false);
+    dist_.resize(topo_->node_count());
+    epoch_ = topo_->state_epoch();
+  }
   if (computed_.at(dst)) return;
   auto& d = dist_[dst];
   d.assign(topo_->node_count(), kUnreachable);
-  d[dst] = 0;
-  std::deque<NodeId> frontier{dst};
-  while (!frontier.empty()) {
-    const NodeId cur = frontier.front();
-    frontier.pop_front();
-    for (const auto& [peer, link] : topo_->adjacency(cur)) {
-      (void)link;
-      if (d[peer] == kUnreachable) {
-        d[peer] = d[cur] + 1;
-        frontier.push_back(peer);
+  // A dead destination is unreachable from everywhere (including itself).
+  if (topo_->node_up(dst)) {
+    d[dst] = 0;
+    std::deque<NodeId> frontier{dst};
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const auto& [peer, link] : topo_->adjacency(cur)) {
+        if (!topo_->link_usable(link)) continue;
+        if (d[peer] == kUnreachable) {
+          d[peer] = d[cur] + 1;
+          frontier.push_back(peer);
+        }
       }
     }
   }
@@ -48,8 +57,14 @@ int Router::distance(NodeId from, NodeId to) const {
   ensure_dist(to);
   const int d = dist_[to].at(from);
   if (d == kUnreachable)
-    throw std::runtime_error{"Router::distance: unreachable destination"};
+    throw NoRouteError{"Router::distance: unreachable destination"};
   return d;
+}
+
+bool Router::reachable(NodeId from, NodeId to) const {
+  if (from >= topo_->node_count() || to >= topo_->node_count()) return false;
+  ensure_dist(to);
+  return dist_[to][from] != kUnreachable;
 }
 
 std::vector<std::pair<NodeId, LinkId>> Router::next_hops(NodeId at,
@@ -57,10 +72,11 @@ std::vector<std::pair<NodeId, LinkId>> Router::next_hops(NodeId at,
   ensure_dist(dst);
   const auto& d = dist_[dst];
   if (d.at(at) == kUnreachable)
-    throw std::runtime_error{"Router::next_hops: unreachable destination"};
+    throw NoRouteError{"Router::next_hops: unreachable destination"};
   std::vector<std::pair<NodeId, LinkId>> hops;
   for (const auto& [peer, link] : topo_->adjacency(at)) {
-    if (d[peer] == d[at] - 1) hops.emplace_back(peer, link);
+    if (d[peer] == d[at] - 1 && topo_->link_usable(link))
+      hops.emplace_back(peer, link);
   }
   return hops;
 }
@@ -74,8 +90,7 @@ std::vector<LinkId> Router::path(NodeId src, NodeId dst,
   int hop = 0;
   while (at != dst) {
     const auto options = next_hops(at, dst);
-    if (options.empty())
-      throw std::runtime_error{"Router::path: no next hop"};
+    if (options.empty()) throw NoRouteError{"Router::path: no next hop"};
     // Deterministic per-hop ECMP: hash(flow, hop) selects among options.
     const auto idx = static_cast<std::size_t>(
         mix64(flow_hash ^ (static_cast<std::uint64_t>(hop) << 32)) %

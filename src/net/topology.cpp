@@ -57,6 +57,7 @@ std::string to_string(EthernetGen gen) {
 NodeId Topology::add_node(NodeKind kind, std::string name) {
   nodes_.push_back(NodeInfo{kind, std::move(name)});
   adj_.emplace_back();
+  if (!node_up_.empty()) node_up_.push_back(true);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -67,6 +68,7 @@ LinkId Topology::add_link(NodeId a, NodeId b, sim::BitsPerSecond rate,
   if (a == b) throw std::invalid_argument{"Topology::add_link: self loop"};
   if (rate <= 0.0) throw std::invalid_argument{"Topology::add_link: rate <= 0"};
   links_.push_back(Link{a, b, rate, latency});
+  if (!link_up_.empty()) link_up_.push_back(true);
   const auto id = static_cast<LinkId>(links_.size() - 1);
   adj_[a].emplace_back(b, id);
   adj_[b].emplace_back(a, id);
@@ -79,6 +81,36 @@ std::vector<NodeId> Topology::nodes_of_kind(NodeKind kind) const {
     if (nodes_[id].kind == kind) out.push_back(id);
   }
   return out;
+}
+
+void Topology::set_node_up(NodeId id, bool up) {
+  if (id >= nodes_.size())
+    throw std::invalid_argument{"Topology::set_node_up: unknown node"};
+  if (node_up_.empty()) node_up_.assign(nodes_.size(), true);
+  if (node_up_[id] == up) return;
+  node_up_[id] = up;
+  ++epoch_;
+}
+
+void Topology::set_link_up(LinkId id, bool up) {
+  if (id >= links_.size())
+    throw std::invalid_argument{"Topology::set_link_up: unknown link"};
+  if (link_up_.empty()) link_up_.assign(links_.size(), true);
+  if (link_up_[id] == up) return;
+  link_up_[id] = up;
+  ++epoch_;
+}
+
+std::size_t Topology::down_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const bool up : node_up_) n += up ? 0 : 1;
+  return n;
+}
+
+std::size_t Topology::down_links() const noexcept {
+  std::size_t n = 0;
+  for (const bool up : link_up_) n += up ? 0 : 1;
+  return n;
 }
 
 std::size_t Topology::switch_ports() const noexcept {

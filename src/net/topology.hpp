@@ -58,6 +58,11 @@ struct Link {
 };
 
 /// Undirected multigraph of nodes and links with O(1) adjacency lookup.
+///
+/// Every node and link carries an up/down state for fault injection (all up
+/// by default; the state vectors are allocated only on the first state
+/// change, so a topology that never fails pays nothing). `state_epoch()`
+/// increments on every change, letting routers invalidate cached routes.
 class Topology {
  public:
   NodeId add_node(NodeKind kind, std::string name);
@@ -81,10 +86,41 @@ class Topology {
   /// Total switch port count (each link endpoint on a switch is one port).
   std::size_t switch_ports() const noexcept;
 
+  /// --- Fault state ---
+
+  /// Mark a node (host or switch) down or repaired. Throws on unknown id.
+  void set_node_up(NodeId id, bool up);
+  /// Mark a link down or repaired. Throws on unknown id.
+  void set_link_up(LinkId id, bool up);
+
+  bool node_up(NodeId id) const {
+    return node_up_.empty() ? id < nodes_.size() : node_up_.at(id);
+  }
+  bool link_up(LinkId id) const {
+    return link_up_.empty() ? id < links_.size() : link_up_.at(id);
+  }
+
+  /// A link carries traffic only if it and both endpoints are up.
+  bool link_usable(LinkId id) const {
+    if (!link_up(id)) return false;
+    const Link& l = links_.at(id);
+    return node_up(l.a) && node_up(l.b);
+  }
+
+  /// Incremented on every set_node_up/set_link_up that changes state.
+  std::uint64_t state_epoch() const noexcept { return epoch_; }
+
+  std::size_t down_nodes() const noexcept;
+  std::size_t down_links() const noexcept;
+
  private:
   std::vector<NodeInfo> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<std::pair<NodeId, LinkId>>> adj_;
+  // Empty means "everything up"; materialized lazily on first fault.
+  std::vector<bool> node_up_;
+  std::vector<bool> link_up_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Parameters shared by the topology builders.

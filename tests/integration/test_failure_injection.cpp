@@ -14,14 +14,33 @@ namespace rb {
 namespace {
 
 TEST(FailureInjection, FlowToUnreachableHostThrows) {
-  // Two disconnected hosts: routing must fail loudly, not hang the sim.
+  // Two disconnected hosts: routing must fail loudly with the dedicated
+  // typed exception (which still derives from std::runtime_error for older
+  // call sites), not hang the sim.
   net::Topology topo;
   const auto a = topo.add_node(net::NodeKind::kHost, "a");
   const auto b = topo.add_node(net::NodeKind::kHost, "b");
   sim::Simulator sim;
   const net::Router router{topo};
   net::FlowSimulator fabric{sim, topo, router};
+  EXPECT_THROW(fabric.start_flow(a, b, 1'000'000), net::NoRouteError);
   EXPECT_THROW(fabric.start_flow(a, b, 1'000'000), std::runtime_error);
+}
+
+TEST(FailureInjection, FlowToFailedHostThrowsNoRoute) {
+  // A destination taken down by fault injection is indistinguishable from a
+  // partition: same typed error as the disconnected case.
+  net::Topology topo = net::make_star(4);
+  const auto hosts = topo.nodes_of_kind(net::NodeKind::kHost);
+  topo.set_node_up(hosts[1], false);
+  sim::Simulator sim;
+  const net::Router router{topo};
+  net::FlowSimulator fabric{sim, topo, router};
+  EXPECT_THROW(fabric.start_flow(hosts[0], hosts[1], 1'000'000),
+               net::NoRouteError);
+  // Repair restores reachability (router reconverges on the epoch bump).
+  topo.set_node_up(hosts[1], true);
+  EXPECT_NO_THROW(fabric.start_flow(hosts[0], hosts[1], 1'000'000));
 }
 
 TEST(FailureInjection, RefusingPolicyDeadlocksAreDetected) {

@@ -1,0 +1,189 @@
+// Scheduler-side fault tolerance: machine failures kill and re-queue running
+// tasks with capped exponential backoff; exhausted attempts fail the job
+// (never the whole run); counters reconcile; an empty/null plan is free.
+
+#include <gtest/gtest.h>
+
+#include "dataflow/plan.hpp"
+#include "faults/plan.hpp"
+#include "net/topology.hpp"
+#include "sched/engine.hpp"
+#include "sched/policies.hpp"
+
+namespace rb {
+namespace {
+
+std::vector<sched::JobArrival> one_wordcount(sim::Bytes bytes,
+                                             std::size_t tasks) {
+  std::vector<sched::JobArrival> jobs;
+  jobs.push_back({dataflow::make_wordcount_job(bytes, tasks), 0});
+  return jobs;
+}
+
+TEST(SchedFaults, NullPlanMatchesDefaultRunExactly) {
+  const auto cluster = sched::make_cpu_cluster(4);
+  sched::FifoPolicy policy;
+  const auto base =
+      sched::run_jobs(cluster, one_wordcount(64 * sim::kMiB, 16), policy);
+
+  faults::FaultPlan empty;
+  sched::EngineParams params;
+  params.fault_plan = &empty;
+  const auto chaos = sched::run_jobs(cluster, one_wordcount(64 * sim::kMiB, 16),
+                                     policy, params);
+
+  EXPECT_EQ(chaos.makespan, base.makespan);
+  EXPECT_EQ(chaos.tasks_run, base.tasks_run);
+  EXPECT_EQ(chaos.energy, base.energy);
+  EXPECT_EQ(chaos.cpu_utilization, base.cpu_utilization);
+  EXPECT_EQ(chaos.tasks_retried, 0u);
+  EXPECT_EQ(chaos.tasks_killed_by_failure, 0u);
+  EXPECT_EQ(chaos.jobs_failed, 0u);
+  EXPECT_DOUBLE_EQ(chaos.goodput(), 1.0);
+  EXPECT_DOUBLE_EQ(chaos.job_availability(), 1.0);
+}
+
+TEST(SchedFaults, MachineOutageKillsRetriesAndRecovers) {
+  const auto cluster = sched::make_cpu_cluster(2, 4);
+  sched::FifoPolicy policy;
+  // Long enough tasks that machine 0 dies mid-flight.
+  auto jobs = one_wordcount(512 * sim::kMiB, 8);
+  sched::FifoPolicy probe;
+  const auto base = sched::run_jobs(cluster, one_wordcount(512 * sim::kMiB, 8),
+                                    probe);
+  ASSERT_GT(base.makespan, 0);
+
+  faults::FaultPlan plan;
+  plan.add_machine_outage(0, base.makespan / 4, base.makespan / 2);
+  sched::EngineParams params;
+  params.fault_plan = &plan;
+  const auto r = sched::run_jobs(cluster, std::move(jobs), policy, params);
+
+  EXPECT_GT(r.tasks_killed_by_failure, 0u);
+  EXPECT_GT(r.tasks_retried, 0u);
+  EXPECT_EQ(r.jobs_failed, 0u);  // one machine survived: everything retries
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_FALSE(r.jobs[0].failed);
+  // All work eventually ran; the outage can only cost time vs the clean run
+  // (retries may hide entirely in scheduling slack, hence >=).
+  EXPECT_GE(r.makespan, base.makespan);
+  // Reconciliation: every dispatch ends completed or killed.
+  EXPECT_EQ(r.tasks_run + r.tasks_killed_by_failure,
+            r.tasks_dispatched + r.tasks_retried);
+  EXPECT_LE(r.tasks_retried, r.tasks_killed_by_failure);
+  EXPECT_LT(r.goodput(), 1.0);
+  EXPECT_DOUBLE_EQ(r.job_availability(), 1.0);
+}
+
+TEST(SchedFaults, StarvedJobFailsNotTheRun) {
+  const auto cluster = sched::make_cpu_cluster(1, 2);
+  sched::FifoPolicy policy;
+
+  std::vector<sched::JobArrival> jobs;
+  jobs.push_back({dataflow::make_wordcount_job(512 * sim::kMiB, 4), 0});
+  // Second job arrives after the only machine is permanently dead; its tasks
+  // can never run and the retries must exhaust into a job failure while the
+  // run still returns.
+  const auto base = sched::run_jobs(
+      cluster, one_wordcount(512 * sim::kMiB, 4), policy);
+  faults::FaultPlan plan;
+  plan.add_machine_outage(0, base.makespan / 4, -1);  // never repaired
+  sched::EngineParams params;
+  params.fault_plan = &plan;
+  params.max_attempts = 2;
+  params.retry_backoff = sim::kMillisecond;
+  const auto r = sched::run_jobs(cluster, std::move(jobs), policy, params);
+
+  EXPECT_EQ(r.jobs_failed, 1u);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_TRUE(r.jobs[0].failed);
+  EXPECT_GT(r.jobs[0].completion, 0);
+  EXPECT_LT(r.job_availability(), 1.0);
+  EXPECT_EQ(r.tasks_run + r.tasks_killed_by_failure,
+            r.tasks_dispatched + r.tasks_retried);
+}
+
+TEST(SchedFaults, BackoffDelaysRetries) {
+  // One machine, brief outage: retried tasks must not re-dispatch before
+  // the backoff expires (kill time + backoff <= completion of any retry).
+  const auto cluster = sched::make_cpu_cluster(2, 2);
+  sched::FifoPolicy policy;
+  const auto base =
+      sched::run_jobs(cluster, one_wordcount(256 * sim::kMiB, 4), policy);
+  const sim::SimTime kill_at = base.makespan / 3;
+
+  faults::FaultPlan plan;
+  plan.add_machine_outage(0, kill_at, sim::kMillisecond);
+  sched::EngineParams slow;
+  slow.fault_plan = &plan;
+  slow.retry_backoff = base.makespan;  // enormous backoff
+  slow.retry_backoff_cap = 4 * base.makespan;
+  const auto delayed = sched::run_jobs(
+      cluster, one_wordcount(256 * sim::kMiB, 4), policy, slow);
+
+  sched::EngineParams fast;
+  fast.fault_plan = &plan;
+  fast.retry_backoff = sim::kMillisecond;
+  const auto prompt = sched::run_jobs(
+      cluster, one_wordcount(256 * sim::kMiB, 4), policy, fast);
+
+  // Same kills, but the big backoff strictly delays completion.
+  if (delayed.tasks_retried > 0) {
+    EXPECT_GT(delayed.makespan, prompt.makespan);
+    EXPECT_GE(delayed.makespan, kill_at + base.makespan);
+  }
+  EXPECT_EQ(delayed.jobs_failed, 0u);
+  EXPECT_EQ(prompt.jobs_failed, 0u);
+}
+
+TEST(SchedFaults, FaultPlanValidation) {
+  const auto cluster = sched::make_cpu_cluster(2);
+  sched::FifoPolicy policy;
+  faults::FaultPlan bad_machine;
+  bad_machine.add_machine_outage(99, sim::kSecond, sim::kSecond);
+  sched::EngineParams params;
+  params.fault_plan = &bad_machine;
+  EXPECT_THROW(sched::run_jobs(cluster, one_wordcount(sim::kMiB, 2), policy,
+                               params),
+               std::invalid_argument);
+
+  faults::FaultPlan net_events;
+  net_events.add_link_outage(0, sim::kSecond, sim::kSecond);
+  sched::EngineParams no_fabric;
+  no_fabric.fault_plan = &net_events;
+  EXPECT_THROW(sched::run_jobs(cluster, one_wordcount(sim::kMiB, 2), policy,
+                               no_fabric),
+               std::invalid_argument);
+
+  sched::EngineParams zero_attempts;
+  faults::FaultPlan empty;
+  zero_attempts.fault_plan = &empty;
+  zero_attempts.max_attempts = 0;
+  EXPECT_THROW(sched::run_jobs(cluster, one_wordcount(sim::kMiB, 2), policy,
+                               zero_attempts),
+               std::invalid_argument);
+}
+
+TEST(SchedFaults, FabricFetchFlowsAreCounted) {
+  // Attach a star fabric so remote fetches travel as flows; without faults
+  // everything completes and flow counters reconcile.
+  const auto cluster = sched::make_cpu_cluster(4, 2);
+  sched::FifoPolicy policy;
+  auto topo = net::make_star(4);
+  sched::EngineParams params;
+  params.fabric = &topo;
+  faults::FaultPlan empty;
+  params.fault_plan = &empty;
+  const auto r = sched::run_jobs(cluster, one_wordcount(128 * sim::kMiB, 16),
+                                 policy, params);
+  EXPECT_GT(r.remote_tasks, 0u);
+  EXPECT_GT(r.flows_started, 0u);
+  EXPECT_EQ(r.flows_completed + r.flows_failed + r.flows_cancelled,
+            r.flows_started);
+  EXPECT_EQ(r.flows_failed, 0u);
+  EXPECT_EQ(r.jobs_failed, 0u);
+  EXPECT_EQ(r.tasks_run, r.tasks_dispatched);
+}
+
+}  // namespace
+}  // namespace rb
