@@ -12,9 +12,12 @@
 #include "net/fabric.hpp"
 #include "net/switch_cost.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rb;
   bench::heading("E3", "Shuffle time and network cost across Ethernet generations");
+  bench::Report report{"e3_ethernet_generations", argc, argv};
+  report.config("bytes_per_pair", std::uint64_t{64 * sim::kMiB});
+  report.config("topology", "leaf_spine(4,6,8)");
 
   constexpr sim::Bytes kBytesPerPair = 64 * sim::kMiB;
   std::printf("%-8s %12s %10s %14s %14s %14s\n", "gen", "shuffle(s)",
@@ -39,6 +42,12 @@ int main() {
     std::printf("%-8s %12.3f %10.2f %14.0f %14.0f %14.0f\n",
                 net::to_string(gen).c_str(), sim::to_seconds(makespan),
                 per_gbps, vendor.capex, bare.capex, white.capex);
+    const std::string g = net::to_string(gen);
+    report.metric("shuffle_seconds." + g, sim::to_seconds(makespan));
+    report.metric("dollars_per_gbps." + g, per_gbps);
+    report.metric("capex_vendor." + g, vendor.capex);
+    report.metric("capex_baremetal." + g, bare.capex);
+    report.metric("capex_whitebox." + g, white.capex);
   }
   bench::note("paper shape: each generation ~linearly shortens shuffles;");
   bench::note("bare-metal/white-box procurement undercuts vendor-integrated.");

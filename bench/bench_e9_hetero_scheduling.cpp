@@ -35,9 +35,13 @@ std::vector<rb::sched::JobArrival> make_trace() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rb;
   bench::heading("E9", "Scheduling policies on a heterogeneous cluster (Rec 11)");
+  bench::Report report{"e9_hetero_scheduling", argc, argv};
+  report.config("machines", std::int64_t{4});
+  report.config("cpu_slots_per_machine", std::int64_t{4});
+  report.config("accelerators", "gpu+fpga on every 2nd machine");
 
   const auto cluster = sched::make_hetero_cluster(
       4, {node::DeviceKind::kGpu, node::DeviceKind::kFpga}, 2, 4);
@@ -61,6 +65,11 @@ int main() {
                 result.mean_job_seconds(), result.energy / 1000.0,
                 static_cast<unsigned long long>(result.remote_tasks),
                 result.accel_utilization * 100.0);
+    const std::string prefix = "burst." + policy->name();
+    report.metric(prefix + ".makespan_s", sim::to_seconds(result.makespan));
+    report.metric(prefix + ".mean_job_s", result.mean_job_seconds());
+    report.metric(prefix + ".energy_kj", result.energy / 1000.0);
+    report.metric(prefix + ".accel_utilization", result.accel_utilization);
   }
   // Second table: a realistic generated trace (Poisson-diurnal arrivals,
   // heavy-tailed sizes) instead of the handcrafted burst.
@@ -84,6 +93,10 @@ int main() {
     std::printf("%-14s %12.2f %12.2f %12.1f\n", policy->name().c_str(),
                 sim::to_seconds(result.makespan), result.mean_job_seconds(),
                 result.energy / 1000.0);
+    const std::string prefix = "trace." + policy->name();
+    report.metric(prefix + ".makespan_s", sim::to_seconds(result.makespan));
+    report.metric(prefix + ".mean_job_s", result.mean_job_seconds());
+    report.metric(prefix + ".energy_kj", result.energy / 1000.0);
   }
 
   bench::note("paper shape: heterogeneity-aware placement wins makespan by");

@@ -90,9 +90,12 @@ ShuffleUnderChaos run_chaos_shuffle(rb::net::Topology topo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rb;
   bench::heading("EXT-FT", "Fault injection & recovery across the stack");
+  bench::Report report{"ext_fault_tolerance", argc, argv};
+  report.config("shuffle_bytes_per_pair", std::uint64_t{20 * sim::kMiB});
+  report.config("seed", std::uint64_t{0xFA57});
 
   // --- Part 1: fabric resilience, fat-tree vs leaf-spine -----------------
   // Comparable scale: k=4 fat tree -> 16 hosts, 20 switches;
@@ -107,12 +110,18 @@ int main() {
     double link_mtbf_s;
     double switch_mtbf_s;
   };
-  const Rate rate_points[] = {
-      {"none", 0.0, 0.0},
-      {"low   (600s/1200s)", 600.0, 1200.0},
-      {"medium (60s/120s)", 60.0, 120.0},
-      {"high   (10s/20s)", 10.0, 20.0},
-      {"extreme (2s/5s)", 2.0, 5.0},
+  struct RatePoint {
+    const char* label;
+    const char* key;
+    double link_mtbf_s;
+    double switch_mtbf_s;
+  };
+  const RatePoint rate_points[] = {
+      {"none", "none", 0.0, 0.0},
+      {"low   (600s/1200s)", "low", 600.0, 1200.0},
+      {"medium (60s/120s)", "medium", 60.0, 120.0},
+      {"high   (10s/20s)", "high", 10.0, 20.0},
+      {"extreme (2s/5s)", "extreme", 2.0, 5.0},
   };
   for (const auto& rate : rate_points) {
     for (int t = 0; t < 2; ++t) {
@@ -128,6 +137,12 @@ int main() {
                   static_cast<unsigned long long>(r.rerouted),
                   static_cast<unsigned long long>(r.failed),
                   r.goodput * 100.0, r.makespan_s);
+      const std::string prefix = std::string{"shuffle."} + rate.key + "." +
+                                 (fat ? "fat_tree" : "leaf_spine");
+      report.metric(prefix + ".goodput", r.goodput);
+      report.metric(prefix + ".rerouted", r.rerouted);
+      report.metric(prefix + ".failed", r.failed);
+      report.metric(prefix + ".makespan_s", r.makespan_s);
     }
   }
   bench::note("multipath pays off: reroutes absorb most outages; goodput");
@@ -177,6 +192,14 @@ int main() {
                 static_cast<unsigned long long>(r.jobs_failed),
                 r.goodput() * 100.0, r.job_availability() * 100.0,
                 sim::to_seconds(r.makespan));
+    char key[48];
+    std::snprintf(key, sizeof key, "churn.mtbf_%.0fs", mtbf);
+    const std::string prefix = mtbf <= 0.0 ? "churn.none" : key;
+    report.metric(prefix + ".retried", r.tasks_retried);
+    report.metric(prefix + ".killed", r.tasks_killed_by_failure);
+    report.metric(prefix + ".goodput", r.goodput());
+    report.metric(prefix + ".availability", r.job_availability());
+    report.metric(prefix + ".makespan_s", sim::to_seconds(r.makespan));
   }
   bench::note("shape: retries keep availability high until churn approaches");
   bench::note("task duration; then goodput collapses and jobs start failing —");

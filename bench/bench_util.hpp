@@ -1,10 +1,22 @@
 #pragma once
-// Small formatting helpers shared by the experiment benches. Each bench is a
-// standalone binary that prints the paper-style table(s) for one experiment
-// (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the shapes).
+// Shared bench runner: the formatting helpers the experiment benches print
+// their paper-style tables with, plus a machine-readable telemetry `Report`.
+// Every bench that constructs a Report accepts `--json <path>` (or the
+// RB_BENCH_JSON environment variable) and writes one JSON document
+//   {"bench": <name>, "config": {...}, "metrics": {...}}
+// on exit, so CI and sweep scripts can consume results without scraping the
+// human tables.
 
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/stats.hpp"
 
 namespace rb::bench {
 
@@ -17,5 +29,103 @@ inline void heading(const std::string& id, const std::string& title) {
 inline void note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
 }
+
+/// Machine-readable bench telemetry. Construct one per bench with argc/argv;
+/// if neither `--json <path>` nor RB_BENCH_JSON is present the report is
+/// inert (every call is a cheap no-op). Values registered via config() and
+/// metric() are written as one JSON document when write() is called (the
+/// destructor calls it too, so early returns still produce output).
+class Report {
+ public:
+  using Value = std::variant<std::string, double, std::int64_t, std::uint64_t,
+                             bool>;
+
+  Report(std::string bench, int argc, char** argv)
+      : bench_{std::move(bench)} {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view{argv[i]} == "--json") {
+        if (i + 1 >= argc)
+          throw std::invalid_argument{"--json requires a path argument"};
+        path_ = argv[i + 1];
+      }
+    }
+    if (path_.empty()) {
+      if (const char* env = std::getenv("RB_BENCH_JSON")) path_ = env;
+    }
+  }
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  ~Report() {
+    try {
+      write();
+    } catch (...) {
+      // Destructors must not throw; a failed telemetry write is not worth
+      // aborting the bench over.
+    }
+  }
+
+  /// True when a JSON destination was requested.
+  bool enabled() const noexcept { return !path_.empty(); }
+  const std::string& path() const noexcept { return path_; }
+
+  void config(std::string key, Value v) {
+    if (!enabled()) return;
+    config_.emplace_back(std::move(key), std::move(v));
+  }
+  void metric(std::string key, Value v) {
+    if (!enabled()) return;
+    metrics_.emplace_back(std::move(key), std::move(v));
+  }
+  /// Expand a distribution summary into <key>.count/.mean/.min/.max/.p50/...
+  void metric(const std::string& key, const sim::StatSummary& s) {
+    if (!enabled()) return;
+    metric(key + ".count", static_cast<std::uint64_t>(s.count));
+    metric(key + ".mean", s.mean);
+    metric(key + ".min", s.min);
+    metric(key + ".max", s.max);
+    metric(key + ".p50", s.p50);
+    metric(key + ".p90", s.p90);
+    metric(key + ".p99", s.p99);
+    metric(key + ".p999", s.p999);
+  }
+
+  /// Write the document now (idempotent). Throws std::runtime_error on I/O
+  /// failure when called explicitly; the destructor swallows errors.
+  void write() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(bench_);
+    w.key("config").begin_object();
+    for (const auto& [k, v] : config_) emit(w, k, v);
+    w.end_object();
+    w.key("metrics").begin_object();
+    for (const auto& [k, v] : metrics_) emit(w, k, v);
+    w.end_object();
+    w.end_object();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr)
+      throw std::runtime_error{"Report: cannot open " + path_};
+    const std::string& doc = w.str();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok) throw std::runtime_error{"Report: short write to " + path_};
+  }
+
+ private:
+  static void emit(obs::JsonWriter& w, const std::string& k, const Value& v) {
+    w.key(k);
+    std::visit([&w](const auto& x) { w.value(x); }, v);
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, Value>> config_;
+  std::vector<std::pair<std::string, Value>> metrics_;
+  bool written_ = false;
+};
 
 }  // namespace rb::bench

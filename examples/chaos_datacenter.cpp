@@ -2,8 +2,15 @@
 // machine failures into a running cluster and watch the stack recover —
 // flows reroute around dead fabric, killed tasks back off and retry, and
 // every loss shows up in the final accounting instead of a hang.
+//
+// Pass `--trace <path>` (or set RB_TRACE=<path>) to record the whole run —
+// flow spans, fault outages, task attempts, job lifetimes — as Chrome
+// trace_event JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 
 #include "dataflow/plan.hpp"
 #include "faults/injector.hpp"
@@ -11,13 +18,29 @@
 #include "net/fabric.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/cluster.hpp"
 #include "sched/engine.hpp"
 #include "sched/policies.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rb;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--trace" && i + 1 < argc) {
+      trace_path = argv[i + 1];
+    }
+  }
+  if (trace_path.empty()) {
+    if (const char* env = std::getenv("RB_TRACE")) trace_path = env;
+  }
+  if (!trace_path.empty()) {
+    obs::set_enabled(true);
+    obs::TraceRecorder::global().set_enabled(true);
+  }
 
   // --- Part 1: a shuffle on a fat tree while the fabric burns ---
   auto topo = net::make_fat_tree(4);
@@ -98,5 +121,13 @@ int main() {
   std::printf("  jobs failed: %llu of %zu (availability %.1f%%)\n",
               static_cast<unsigned long long>(r.jobs_failed), r.jobs.size(),
               100.0 * r.job_availability());
+
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::global().write_chrome_json(trace_path);
+    std::printf("\nwrote %zu trace events to %s (open in "
+                "https://ui.perfetto.dev)\n",
+                obs::TraceRecorder::global().event_count(),
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -19,8 +19,25 @@
 #include <vector>
 
 #include "dataflow/threadpool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rb::dataflow {
+
+namespace detail {
+
+inline obs::Counter& shuffled_rows_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("dataflow.rows_shuffled");
+  return c;
+}
+inline obs::Counter& shuffled_bytes_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("dataflow.bytes_shuffled");
+  return c;
+}
+
+}  // namespace detail
 
 /// Execution context shared by all datasets of one pipeline: the pool,
 /// the default partition count, and shuffle metrics.
@@ -35,16 +52,51 @@ class Context {
 
   void note_shuffled_rows(std::uint64_t rows) noexcept {
     shuffled_rows_ += rows;
+    if (obs::enabled()) detail::shuffled_rows_counter().add(rows);
   }
   std::uint64_t shuffled_rows() const noexcept { return shuffled_rows_; }
+
+  /// In-memory footprint of shuffled rows (rows * sizeof(pair)); feeds the
+  /// `dataflow.bytes_shuffled` counter when observability is on.
+  void note_shuffled_bytes(std::uint64_t bytes) noexcept {
+    shuffled_bytes_ += bytes;
+    if (obs::enabled()) detail::shuffled_bytes_counter().add(bytes);
+  }
+  std::uint64_t shuffled_bytes() const noexcept { return shuffled_bytes_; }
 
  private:
   ThreadPool* pool_;
   std::size_t partitions_;
   std::atomic<std::uint64_t> shuffled_rows_{0};
+  std::atomic<std::uint64_t> shuffled_bytes_{0};
 };
 
 namespace detail {
+
+/// RAII wall-clock span for a wide operator. Dataflow runs on real threads
+/// (no simulated clock), so the span's ts axis is wall-derived picoseconds —
+/// see the dual-timestamp note in obs/trace.hpp.
+class StageSpan {
+ public:
+  explicit StageSpan(const char* name)
+      : active_{obs::TraceRecorder::global().enabled()},
+        name_{name},
+        start_us_{active_ ? obs::wall_now_us() : 0} {}
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+  ~StageSpan() {
+    if (!active_) return;
+    const std::int64_t dur_us = obs::wall_now_us() - start_us_;
+    obs::TraceRecorder::global().complete(
+        "dataflow.stage", name_, start_us_ * 1'000'000,
+        std::max<std::int64_t>(dur_us, 1) * 1'000'000);
+  }
+
+ private:
+  bool active_;
+  const char* name_;
+  std::int64_t start_us_;
+};
 
 /// Key hash used for shuffles; mixes std::hash output so sequential integer
 /// keys spread across partitions.
@@ -194,6 +246,7 @@ std::vector<std::vector<std::vector<std::pair<K, V>>>> shuffle_buckets(
       buckets[i][detail::shuffle_hash(kv.first) % p].push_back(kv);
     }
     ctx.note_shuffled_rows(in.partition(i).size());
+    ctx.note_shuffled_bytes(in.partition(i).size() * sizeof(std::pair<K, V>));
   });
   return buckets;
 }
@@ -203,6 +256,7 @@ std::vector<std::vector<std::vector<std::pair<K, V>>>> shuffle_buckets(
 template <typename K, typename V, typename F>
 Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& in,
                                        F combine) {
+  const detail::StageSpan span{"reduce_by_key"};
   Context& ctx = in.context();
   const std::size_t p = in.partition_count();
 
@@ -226,6 +280,7 @@ Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& in,
           kv.first, std::move(kv.second));
     }
     ctx.note_shuffled_rows(local[i].size());
+    ctx.note_shuffled_bytes(local[i].size() * sizeof(std::pair<K, V>));
   });
 
   // Reduce side.
@@ -248,6 +303,7 @@ Dataset<std::pair<K, V>> reduce_by_key(const Dataset<std::pair<K, V>>& in,
 template <typename K, typename V>
 Dataset<std::pair<K, std::vector<V>>> group_by_key(
     const Dataset<std::pair<K, V>>& in) {
+  const detail::StageSpan span{"group_by_key"};
   Context& ctx = in.context();
   const std::size_t p = in.partition_count();
   auto buckets = shuffle_buckets(in);
@@ -267,6 +323,7 @@ Dataset<std::pair<K, std::vector<V>>> group_by_key(
 template <typename K, typename A, typename B>
 Dataset<std::pair<K, std::pair<A, B>>> join(const Dataset<std::pair<K, A>>& lhs,
                                             const Dataset<std::pair<K, B>>& rhs) {
+  const detail::StageSpan span{"join"};
   Context& ctx = lhs.context();
   if (lhs.partition_count() != rhs.partition_count())
     throw std::invalid_argument{"join: partition counts differ"};
@@ -296,6 +353,7 @@ Dataset<std::pair<K, std::pair<A, B>>> join(const Dataset<std::pair<K, A>>& lhs,
 /// each partition locally. collect() on the result is globally ordered.
 template <typename K, typename V>
 Dataset<std::pair<K, V>> sort_by_key(const Dataset<std::pair<K, V>>& in) {
+  const detail::StageSpan span{"sort_by_key"};
   Context& ctx = in.context();
   const std::size_t p = in.partition_count();
 
@@ -328,6 +386,7 @@ Dataset<std::pair<K, V>> sort_by_key(const Dataset<std::pair<K, V>>& in) {
       buckets[i][target_of(kv.first)].push_back(kv);
     }
     ctx.note_shuffled_rows(in.partition(i).size());
+    ctx.note_shuffled_bytes(in.partition(i).size() * sizeof(std::pair<K, V>));
   });
 
   std::vector<std::vector<std::pair<K, V>>> out(p);

@@ -3,7 +3,48 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
 namespace rb::faults {
+
+namespace {
+
+const obs::Logger& faults_log() {
+  static const obs::Logger logger{"faults"};
+  return logger;
+}
+
+struct FaultMetrics {
+  obs::Counter* applied;
+  obs::Counter* failures;
+  obs::Counter* repairs;
+
+  static FaultMetrics& get() {
+    auto& r = obs::Registry::global();
+    static FaultMetrics m{&r.counter("faults.events_applied"),
+                          &r.counter("faults.component_failures"),
+                          &r.counter("faults.component_repairs")};
+    return m;
+  }
+};
+
+const char* target_name(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::kLink: return "link";
+    case FaultTarget::kNode: return "node";
+    case FaultTarget::kMachine: return "machine";
+  }
+  return "?";
+}
+
+/// Async-span id for one component's outage: target kind in the top bits so
+/// link 3 and node 3 never collide.
+std::uint64_t outage_span_id(const FaultEvent& e) {
+  return (static_cast<std::uint64_t>(e.target) << 56) | e.id;
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(sim::Simulator& sim, net::Topology& topo,
                              FaultPlan plan)
@@ -34,6 +75,26 @@ void FaultInjector::apply(const FaultEvent& event) {
   }
   ++applied_;
   (event.up ? repairs_ : failures_)++;
+  if (obs::enabled()) {
+    auto& m = FaultMetrics::get();
+    m.applied->add();
+    (event.up ? m.repairs : m.failures)->add();
+    // An outage is an async span from the failure to the matching repair.
+    auto& tr = obs::TraceRecorder::global();
+    const std::vector<obs::TraceArg> args{
+        obs::trace_arg("target", target_name(event.target)),
+        obs::trace_arg("id", static_cast<std::uint64_t>(event.id))};
+    if (event.up) {
+      tr.async_end("faults", "outage", outage_span_id(event), sim_->now(),
+                   args);
+    } else {
+      tr.async_begin("faults", "outage", outage_span_id(event), sim_->now(),
+                     args);
+    }
+  }
+  faults_log().info() << target_name(event.target) << ' ' << event.id << ' '
+                      << (event.up ? "repaired" : "FAILED") << " at t="
+                      << sim::to_seconds(event.at) << " s";
   if (fabric_ != nullptr) fabric_->handle_topology_change();
   if (observer_) observer_(event);
 }

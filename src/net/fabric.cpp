@@ -5,12 +5,44 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
 namespace rb::net {
 
 namespace {
 // A flow is considered drained when fewer than this many bits remain;
 // guards against floating-point residue never reaching exactly zero.
 constexpr double kResidualBits = 1e-6;
+
+const obs::Logger& net_log() {
+  static const obs::Logger logger{"net"};
+  return logger;
+}
+
+/// Fabric telemetry, resolved once per process; increments are guarded by
+/// obs::enabled() at every call site.
+struct NetMetrics {
+  obs::Counter* started;
+  obs::Counter* completed;
+  obs::Counter* failed;
+  obs::Counter* cancelled;
+  obs::Counter* rerouted;
+  obs::LatencyHistogram* fct_seconds;
+
+  static NetMetrics& get() {
+    auto& r = obs::Registry::global();
+    static NetMetrics m{
+        &r.counter("net.flows_started"),
+        &r.counter("net.flows_completed"),
+        &r.counter("net.flows_failed"),
+        &r.counter("net.flows_cancelled"),
+        &r.counter("net.flows_rerouted"),
+        &r.histogram("net.fct_seconds",
+                     obs::exponential_bounds(1e-6, 2.0, 40))};
+    return m;
+  }
+};
 }  // namespace
 
 FlowSimulator::FlowSimulator(sim::Simulator& sim, const Topology& topo,
@@ -47,6 +79,14 @@ FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
 
   build_path(id, flow);  // throws NoRouteError when disconnected
   ++started_;
+  if (obs::enabled()) {
+    NetMetrics::get().started->add();
+    obs::TraceRecorder::global().async_begin(
+        "net.flow", "flow", id, sim_->now(),
+        {obs::trace_arg("src", static_cast<std::uint64_t>(src)),
+         obs::trace_arg("dst", static_cast<std::uint64_t>(dst)),
+         obs::trace_arg("bytes", static_cast<std::uint64_t>(size))});
+  }
 
   if (flow.remaining_bits <= kResidualBits || flow.dpath.empty()) {
     // Degenerate flow: completes after propagation only.
@@ -62,7 +102,15 @@ FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
     auto cb = std::move(flow.on_complete);
     sim_->schedule_in(latency, [this, record, cb = std::move(cb)] {
       ++completed_;
-      fct_.add(sim::to_seconds(record.finish - record.start));
+      const double fct_s = sim::to_seconds(record.finish - record.start);
+      fct_.add(fct_s);
+      if (obs::enabled()) {
+        NetMetrics::get().completed->add();
+        NetMetrics::get().fct_seconds->observe(fct_s);
+        obs::TraceRecorder::global().async_end(
+            "net.flow", "flow", record.id, sim_->now(),
+            {obs::trace_arg("outcome", "completed")});
+      }
       if (cb) cb(record);
     });
     return id;
@@ -81,6 +129,12 @@ bool FlowSimulator::cancel_flow(FlowId id) {
   advance_to_now();
   flows_.erase(it);
   ++cancelled_;
+  if (obs::enabled()) {
+    NetMetrics::get().cancelled->add();
+    obs::TraceRecorder::global().async_end(
+        "net.flow", "flow", id, sim_->now(),
+        {obs::trace_arg("outcome", "cancelled")});
+  }
   reallocate();
   schedule_next_completion();
   return true;
@@ -113,6 +167,13 @@ void FlowSimulator::handle_topology_change() {
     try {
       build_path(id, flow);
       ++rerouted_;
+      if (obs::enabled()) {
+        NetMetrics::get().rerouted->add();
+        obs::TraceRecorder::global().instant(
+            "net.flow", "reroute", sim_->now(),
+            {obs::trace_arg("flow", id)});
+      }
+      net_log().info() << "flow " << id << " rerouted around failure";
     } catch (const NoRouteError&) {
       auto node = flows_.extract(id);
       fail_flow(id, std::move(node.mapped()));
@@ -214,6 +275,36 @@ void FlowSimulator::reallocate() {
       }
     }
   }
+
+  if (obs::enabled()) {
+    std::unordered_map<std::uint64_t, double> allocated;
+    allocated.reserve(links.size());
+    for (const auto& [key, state] : links) {
+      const double cap = topo_->link(static_cast<LinkId>(key >> 1)).rate;
+      allocated.emplace(key, std::max(0.0, cap - state.remaining_cap));
+    }
+    update_link_gauges(allocated);
+  }
+}
+
+void FlowSimulator::update_link_gauges(
+    const std::unordered_map<std::uint64_t, double>& allocated) {
+  auto& registry = obs::Registry::global();
+  for (const auto& [key, rate] : allocated) {
+    auto it = link_util_gauges_.find(key);
+    if (it == link_util_gauges_.end()) {
+      const auto link_id = static_cast<LinkId>(key >> 1);
+      it = link_util_gauges_
+               .emplace(key,
+                        &registry.gauge(
+                            "net.link_utilization",
+                            {{"link", std::to_string(link_id)},
+                             {"dir", (key & 1) == 0 ? "fwd" : "rev"}}))
+               .first;
+    }
+    const double cap = topo_->link(static_cast<LinkId>(key >> 1)).rate;
+    it->second->set(cap > 0.0 ? rate / cap : 0.0);
+  }
 }
 
 void FlowSimulator::schedule_next_completion() {
@@ -259,7 +350,15 @@ void FlowSimulator::finish_flow(FlowId id, Active&& flow) {
                     sim_->now() + flow.latency,
                     FlowOutcome::kCompleted,
                     flow.size};
-  fct_.add(sim::to_seconds(record.finish - record.start));
+  const double fct_s = sim::to_seconds(record.finish - record.start);
+  fct_.add(fct_s);
+  if (obs::enabled()) {
+    NetMetrics::get().completed->add();
+    NetMetrics::get().fct_seconds->observe(fct_s);
+    obs::TraceRecorder::global().async_end(
+        "net.flow", "flow", id, sim_->now(),
+        {obs::trace_arg("outcome", "completed")});
+  }
   if (flow.on_complete) flow.on_complete(record);
 }
 
@@ -275,6 +374,13 @@ void FlowSimulator::fail_flow(FlowId id, Active&& flow) {
                     sim_->now(),
                     FlowOutcome::kFailed,
                     static_cast<sim::Bytes>(std::max(0.0, sent_bits) / 8.0)};
+  if (obs::enabled()) {
+    NetMetrics::get().failed->add();
+    obs::TraceRecorder::global().async_end(
+        "net.flow", "flow", id, sim_->now(),
+        {obs::trace_arg("outcome", "failed")});
+  }
+  net_log().warn() << "flow " << id << " failed: endpoints disconnected";
   if (flow.on_complete) flow.on_complete(record);
 }
 

@@ -21,6 +21,7 @@
 
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -112,6 +113,10 @@ class FlowSimulator {
   bool path_is_live(const Active& flow) const;
   void advance_to_now();
   void reallocate();
+  /// Per-directed-link utilization gauges (allocated/capacity), updated at
+  /// the end of every max-min reallocation when obs::enabled().
+  void update_link_gauges(
+      const std::unordered_map<std::uint64_t, double>& allocated);
   void schedule_next_completion();
   void handle_completion_event();
   void finish_flow(FlowId id, Active&& flow);
@@ -131,6 +136,9 @@ class FlowSimulator {
   std::uint64_t cancelled_ = 0;
   std::uint64_t rerouted_ = 0;
   sim::PercentileTracker fct_;
+  /// Cached obs gauges keyed by directed link key; populated lazily and only
+  /// while obs::enabled(), so unobserved runs never touch the registry.
+  std::unordered_map<std::uint64_t, obs::Gauge*> link_util_gauges_;
 };
 
 /// Run an all-to-all shuffle of `bytes_per_pair` between every ordered pair

@@ -8,10 +8,35 @@
 #include "net/routing.hpp"
 #include "node/energy.hpp"
 #include "node/roofline.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 
 namespace rb::sched {
 
 namespace {
+
+const obs::Logger& sched_log() {
+  static const obs::Logger logger{"sched"};
+  return logger;
+}
+
+struct SchedMetrics {
+  obs::Counter* dispatched;
+  obs::Counter* retried;
+  obs::Counter* killed;
+  obs::Counter* completed;
+  obs::Counter* jobs_failed;
+
+  static SchedMetrics& get() {
+    auto& r = obs::Registry::global();
+    static SchedMetrics m{&r.counter("sched.tasks_dispatched"),
+                          &r.counter("sched.tasks_retried"),
+                          &r.counter("sched.tasks_killed"),
+                          &r.counter("sched.tasks_completed"),
+                          &r.counter("sched.jobs_failed")};
+    return m;
+  }
+};
 
 /// Deterministic pseudo-random input placement for a task.
 std::size_t place_input(std::size_t job, std::size_t stage, std::size_t index,
@@ -44,6 +69,7 @@ struct Running {
   net::FlowId fetch_flow = 0;
   sim::EventHandle done_event;     // compute completion, when not fetching
   sim::SimTime planned_end = 0;    // refund busy time if killed mid-compute
+  std::uint64_t span_id = 0;       // obs trace span of this attempt
 };
 
 }  // namespace
@@ -133,6 +159,25 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
   std::size_t cpu_slots = 0, accel_slots = 0;
   for (const auto& e : executors) (e.is_cpu_slot ? cpu_slots : accel_slots)++;
 
+  // --- Telemetry (all guarded by obs::enabled() at use sites) ---
+  const bool observed = obs::enabled();
+  std::uint64_t next_span_id = 1;
+  std::vector<int> busy_per_machine(cluster.machines.size(), 0);
+  std::vector<obs::Gauge*> occupancy_gauges;
+  if (observed) {
+    occupancy_gauges.reserve(cluster.machines.size());
+    for (std::size_t m = 0; m < cluster.machines.size(); ++m) {
+      occupancy_gauges.push_back(&obs::Registry::global().gauge(
+          "sched.machine_busy_slots", {{"machine", std::to_string(m)}}));
+    }
+  }
+  const auto note_occupancy = [&](std::size_t machine, int delta) {
+    if (!observed) return;
+    busy_per_machine[machine] += delta;
+    occupancy_gauges[machine]->set(
+        static_cast<double>(busy_per_machine[machine]));
+  };
+
   // --- Cost model shared by the engine and the policy view ---
   const auto compute_time = [&](const ReadyTask& task,
                                 const Executor& exec) -> sim::SimTime {
@@ -205,6 +250,7 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
   const auto free_executor = [&](std::size_t exec_id, std::size_t j) {
     const auto& exec = executors[exec_id];
     executors[exec_id].busy = false;
+    note_occupancy(exec.machine, -1);
     --running_per_job[j];
     if (exec.is_cpu_slot) {
       --running_cpu_per_job[j];
@@ -239,6 +285,14 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
     ++result.jobs_failed;
     result.jobs[j].failed = true;
     result.jobs[j].completion = sim.now();
+    if (observed) {
+      SchedMetrics::get().jobs_failed->add();
+      obs::TraceRecorder::global().async_end(
+          "sched.job", js.graph.name(), j, sim.now(),
+          {obs::trace_arg("outcome", "failed")});
+    }
+    sched_log().error() << "job " << js.graph.name()
+                        << " failed: task exhausted its attempts";
     // Abandon this job's queued tasks; running ones finish and are counted
     // in tasks_run but no longer advance any stage.
     ready.erase(std::remove_if(ready.begin(), ready.end(),
@@ -254,6 +308,10 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
       return;
     }
     const sim::SimTime delay = backoff_for(task.attempt);
+    sched_log().info() << "task j" << task.job << "/s" << task.stage << "/"
+                       << task.index << " attempt " << task.attempt
+                       << " killed; retrying in " << sim::to_seconds(delay)
+                       << " s";
     task.attempt += 1;
     sim.schedule_in(delay, [&, task] {
       if (state[task.job].failed || state[task.job].finished) return;
@@ -272,6 +330,12 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
     auto& js = state[j];
     free_executor(exec_id, j);
     ++result.tasks_run;
+    if (observed) {
+      SchedMetrics::get().completed->add();
+      obs::TraceRecorder::global().async_end(
+          "sched.task", run.task.spec->name, run.span_id, sim.now(),
+          {obs::trace_arg("outcome", "ok")});
+    }
     if (js.failed) {
       dispatch();
       return;
@@ -283,6 +347,11 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
       if (js.stages_done == js.stages.size()) {
         js.finished = true;
         result.jobs[j].completion = sim.now();
+        if (observed) {
+          obs::TraceRecorder::global().async_end(
+              "sched.job", js.graph.name(), j, sim.now(),
+              {obs::trace_arg("outcome", "completed")});
+        }
       } else {
         // Downstream stages become ready after the shuffle data lands.
         const auto& spec = js.graph.stage(s);
@@ -330,6 +399,12 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
     }
     free_executor(exec_id, run.task.job);
     ++result.tasks_killed_by_failure;
+    if (observed) {
+      SchedMetrics::get().killed->add();
+      obs::TraceRecorder::global().async_end(
+          "sched.task", run.task.spec->name, run.span_id, sim.now(),
+          {obs::trace_arg("outcome", "killed")});
+    }
     requeue_or_fail(run.task);
   };
 
@@ -363,6 +438,22 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
       } else {
         ++result.tasks_retried;
       }
+      std::uint64_t span_id = 0;
+      if (observed) {
+        (task.attempt == 1 ? SchedMetrics::get().dispatched
+                           : SchedMetrics::get().retried)
+            ->add();
+        note_occupancy(exec.machine, +1);
+        span_id = next_span_id++;
+        obs::TraceRecorder::global().async_begin(
+            "sched.task", task.spec->name, span_id, sim.now(),
+            {obs::trace_arg("job", static_cast<std::uint64_t>(task.job)),
+             obs::trace_arg("stage", static_cast<std::uint64_t>(task.stage)),
+             obs::trace_arg("index", static_cast<std::uint64_t>(task.index)),
+             obs::trace_arg("attempt", static_cast<std::int64_t>(task.attempt)),
+             obs::trace_arg("machine",
+                            static_cast<std::uint64_t>(exec.machine))});
+      }
       const std::size_t exec_id = exec.id;
       const bool remote = params.charge_remote_fetch &&
                           task.locality_machine != exec.machine;
@@ -377,6 +468,7 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
         Running run;
         run.task = task;
         run.fetching = true;
+        run.span_id = span_id;
         running[exec_id] = std::move(run);
         try {
           const auto flow_id = fabric->start_flow(
@@ -410,6 +502,7 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
       Running run;
       run.task = task;
       run.planned_end = sim.now() + t;
+      run.span_id = span_id;
       running[exec_id] = std::move(run);
       running[exec_id]->done_event =
           sim.schedule_in(t, [&, exec_id] { on_task_done(exec_id); });
@@ -439,6 +532,12 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
 
   for (std::size_t j = 0; j < state.size(); ++j) {
     sim.schedule_at(state[j].arrival, [&, j] {
+      if (observed) {
+        obs::TraceRecorder::global().async_begin(
+            "sched.job", state[j].graph.name(), j, sim.now(),
+            {obs::trace_arg("stages",
+                            static_cast<std::uint64_t>(state[j].stages.size()))});
+      }
       release_ready_stages(j);
       dispatch();
     });
@@ -464,6 +563,14 @@ RunResult run_jobs(const Cluster& cluster, std::vector<JobArrival> jobs,
       ++result.jobs_failed;
       result.jobs[j].failed = true;
       result.jobs[j].completion = sim.now();
+      if (observed) {
+        SchedMetrics::get().jobs_failed->add();
+        obs::TraceRecorder::global().async_end(
+            "sched.job", js.graph.name(), j, sim.now(),
+            {obs::trace_arg("outcome", "starved")});
+      }
+      sched_log().error() << "job " << js.graph.name()
+                          << " starved: unfinished when the run drained";
     } else {
       throw std::logic_error{"run_jobs: job did not finish (deadlock?)"};
     }

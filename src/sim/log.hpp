@@ -1,21 +1,34 @@
 #pragma once
 // Minimal leveled logger for library diagnostics. Defaults to Warning so
 // benchmarks and tests stay quiet; examples raise it to Info.
+//
+// This is now a thin compatibility facade over rb::obs logging (obs/log.hpp),
+// which owns the single process-wide level and output lock. Thread-safety:
+// the global level is a std::atomic (safe to mutate while other threads
+// log) and each emitted line is serialized under a mutex, so concurrent
+// dataflow workers can never interleave partial lines. New code should
+// prefer rb::obs::Logger, which also feeds the metrics registry.
 
 #include <sstream>
 #include <string_view>
 
+#include "obs/log.hpp"
+
 namespace rb::sim {
 
-enum class LogLevel { kDebug, kInfo, kWarning, kError, kOff };
+using LogLevel = obs::LogLevel;
 
-/// Global minimum level (process-wide; not thread-safe to mutate while
-/// logging from other threads — set it once at startup).
-void set_log_level(LogLevel level) noexcept;
-LogLevel log_level() noexcept;
+/// Global minimum level (process-wide, atomic; safe from any thread).
+inline void set_log_level(LogLevel level) noexcept {
+  obs::set_log_level(level);
+}
+inline LogLevel log_level() noexcept { return obs::log_level(); }
 
 /// Emit a single log line to stderr if `level` passes the threshold.
-void log_line(LogLevel level, std::string_view component, std::string_view msg);
+inline void log_line(LogLevel level, std::string_view component,
+                     std::string_view msg) {
+  obs::log_line(level, component, msg);
+}
 
 /// Stream-style helper: LogStream{LogLevel::kInfo, "net"} << "flow " << id;
 class LogStream {
@@ -24,7 +37,9 @@ class LogStream {
       : level_{level}, component_{component} {}
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
-  ~LogStream();
+  // Qualified: LogLevel aliases obs::LogLevel, so an unqualified call would
+  // be ambiguous between this facade and rb::obs::log_line via ADL.
+  ~LogStream() { obs::log_line(level_, component_, buf_.str()); }
 
   template <typename T>
   LogStream& operator<<(const T& value) {

@@ -67,6 +67,21 @@ double PercentileTracker::mean() const {
   return s / static_cast<double>(samples_.size());
 }
 
+StatSummary PercentileTracker::summary() const {
+  StatSummary s;
+  if (samples_.empty()) return s;
+  s.count = samples_.size();
+  s.mean = mean();
+  s.p50 = percentile(50.0);
+  s.p90 = percentile(90.0);
+  s.p99 = percentile(99.0);
+  s.p999 = percentile(99.9);
+  // percentile() sorted the samples.
+  s.min = samples_.front();
+  s.max = samples_.back();
+  return s;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_{lo}, hi_{hi}, counts_(buckets, 0) {
   if (!(hi > lo)) throw std::invalid_argument{"Histogram: hi must exceed lo"};

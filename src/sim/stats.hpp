@@ -36,8 +36,27 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Compact distribution summary shared by benches and the metrics exporter
+/// (all fields zero for an empty tracker).
+struct StatSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
 /// Exact percentile tracker: stores all samples, sorts lazily on query.
 /// Suitable for the sample counts in this project (<= tens of millions).
+///
+/// Empty-tracker semantics (including immediately after clear()):
+/// percentile()/mean() and the pXX helpers throw std::logic_error, since a
+/// percentile of nothing is a caller bug; summary() is the total function —
+/// it returns an all-zero StatSummary instead, so exporters and benches can
+/// report unconditionally.
 class PercentileTracker {
  public:
   void add(double x) { samples_.push_back(x); sorted_ = false; }
@@ -56,6 +75,10 @@ class PercentileTracker {
   double p999() const { return percentile(99.9); }
   double mean() const;
 
+  /// Count/mean/min/max/p50/p90/p99/p999 in one shot; all zeros when empty.
+  StatSummary summary() const;
+
+  /// Drop every sample; the tracker behaves exactly like a fresh one.
   void clear() { samples_.clear(); sorted_ = false; }
 
  private:

@@ -4,9 +4,52 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rb::storage {
 
 namespace {
+
+struct StorageMetrics {
+  obs::Counter* flushes;
+  obs::Counter* compactions;
+  obs::Counter* bytes_internal;
+
+  static StorageMetrics& get() {
+    auto& r = obs::Registry::global();
+    static StorageMetrics m{&r.counter("storage.flushes"),
+                            &r.counter("storage.compactions"),
+                            &r.counter("storage.bytes_written_internal")};
+    return m;
+  }
+};
+
+/// RAII wall-clock span for flush/compaction work. The LSM runs in real
+/// time (no simulated clock), so the ts axis is wall-derived picoseconds.
+class StorageSpan {
+ public:
+  StorageSpan(const char* name, std::vector<obs::TraceArg> args)
+      : active_{obs::TraceRecorder::global().enabled()},
+        name_{name},
+        args_{std::move(args)},
+        start_us_{active_ ? obs::wall_now_us() : 0} {}
+  StorageSpan(const StorageSpan&) = delete;
+  StorageSpan& operator=(const StorageSpan&) = delete;
+  ~StorageSpan() {
+    if (!active_) return;
+    const std::int64_t dur_us = obs::wall_now_us() - start_us_;
+    obs::TraceRecorder::global().complete(
+        "storage.lsm", name_, start_us_ * 1'000'000,
+        std::max<std::int64_t>(dur_us, 1) * 1'000'000, std::move(args_));
+  }
+
+ private:
+  bool active_;
+  const char* name_;
+  std::vector<obs::TraceArg> args_;
+  std::int64_t start_us_;
+};
 
 std::uint64_t hash_key(std::string_view key, std::uint64_t salt) {
   std::uint64_t h = 0xcbf29ce484222325ULL ^ salt;
@@ -165,6 +208,10 @@ std::size_t LsmStore::size() const { return scan("", "").size(); }
 
 void LsmStore::flush() {
   if (memtable_.empty()) return;
+  const StorageSpan span{
+      "flush",
+      {obs::trace_arg("entries",
+                      static_cast<std::uint64_t>(memtable_.size()))}};
   std::vector<SsTable::Entry> entries;
   entries.reserve(memtable_.size());
   for (auto& [key, entry] : memtable_) {
@@ -175,6 +222,11 @@ void LsmStore::flush() {
   if (levels_.empty()) levels_.emplace_back();
   SsTable run{std::move(entries)};
   stats_.bytes_written_internal += run.size_bytes();
+  if (obs::enabled()) {
+    auto& m = StorageMetrics::get();
+    m.flushes->add();
+    m.bytes_internal->add(run.size_bytes());
+  }
   levels_[0].push_back(std::move(run));
   ++stats_.flushes;
   compact(0);
@@ -188,6 +240,11 @@ void LsmStore::compact(std::size_t level) {
   if (level >= levels_.size()) return;
   if (levels_[level].size() < options_.runs_per_level) return;
   const bool last_level = level + 1 >= options_.max_levels;
+  const StorageSpan span{
+      "compact",
+      {obs::trace_arg("level", static_cast<std::uint64_t>(level)),
+       obs::trace_arg("runs",
+                      static_cast<std::uint64_t>(levels_[level].size()))}};
 
   // k-way merge of the level's runs, newest run winning per key.
   std::map<std::string, SsTable::Entry> merged;
@@ -205,9 +262,12 @@ void LsmStore::compact(std::size_t level) {
     entries.push_back(std::move(e));
   }
   ++stats_.compactions;
+  if (obs::enabled()) StorageMetrics::get().compactions->add();
   if (!entries.empty()) {
     SsTable run{std::move(entries)};
     stats_.bytes_written_internal += run.size_bytes();
+    if (obs::enabled())
+      StorageMetrics::get().bytes_internal->add(run.size_bytes());
     if (levels_.size() <= level + 1 && !last_level) levels_.emplace_back();
     auto& target = last_level ? levels_[level] : levels_[level + 1];
     target.push_back(std::move(run));

@@ -52,21 +52,23 @@ TEST(Log, LevelsAreOrdered) {
   EXPECT_LT(LogLevel::kError, LogLevel::kOff);
 }
 
+// LogLevel is an alias for obs::LogLevel, so unqualified calls would be
+// ambiguous between the sim facade and the obs originals via ADL; qualify.
 TEST(Log, SetAndGetLevel) {
-  const auto original = log_level();
-  set_log_level(LogLevel::kError);
-  EXPECT_EQ(log_level(), LogLevel::kError);
-  set_log_level(original);
+  const auto original = sim::log_level();
+  sim::set_log_level(LogLevel::kError);
+  EXPECT_EQ(sim::log_level(), LogLevel::kError);
+  sim::set_log_level(original);
 }
 
 TEST(Log, SuppressedBelowThresholdAndStreamCompiles) {
-  const auto original = log_level();
-  set_log_level(LogLevel::kOff);
+  const auto original = sim::log_level();
+  sim::set_log_level(LogLevel::kOff);
   // Nothing observable to assert on stderr without capturing it; this
   // exercises the full path (format, level check) for sanitizers.
-  log_line(LogLevel::kError, "test", "suppressed");
+  sim::log_line(LogLevel::kError, "test", "suppressed");
   LogStream{LogLevel::kDebug, "test"} << "value=" << 42;
-  set_log_level(original);
+  sim::set_log_level(original);
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// CI telemetry validator. Spawns a repo binary with its machine-readable
+// output flag pointed at a temp file, then parses and sanity-checks the
+// result:
+//
+//   validate_telemetry bench <bench-binary> [extra args...]
+//     runs `<bench-binary> --json <tmp>` and checks the report shape
+//     ({"bench": ..., "config": {...}, "metrics": {...}} with >= 1 metric).
+//
+//   validate_telemetry trace <example-binary> [extra args...]
+//     runs `<example-binary> --trace <tmp>` and checks the Chrome trace
+//     (traceEvents array, monotone ts, flow + fault + sched categories).
+//
+// Exits 0 on success, 1 with a diagnostic on stderr otherwise. Registered
+// as ctest cases so a bench that silently stops emitting JSON fails CI.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using rb::obs::JsonValue;
+
+int fail(const std::string& why) {
+  std::cerr << "validate_telemetry: " << why << "\n";
+  return 1;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"cannot open " + path.string()};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int validate_bench(const JsonValue& doc) {
+  if (!doc.is_object()) return fail("bench report is not a JSON object");
+  if (!doc.contains("bench") || !doc.at("bench").is_string()) {
+    return fail("bench report missing string field 'bench'");
+  }
+  if (!doc.contains("config") || !doc.at("config").is_object()) {
+    return fail("bench report missing object field 'config'");
+  }
+  if (!doc.contains("metrics") || !doc.at("metrics").is_object()) {
+    return fail("bench report missing object field 'metrics'");
+  }
+  if (doc.at("metrics").object.empty()) {
+    return fail("bench report has an empty 'metrics' object");
+  }
+  std::cout << "bench '" << doc.at("bench").string << "': "
+            << doc.at("metrics").object.size() << " metrics OK\n";
+  return 0;
+}
+
+int validate_trace(const JsonValue& doc) {
+  if (!doc.is_object()) return fail("trace is not a JSON object");
+  if (!doc.contains("traceEvents") || !doc.at("traceEvents").is_array()) {
+    return fail("trace missing 'traceEvents' array");
+  }
+  const auto& events = doc.at("traceEvents").array;
+  double last_ts = -1.0;
+  std::size_t data_events = 0;
+  bool saw_flow = false, saw_fault = false, saw_sched = false;
+  for (const auto& e : events) {
+    if (!e.contains("ph")) return fail("event missing 'ph'");
+    if (e.at("ph").string == "M") continue;
+    ++data_events;
+    const double ts = e.at("ts").number;
+    if (ts < last_ts) {
+      return fail("timestamps not monotone: " + std::to_string(ts) +
+                  " after " + std::to_string(last_ts));
+    }
+    last_ts = ts;
+    if (!e.contains("cat")) return fail("event missing 'cat'");
+    const std::string& cat = e.at("cat").string;
+    if (cat == "net.flow") saw_flow = true;
+    if (cat == "faults") saw_fault = true;
+    if (cat.rfind("sched.", 0) == 0) saw_sched = true;
+  }
+  if (data_events == 0) return fail("trace has no data events");
+  if (!saw_flow) return fail("trace has no net.flow spans");
+  if (!saw_fault) return fail("trace has no faults spans");
+  if (!saw_sched) return fail("trace has no sched.* spans");
+  std::cout << "trace: " << data_events
+            << " events, monotone ts, flow+fault+sched present OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return fail("usage: validate_telemetry <bench|trace> <binary> [args...]");
+  }
+  const std::string mode = argv[1];
+  if (mode != "bench" && mode != "trace") {
+    return fail("unknown mode '" + mode + "'");
+  }
+
+  const auto out_path =
+      std::filesystem::temp_directory_path() /
+      ("rb_validate_" + mode + "_" +
+       std::filesystem::path{argv[2]}.filename().string() + ".json");
+  std::error_code ec;
+  std::filesystem::remove(out_path, ec);
+
+  std::string cmd = std::string{"\""} + argv[2] + "\" " +
+                    (mode == "bench" ? "--json" : "--trace") + " \"" +
+                    out_path.string() + "\"";
+  for (int i = 3; i < argc; ++i) cmd += std::string{" "} + argv[i];
+  // Benches print human-readable tables too; keep stdout for ctest logs.
+  std::cout << "running: " << cmd << "\n";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) return fail("binary exited with status " + std::to_string(rc));
+
+  try {
+    const JsonValue doc = rb::obs::json_parse(read_file(out_path));
+    const int result = mode == "bench" ? validate_bench(doc)
+                                       : validate_trace(doc);
+    std::filesystem::remove(out_path, ec);
+    return result;
+  } catch (const std::exception& e) {
+    return fail(std::string{"invalid output: "} + e.what());
+  }
+}
