@@ -8,13 +8,29 @@
 // comparison the roadmap says buyers lack.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "workloads/suite.hpp"
 
-int main() {
+namespace {
+
+/// "hash-join" -> "hash_join": metric keys stay shell-friendly.
+std::string slug(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '-' || c == ' ' || c == '.') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace rb;
   bench::heading("E10", "Standard Big Data benchmark suite (Rec 9)");
+  bench::Report report{"e10_benchmark_suite", argc, argv};
+  report.config("measured_scale", 0.25);
 
   std::printf("-- measured on this machine (real kernels, 1 thread) --\n");
   std::printf("%-12s %12s %12s %14s %14s\n", "workload", "rows", "sec",
@@ -24,6 +40,9 @@ int main() {
                 static_cast<unsigned long long>(r.rows), r.seconds,
                 r.mrows_per_second,
                 static_cast<unsigned long long>(r.checksum));
+    const std::string prefix = "measured." + slug(r.workload);
+    report.metric(prefix + ".mrows_per_s", r.mrows_per_second);
+    report.metric(prefix + ".checksum", r.checksum);
   }
 
   const auto catalog = node::standard_catalog();
@@ -33,9 +52,16 @@ int main() {
                 to_string(path).c_str());
     std::printf("%-12s %-18s %12s %10s %12s\n", "workload", "device",
                 "sec", "speedup", "joules");
+    const std::string path_key =
+        path == accel::CodePath::kDeviceTuned ? "tuned" : "generic";
     for (const auto& p : workloads::project_suite(catalog, path, 1.0)) {
       std::printf("%-12s %-18s %12.4f %9.2fx %12.2f\n", p.workload.c_str(),
                   p.device.c_str(), p.seconds, p.speedup_vs_cpu, p.joules);
+      const std::string prefix =
+          "projected." + path_key + "." + slug(p.workload) + "." +
+          slug(p.device);
+      report.metric(prefix + ".speedup_vs_cpu", p.speedup_vs_cpu);
+      report.metric(prefix + ".joules", p.joules);
     }
   }
   bench::note("paper shape: no architecture dominates all workloads - the");

@@ -7,13 +7,15 @@
 // quarter to a half across moderate loads, and the win grows with load.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "workloads/search_service.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rb;
   bench::heading("E1", "Search-tier tail latency: CPU vs FPGA-offloaded ranking");
+  bench::Report report{"e1_fpga_tail_latency", argc, argv};
 
   const auto cpu_dev = node::find_device(node::DeviceKind::kCpu);
   const auto fpga_dev = node::find_device(node::DeviceKind::kFpga);
@@ -24,6 +26,8 @@ int main() {
   // Capacity of the CPU configuration defines the load axis.
   const auto probe = workloads::simulate_search_tier(cpu_dev, base);
   const double cpu_capacity = probe.offered_qps / probe.utilization;
+  report.config("queries", std::uint64_t{base.queries});
+  report.config("cpu_capacity_qps", cpu_capacity);
 
   std::printf("%-8s %10s %10s %10s %10s %12s\n", "load", "cpu p50", "cpu p99",
               "fpga p50", "fpga p99", "p99 cut");
@@ -37,6 +41,14 @@ int main() {
     const double cut = (1.0 - fpga.p99_ms / cpu.p99_ms) * 100.0;
     std::printf("%-8.2f %10.2f %10.2f %10.2f %10.2f %12.1f\n", load,
                 cpu.p50_ms, cpu.p99_ms, fpga.p50_ms, fpga.p99_ms, cut);
+    char key[32];
+    std::snprintf(key, sizeof key, "load.%03d", static_cast<int>(load * 100));
+    const std::string prefix = key;
+    report.metric(prefix + ".cpu_p50_ms", cpu.p50_ms);
+    report.metric(prefix + ".cpu_p99_ms", cpu.p99_ms);
+    report.metric(prefix + ".fpga_p50_ms", fpga.p50_ms);
+    report.metric(prefix + ".fpga_p99_ms", fpga.p99_ms);
+    report.metric(prefix + ".p99_cut_pct", cut);
   }
   bench::note("paper shape: ~29% p99 reduction (Catapult/Bing) at the");
   bench::note("operating load; offload also buys ~2x throughput headroom.");

@@ -1,0 +1,306 @@
+#include "serve/frontdoor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace rb::serve {
+
+namespace {
+
+constexpr sim::Bytes kHeaderBytes = 64;  // request/response framing
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FrontDoor::FrontDoor(sim::Simulator& sim, const net::Topology& topo,
+                     const net::Router& router, const FrontDoorParams& params)
+    : sim_{&sim},
+      topo_{&topo},
+      router_{&router},
+      params_{params},
+      ring_{params.vnodes_per_replica},
+      rng_{params.seed},
+      key_dist_{std::max<std::size_t>(params.key_universe, 1), params.zipf_s} {
+  if (params_.key_universe == 0)
+    throw std::invalid_argument{"FrontDoor: empty key universe"};
+  if (params_.replication == 0)
+    throw std::invalid_argument{"FrontDoor: replication must be >= 1"};
+  if (params_.offered_qps <= 0.0)
+    throw std::invalid_argument{"FrontDoor: offered_qps must be > 0"};
+  if (params_.read_fraction < 0.0 || params_.read_fraction > 1.0)
+    throw std::invalid_argument{"FrontDoor: read_fraction out of [0, 1]"};
+  if (params_.diurnal_amplitude < 0.0 || params_.diurnal_amplitude >= 1.0)
+    throw std::invalid_argument{
+        "FrontDoor: diurnal_amplitude out of [0, 1)"};
+  if (params_.max_attempts < 1)
+    throw std::invalid_argument{"FrontDoor: max_attempts must be >= 1"};
+
+  const auto hosts = topo_->nodes_of_kind(net::NodeKind::kHost);
+  if (hosts.size() < 2)
+    throw std::invalid_argument{
+        "FrontDoor: topology needs >= 2 hosts (gateway + replicas)"};
+  const std::size_t count =
+      params_.replicas == 0 ? hosts.size() - 1 : params_.replicas;
+  if (count + 1 > hosts.size())
+    throw std::invalid_argument{
+        "FrontDoor: fewer hosts than requested replicas"};
+  gateway_ = hosts.front();
+  replicas_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto id = static_cast<ReplicaId>(i);
+    const net::NodeId host = hosts[i + 1];
+    replicas_.push_back(std::make_unique<ReplicaServer>(
+        *sim_, id, host, params_.replica, rng_()));
+    replicas_.back()->on_complete(
+        [this, id](const Request& req, ReplicaOutcome outcome) {
+          replica_completed(req, outcome, id);
+        });
+    host_to_replica_.emplace(host, id);
+    ring_.add_node(id);
+  }
+}
+
+std::string FrontDoor::key_string(std::size_t index) const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "k%08zu", index);
+  return buf;
+}
+
+void FrontDoor::preload() {
+  const std::string value(params_.value_bytes, 'v');
+  const std::size_t r = std::min(params_.replication, replicas_.size());
+  for (std::size_t k = 0; k < params_.key_universe; ++k) {
+    const std::string key = key_string(k);
+    for (const ReplicaId id : ring_.replicas(key, r).replicas) {
+      replicas_[id]->store().put(key, value);
+    }
+  }
+}
+
+void FrontDoor::start() {
+  if (started_) return;
+  started_ = true;
+  schedule_next_arrival();
+}
+
+void FrontDoor::schedule_next_arrival() {
+  // Poisson arrivals with a (slowly varying) diurnal rate: the next gap is
+  // exponential at the instantaneous rate.
+  double rate = params_.offered_qps;
+  if (params_.diurnal_amplitude > 0.0) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(sim_->now()) /
+                         static_cast<double>(params_.diurnal_period);
+    rate *= 1.0 + params_.diurnal_amplitude * std::sin(phase);
+  }
+  const sim::SimTime gap = std::max<sim::SimTime>(
+      sim::from_seconds(rng_.exponential(1.0 / rate)), 1);
+  if (sim_->now() + gap >= params_.horizon) return;  // population stops
+  sim_->schedule_in(gap, [this] {
+    issue();
+    schedule_next_arrival();
+  });
+}
+
+Request FrontDoor::make_request() {
+  Request req;
+  req.id = next_request_id_++;
+  req.issued = sim_->now();
+  req.key = key_string(key_dist_(rng_));
+  if (!rng_.chance(params_.read_fraction)) {
+    req.op = OpKind::kPut;
+    req.value.assign(params_.value_bytes, 'w');
+  }
+  return req;
+}
+
+void FrontDoor::issue() {
+  Request req = make_request();
+  slo_.on_issued(req);
+  attempt(std::move(req));
+}
+
+void FrontDoor::attempt(Request req) {
+  const std::size_t r = std::min(params_.replication, replicas_.size());
+  const Placement placement = ring_.replicas(req.key, r);
+  // Candidates: owners that are ring-live, whose host is up, and that are
+  // serving. (Ownership never changes with up/down — only contactability.)
+  std::vector<ReplicaId> live;
+  live.reserve(placement.replicas.size());
+  for (const ReplicaId id : placement.replicas) {
+    if (ring_.up(id) && topo_->node_up(replicas_[id]->host()) &&
+        replicas_[id]->serving()) {
+      live.push_back(id);
+    }
+  }
+  if (live.empty()) {
+    attempt_failed(std::move(req));
+    return;
+  }
+  // Puts go to the first live owner; gets spread across live owners by a
+  // deterministic per-request rotation (retries move to the next one).
+  std::size_t index = 0;
+  if (req.op == OpKind::kGet) {
+    index = static_cast<std::size_t>(
+        (mix(req.id) + static_cast<std::uint64_t>(req.attempts)) %
+        live.size());
+  }
+  const ReplicaId target = live[index];
+  const sim::Bytes payload =
+      kHeaderBytes + req.key.size() +
+      (req.op == OpKind::kPut ? params_.value_bytes : 0);
+  const sim::SimTime delay = path_delay(gateway_, replicas_[target]->host(),
+                                        payload, mix(req.id * 2 + 1));
+  if (delay < 0) {
+    attempt_failed(std::move(req));
+    return;
+  }
+  sim_->schedule_in(delay, [this, req = std::move(req), target]() mutable {
+    deliver(std::move(req), target);
+  });
+}
+
+void FrontDoor::deliver(Request req, ReplicaId target) {
+  ReplicaServer& replica = *replicas_[target];
+  // The host may have died while the request was on the wire.
+  if (!topo_->node_up(replica.host()) || !replica.serving()) {
+    attempt_failed(std::move(req));
+    return;
+  }
+  if (!replica.try_enqueue(req)) {
+    // Admission control: shed, typed, terminal — never retried.
+    slo_.on_rejected(req, Overloaded::kQueueFull, sim_->now());
+  }
+}
+
+void FrontDoor::replica_completed(const Request& req, ReplicaOutcome outcome,
+                                  ReplicaId target) {
+  if (outcome == ReplicaOutcome::kKilled) {
+    attempt_failed(req);
+    return;
+  }
+  if (req.op == OpKind::kPut) {
+    // Asynchronous replication: surviving sibling owners apply the write at
+    // service-finish time; owners currently down simply miss it.
+    const std::size_t r = std::min(params_.replication, replicas_.size());
+    for (const ReplicaId id : ring_.replicas(req.key, r).replicas) {
+      if (id == target) continue;
+      if (ring_.up(id) && topo_->node_up(replicas_[id]->host())) {
+        replicas_[id]->store().put(req.key, req.value);
+      }
+    }
+  }
+  const sim::Bytes payload =
+      kHeaderBytes + (req.op == OpKind::kGet ? params_.value_bytes : 0);
+  sim::SimTime delay = path_delay(replicas_[target]->host(), gateway_,
+                                  payload, mix(req.id * 2));
+  // Responses are not dropped: if the return path is momentarily
+  // partitioned, charge zero fabric delay rather than losing the reply.
+  if (delay < 0) delay = 0;
+  sim_->schedule_in(delay, [this, req] {
+    slo_.on_completed(req, sim_->now());
+  });
+}
+
+void FrontDoor::attempt_failed(Request req) {
+  ++req.attempts;
+  if (req.attempts >= params_.max_attempts) {
+    slo_.on_failed(req, sim_->now());
+    return;
+  }
+  slo_.on_retry(req);
+  // Capped exponential backoff with deterministic jitter.
+  sim::SimTime backoff = params_.retry_backoff;
+  for (int i = 1; i < req.attempts && backoff < params_.retry_backoff_cap;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, params_.retry_backoff_cap);
+  backoff = static_cast<sim::SimTime>(static_cast<double>(backoff) *
+                                      rng_.uniform(1.0, 1.25));
+  sim_->schedule_in(std::max<sim::SimTime>(backoff, 1),
+                    [this, req = std::move(req)]() mutable {
+                      attempt(std::move(req));
+                    });
+}
+
+sim::SimTime FrontDoor::path_delay(net::NodeId from, net::NodeId to,
+                                   sim::Bytes payload,
+                                   std::uint64_t flow_hash) const {
+  if (from == to) return 0;
+  try {
+    sim::SimTime total = 0;
+    for (const net::LinkId link_id : router_->path(from, to, flow_hash)) {
+      const net::Link& link = topo_->link(link_id);
+      total += link.latency + sim::serialization_time(payload, link.rate);
+    }
+    return total;
+  } catch (const net::NoRouteError&) {
+    return -1;
+  }
+}
+
+void FrontDoor::handle_fault(const faults::FaultEvent& event) {
+  if (event.target != faults::FaultTarget::kNode) return;
+  const auto it = host_to_replica_.find(event.id);
+  if (it == host_to_replica_.end()) return;
+  const ReplicaId id = it->second;
+  ring_.set_up(id, event.up);
+  if (event.up) {
+    replicas_[id]->set_up();
+  } else {
+    // Kills queued and in-service work; each victim's completion callback
+    // fires with kKilled and fails over above.
+    replicas_[id]->set_down();
+  }
+}
+
+std::vector<net::NodeId> FrontDoor::replica_hosts() const {
+  std::vector<net::NodeId> hosts;
+  hosts.reserve(replicas_.size());
+  for (const auto& replica : replicas_) hosts.push_back(replica->host());
+  return hosts;
+}
+
+double estimated_capacity_qps(const FrontDoorParams& params,
+                              std::size_t replica_count) {
+  const double per_request_s = sim::to_seconds(
+      ReplicaServer::amortized_service_time(params.replica));
+  return per_request_s <= 0.0
+             ? 0.0
+             : static_cast<double>(replica_count) / per_request_s;
+}
+
+faults::FaultPlan make_host_churn_plan(const std::vector<net::NodeId>& hosts,
+                                       double mtbf_s, double mttr_s,
+                                       sim::SimTime horizon,
+                                       std::uint64_t seed) {
+  if (mtbf_s <= 0.0 || mttr_s <= 0.0)
+    throw std::invalid_argument{"make_host_churn_plan: rates must be > 0"};
+  faults::FaultPlan plan;
+  sim::Rng rng{seed};
+  for (const net::NodeId host : hosts) {
+    sim::SimTime t = sim::from_seconds(rng.exponential(mtbf_s));
+    while (t < horizon) {
+      const sim::SimTime down = std::max<sim::SimTime>(
+          sim::from_seconds(rng.exponential(mttr_s)), 1);
+      // Repair lands inside the horizon, so nothing stays dead forever.
+      const sim::SimTime outage = std::min(down, horizon - 1 - t);
+      plan.add_node_outage(host, t, std::max<sim::SimTime>(outage, 1));
+      t += down + sim::from_seconds(rng.exponential(mtbf_s));
+    }
+  }
+  return plan;
+}
+
+}  // namespace rb::serve

@@ -1,0 +1,151 @@
+#pragma once
+// FrontDoor: the serving plane's request router and client population.
+//
+// An open-loop client population (Poisson arrivals, optionally modulated by
+// a diurnal curve; Zipf key popularity over a fixed key universe) issues
+// get/put requests from a gateway host against LsmStore-backed replicas
+// placed on hosts of a net::Topology. Each request:
+//
+//   1. is placed by the consistent-hash ring (key -> shard -> R owners);
+//   2. travels the fabric (per-link propagation latency + serialization of
+//      the payload along the ECMP path the router picks);
+//   3. is admitted into the replica's bounded queue — or shed with a typed
+//      Overloaded rejection (terminal; shed load is never retried);
+//   4. on replica death mid-flight (faults::FaultInjector flipping the host
+//      down), fails over: the ring temporarily ejects the dead node and the
+//      request retries on a surviving owner with capped exponential
+//      backoff, up to max_attempts, then fails.
+//
+// Puts are serviced by one live owner and replicated to the remaining live
+// owners asynchronously (applied to their stores at service-finish time; a
+// node that was down during the write simply misses it — there is no
+// anti-entropy repair, so a later get served by a stale replica returns
+// not-found but still *completes*).
+//
+// The SLO accountant records every outcome; its ledger invariant
+// (completed + rejected + failed == issued) holds for every configuration,
+// chaos included, and is test-asserted.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "faults/plan.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "serve/replica.hpp"
+#include "serve/ring.hpp"
+#include "serve/slo.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace rb::serve {
+
+struct FrontDoorParams {
+  /// Replica servers to place on hosts (gateway excluded); 0 = one replica
+  /// on every remaining host.
+  std::size_t replicas = 0;
+  /// Copies per key (capped at the replica count).
+  std::size_t replication = 3;
+  std::size_t vnodes_per_replica = 64;
+
+  /// --- Client population (open loop) ---
+  std::size_t key_universe = 10'000;
+  double zipf_s = 0.99;           // key popularity skew
+  double read_fraction = 0.9;     // gets vs puts
+  sim::Bytes value_bytes = 256;   // payload of puts / responses
+  double offered_qps = 10'000.0;  // mean arrival rate
+  /// Arrival rate swings by +-amplitude over one diurnal period (0 = flat).
+  double diurnal_amplitude = 0.0;
+  sim::SimTime diurnal_period = 10 * sim::kSecond;  // compressed "day"
+  sim::SimTime horizon = sim::kSecond;              // arrivals stop here
+
+  /// --- Failover ---
+  int max_attempts = 3;
+  sim::SimTime retry_backoff = 200 * sim::kMicrosecond;  // doubles per retry
+  sim::SimTime retry_backoff_cap = 5 * sim::kMillisecond;
+
+  ReplicaParams replica;
+  std::uint64_t seed = 0x5e21;
+};
+
+class FrontDoor {
+ public:
+  /// Places replicas on `topo`'s hosts: hosts[0] is the client gateway,
+  /// the next `params.replicas` hosts get one ReplicaServer each. The
+  /// topology, router and simulator must outlive the front door. Throws
+  /// std::invalid_argument when the topology has too few hosts or the
+  /// parameters are degenerate.
+  FrontDoor(sim::Simulator& sim, const net::Topology& topo,
+            const net::Router& router, const FrontDoorParams& params);
+
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// Write every key of the universe to all of its owners' stores (directly,
+  /// outside simulated time) so gets hit from the first request.
+  void preload();
+
+  /// Schedule the arrival process; call before Simulator::run(). All
+  /// requests reach a terminal state once the simulator drains.
+  void start();
+
+  /// Wire this to faults::FaultInjector::on_event (kNode events): a down
+  /// replica host is ejected from the ring and its queued work killed (the
+  /// victims fail over); a repaired host resumes serving.
+  void handle_fault(const faults::FaultEvent& event);
+
+  const SloAccountant& slo() const noexcept { return slo_; }
+  const HashRing& ring() const noexcept { return ring_; }
+  std::size_t replica_count() const noexcept { return replicas_.size(); }
+  const ReplicaServer& replica(std::size_t i) const { return *replicas_.at(i); }
+  net::NodeId gateway() const noexcept { return gateway_; }
+  /// Hosts carrying a replica, in ReplicaId order (chaos-plan targets).
+  std::vector<net::NodeId> replica_hosts() const;
+
+ private:
+  void schedule_next_arrival();
+  void issue();
+  Request make_request();
+  /// Route one attempt of `req`; terminal-state bookkeeping on give-up.
+  void attempt(Request req);
+  void deliver(Request req, ReplicaId target);
+  void replica_completed(const Request& req, ReplicaOutcome outcome,
+                         ReplicaId target);
+  void attempt_failed(Request req);
+  /// One-way fabric delay gateway<->host for `payload` bytes, or -1 when
+  /// currently unreachable.
+  sim::SimTime path_delay(net::NodeId from, net::NodeId to,
+                          sim::Bytes payload, std::uint64_t flow_hash) const;
+  std::string key_string(std::size_t index) const;
+
+  sim::Simulator* sim_;
+  const net::Topology* topo_;
+  const net::Router* router_;
+  FrontDoorParams params_;
+  net::NodeId gateway_ = net::kInvalidNode;
+  HashRing ring_;
+  std::vector<std::unique_ptr<ReplicaServer>> replicas_;
+  std::map<net::NodeId, ReplicaId> host_to_replica_;
+  SloAccountant slo_;
+  sim::Rng rng_;
+  sim::ZipfDistribution key_dist_;
+  std::uint64_t next_request_id_ = 1;
+  bool started_ = false;
+};
+
+/// Ideal aggregate service capacity (requests/s) of `replica_count` replicas
+/// at full batching — where benches center their offered-load sweeps.
+double estimated_capacity_qps(const FrontDoorParams& params,
+                              std::size_t replica_count);
+
+/// Seeded up/down renewal churn (exponential MTBF/MTTR) over exactly the
+/// given hosts — the replica-targeted analogue of
+/// faults::make_random_fault_plan, leaving gateways and fabric alone.
+faults::FaultPlan make_host_churn_plan(const std::vector<net::NodeId>& hosts,
+                                       double mtbf_s, double mttr_s,
+                                       sim::SimTime horizon,
+                                       std::uint64_t seed);
+
+}  // namespace rb::serve

@@ -1,0 +1,141 @@
+#include "serve/replica.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace rb::serve {
+
+namespace {
+
+node::KernelProfile scaled(const node::KernelProfile& per_request,
+                           std::size_t n) {
+  node::KernelProfile batch = per_request;
+  const double k = static_cast<double>(n);
+  batch.flops *= k;
+  batch.bytes *= k;
+  if (batch.pcie_bytes > 0.0) batch.pcie_bytes *= k;
+  return batch;
+}
+
+obs::Gauge* queue_gauge(ReplicaId id) {
+  return &obs::Registry::global().gauge(
+      "serve.queue_depth", {{"replica", std::to_string(id)}});
+}
+
+}  // namespace
+
+ReplicaServer::ReplicaServer(sim::Simulator& sim, ReplicaId id,
+                             net::NodeId host, const ReplicaParams& params,
+                             std::uint64_t seed)
+    : sim_{&sim},
+      id_{id},
+      host_{host},
+      params_{params},
+      store_{params.store},
+      rng_{seed} {
+  if (params_.batch_max == 0)
+    throw std::invalid_argument{"ReplicaServer: batch_max must be >= 1"};
+  if (params_.batch_overhead < 0)
+    throw std::invalid_argument{"ReplicaServer: negative batch_overhead"};
+}
+
+sim::SimTime ReplicaServer::amortized_service_time(
+    const ReplicaParams& params) {
+  const sim::SimTime batch =
+      params.batch_overhead +
+      node::offload_time(params.device,
+                         scaled(params.per_request, params.batch_max));
+  return batch / static_cast<sim::SimTime>(params.batch_max);
+}
+
+bool ReplicaServer::try_enqueue(Request req) {
+  if (!up_) return false;
+  if (queue_.size() >= params_.queue_limit && !batch_.empty()) return false;
+  // An idle replica serves immediately; only a busy one queues.
+  queue_.push_back(std::move(req));
+  if (obs::enabled())
+    queue_gauge(id_)->set(static_cast<double>(queue_depth()));
+  maybe_start_batch();
+  return true;
+}
+
+void ReplicaServer::maybe_start_batch() {
+  if (!up_ || !batch_.empty() || queue_.empty()) return;
+  const std::size_t n = std::min(queue_.size(), params_.batch_max);
+  batch_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  ++batches_;
+  batch_sizes_.add(static_cast<double>(n));
+
+  // Amortized batch cost: fixed overhead + roofline time of n requests'
+  // work, stretched by seeded lognormal jitter (device service_cv).
+  sim::SimTime cost =
+      params_.batch_overhead +
+      node::offload_time(params_.device, scaled(params_.per_request, n));
+  const double cv = std::max(params_.device.service_cv, 0.0);
+  if (cv > 0.0) {
+    const double s2 = std::log(1.0 + cv * cv);
+    cost = static_cast<sim::SimTime>(
+        static_cast<double>(cost) * rng_.lognormal(-s2 / 2.0, std::sqrt(s2)));
+  }
+  const std::uint64_t generation = generation_;
+  sim_->schedule_in(std::max<sim::SimTime>(cost, 1),
+                    [this, generation] { finish_batch(generation); });
+}
+
+void ReplicaServer::finish_batch(std::uint64_t generation) {
+  // A death between scheduling and firing already reported these requests
+  // as killed; the stale event must do nothing.
+  if (generation != generation_) return;
+  std::vector<Request> done;
+  done.swap(batch_);
+  for (const Request& req : done) {
+    execute(req);
+    ++served_;
+    if (completion_) completion_(req, ReplicaOutcome::kServed);
+  }
+  if (obs::enabled())
+    queue_gauge(id_)->set(static_cast<double>(queue_depth()));
+  maybe_start_batch();
+}
+
+void ReplicaServer::execute(const Request& req) {
+  if (req.op == OpKind::kPut) {
+    store_.put(req.key, req.value);
+  } else {
+    // The result value is not propagated (clients in this simulation care
+    // about latency, not payloads), but the lookup is real: bloom filters,
+    // sstable probes and their counters all move.
+    static_cast<void>(store_.get(req.key));
+  }
+}
+
+void ReplicaServer::set_down() {
+  if (!up_) return;
+  up_ = false;
+  ++generation_;  // invalidate any in-flight batch-finish event
+  std::vector<Request> victims;
+  victims.swap(batch_);
+  for (Request& req : queue_) victims.push_back(std::move(req));
+  queue_.clear();
+  killed_ += victims.size();
+  if (obs::enabled()) queue_gauge(id_)->set(0.0);
+  for (const Request& req : victims) {
+    if (completion_) completion_(req, ReplicaOutcome::kKilled);
+  }
+}
+
+void ReplicaServer::set_up() {
+  if (up_) return;
+  up_ = true;
+  maybe_start_batch();
+}
+
+}  // namespace rb::serve

@@ -1,0 +1,40 @@
+#pragma once
+// Request/response vocabulary of the serving plane.
+//
+// Every request ends in exactly one terminal state — completed, rejected
+// (typed Overloaded: shed by admission control, never retried), or failed
+// (all failover attempts exhausted). The SLO accountant's ledger invariant
+// `completed + rejected + failed == issued` rests on this being a real
+// partition, so the states live here, shared by replica, front door and
+// accountant.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/units.hpp"
+
+namespace rb::serve {
+
+enum class OpKind : std::uint8_t { kGet, kPut };
+
+/// Why admission control refused a request. Currently only full queues shed
+/// load, but rejections are typed so callers can branch without string
+/// matching (and future policies — e.g. per-tenant quotas — extend here).
+enum class Overloaded : std::uint8_t { kQueueFull };
+
+/// Terminal state of one request.
+enum class RequestOutcome : std::uint8_t { kCompleted, kRejected, kFailed };
+
+struct Request {
+  std::uint64_t id = 0;
+  OpKind op = OpKind::kGet;
+  std::string key;
+  std::string value;          // payload for puts; empty for gets
+  sim::SimTime issued = 0;    // arrival at the front door
+  int attempts = 0;           // failover attempts consumed so far
+};
+
+const char* to_string(RequestOutcome outcome) noexcept;
+const char* to_string(Overloaded reason) noexcept;
+
+}  // namespace rb::serve

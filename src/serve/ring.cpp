@@ -1,0 +1,126 @@
+#include "serve/ring.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rb::serve {
+
+namespace {
+
+/// FNV-1a with a murmur-style finalizer (same recipe as the LSM bloom
+/// hashes; local so serve does not depend on another module's internals).
+std::uint64_t hash_bytes(std::string_view data, std::uint64_t salt) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ salt;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// splitmix64 finalizer for vnode positions.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t vnode_position(ReplicaId node, std::size_t vnode) noexcept {
+  return mix((static_cast<std::uint64_t>(node) << 20) ^
+             static_cast<std::uint64_t>(vnode));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes_per_node) : vnodes_{vnodes_per_node} {
+  if (vnodes_ == 0)
+    throw std::invalid_argument{"HashRing: vnodes_per_node must be >= 1"};
+}
+
+void HashRing::add_node(ReplicaId id) {
+  if (contains(id))
+    throw std::invalid_argument{"HashRing: duplicate node " +
+                                std::to_string(id)};
+  nodes_.emplace(id, true);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    std::uint64_t pos = vnode_position(id, v);
+    // Linear-probe past the (astronomically rare) position collision so
+    // every vnode lands and lookups stay deterministic.
+    while (!ring_.emplace(pos, id).second) ++pos;
+  }
+}
+
+void HashRing::remove_node(ReplicaId id) {
+  if (!contains(id))
+    throw std::invalid_argument{"HashRing: unknown node " +
+                                std::to_string(id)};
+  nodes_.erase(id);
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == id ? ring_.erase(it) : std::next(it);
+  }
+}
+
+void HashRing::set_up(ReplicaId id, bool up) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end())
+    throw std::invalid_argument{"HashRing: unknown node " +
+                                std::to_string(id)};
+  it->second = up;
+}
+
+bool HashRing::up(ReplicaId id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end())
+    throw std::invalid_argument{"HashRing: unknown node " +
+                                std::to_string(id)};
+  return it->second;
+}
+
+bool HashRing::contains(ReplicaId id) const noexcept {
+  return nodes_.find(id) != nodes_.end();
+}
+
+std::uint64_t HashRing::key_position(std::string_view key) noexcept {
+  return hash_bytes(key, 0x5e7f1a9bd3c24e68ULL);
+}
+
+Placement HashRing::replicas(std::string_view key, std::size_t r) const {
+  if (ring_.empty()) throw std::logic_error{"HashRing: empty ring"};
+  Placement out;
+  const std::uint64_t pos = key_position(key);
+  auto it = ring_.lower_bound(pos);
+  if (it == ring_.end()) it = ring_.begin();
+  out.shard = it->first;
+  const std::size_t want = std::min(r, nodes_.size());
+  out.replicas.reserve(want);
+  // Walk clockwise collecting distinct owners; at most one full revolution.
+  for (std::size_t steps = 0;
+       out.replicas.size() < want && steps < ring_.size(); ++steps) {
+    const ReplicaId owner = it->second;
+    bool seen = false;
+    for (const ReplicaId r_id : out.replicas) seen = seen || r_id == owner;
+    if (!seen) out.replicas.push_back(owner);
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  return out;
+}
+
+ReplicaId HashRing::primary(std::string_view key) const {
+  return replicas(key, 1).replicas.front();
+}
+
+std::vector<ReplicaId> HashRing::live_replicas(std::string_view key,
+                                               std::size_t r) const {
+  std::vector<ReplicaId> live;
+  for (const ReplicaId id : replicas(key, r).replicas) {
+    if (nodes_.at(id)) live.push_back(id);
+  }
+  return live;
+}
+
+}  // namespace rb::serve

@@ -1,0 +1,73 @@
+#pragma once
+// Consistent-hash ring with virtual nodes — the shard map of the serving
+// plane. Keys hash onto a 64-bit ring; each replica node owns `vnodes`
+// pseudo-random positions, and the arc ending at a position belongs to that
+// position's node. A key's shard is the arc it lands on; its R owners are
+// the first R *distinct* nodes clockwise from there.
+//
+// Two kinds of node removal, deliberately separate:
+//  * remove_node() — membership change (decommission). Only the departed
+//    node's arcs move, so ~1/N of keys change primary (the consistent-hash
+//    guarantee; the property test pins it).
+//  * set_up(id, false) — temporary ejection while a host is down. Ownership
+//    is unchanged (the node still holds its data); lookups just skip it
+//    until set_up(id, true). This is what replica failover uses.
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace rb::serve {
+
+using ReplicaId = std::uint32_t;
+
+/// Where a key lives: the shard (ring arc, identified by the owning vnode's
+/// position) and the distinct owner nodes clockwise from it, primary first.
+struct Placement {
+  std::uint64_t shard = 0;
+  std::vector<ReplicaId> replicas;
+};
+
+class HashRing {
+ public:
+  /// `vnodes_per_node` positions are claimed per node (>= 1).
+  explicit HashRing(std::size_t vnodes_per_node = 64);
+
+  /// Membership changes (reshard ~1/N of the key space).
+  /// Throw std::invalid_argument on duplicate add / unknown remove.
+  void add_node(ReplicaId id);
+  void remove_node(ReplicaId id);
+
+  /// Temporary ejection: a down node keeps its arcs but is skipped by
+  /// live_replicas(). Throws std::invalid_argument on unknown id.
+  void set_up(ReplicaId id, bool up);
+  bool up(ReplicaId id) const;
+  bool contains(ReplicaId id) const noexcept;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t vnode_count() const noexcept { return ring_.size(); }
+  std::size_t vnodes_per_node() const noexcept { return vnodes_; }
+
+  /// The key's shard and its first min(r, node_count) distinct owners,
+  /// regardless of up/down state (ownership is a membership property).
+  /// Throws std::logic_error on an empty ring.
+  Placement replicas(std::string_view key, std::size_t r) const;
+
+  /// First owner (replicas(key, 1)); throws std::logic_error when empty.
+  ReplicaId primary(std::string_view key) const;
+
+  /// The subset of replicas(key, r) that is currently up, in owner order.
+  std::vector<ReplicaId> live_replicas(std::string_view key,
+                                       std::size_t r) const;
+
+  /// Position of a key on the ring (exposed for tests/diagnostics).
+  static std::uint64_t key_position(std::string_view key) noexcept;
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, ReplicaId> ring_;  // vnode position -> owner
+  std::map<ReplicaId, bool> nodes_;          // member -> up?
+};
+
+}  // namespace rb::serve

@@ -1,0 +1,126 @@
+#include "serve/slo.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rb::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter* issued;
+  obs::Counter* completed;
+  obs::Counter* rejected;
+  obs::Counter* failed;
+  obs::Counter* retries;
+  obs::LatencyHistogram* latency_ms;
+
+  static ServeMetrics& get() {
+    auto& r = obs::Registry::global();
+    static ServeMetrics m{
+        &r.counter("serve.requests_issued"),
+        &r.counter("serve.requests_completed"),
+        &r.counter("serve.requests_rejected"),
+        &r.counter("serve.requests_failed"),
+        &r.counter("serve.request_retries"),
+        &r.histogram("serve.request_latency_ms",
+                     obs::exponential_bounds(0.01, 2.0, 24))};
+    return m;
+  }
+};
+
+const char* op_name(OpKind op) noexcept {
+  return op == OpKind::kGet ? "get" : "put";
+}
+
+}  // namespace
+
+const char* to_string(RequestOutcome outcome) noexcept {
+  switch (outcome) {
+    case RequestOutcome::kCompleted: return "completed";
+    case RequestOutcome::kRejected: return "rejected";
+    case RequestOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(Overloaded reason) noexcept {
+  switch (reason) {
+    case Overloaded::kQueueFull: return "queue_full";
+  }
+  return "?";
+}
+
+SloAccountant::SloAccountant() = default;
+
+void SloAccountant::on_issued(const Request& req) {
+  ++issued_;
+  if (obs::enabled()) ServeMetrics::get().issued->add();
+  auto& tracer = obs::TraceRecorder::global();
+  if (tracer.enabled()) {
+    tracer.async_begin("serve.request", op_name(req.op), req.id, req.issued,
+                       {obs::trace_arg("key", req.key)});
+  }
+}
+
+void SloAccountant::on_completed(const Request& req, sim::SimTime now) {
+  ++completed_;
+  const double seconds = sim::to_seconds(now - req.issued);
+  latency_.add(seconds);
+  if (obs::enabled()) {
+    auto& m = ServeMetrics::get();
+    m.completed->add();
+    m.latency_ms->observe(seconds * 1e3);
+  }
+  auto& tracer = obs::TraceRecorder::global();
+  if (tracer.enabled()) {
+    tracer.async_end("serve.request", op_name(req.op), req.id, now,
+                     {obs::trace_arg("outcome", "completed"),
+                      obs::trace_arg("attempts",
+                                     static_cast<std::int64_t>(req.attempts))});
+  }
+}
+
+void SloAccountant::on_rejected(const Request& req, Overloaded reason,
+                                sim::SimTime now) {
+  ++rejected_;
+  if (obs::enabled()) ServeMetrics::get().rejected->add();
+  auto& tracer = obs::TraceRecorder::global();
+  if (tracer.enabled()) {
+    tracer.async_end("serve.request", op_name(req.op), req.id, now,
+                     {obs::trace_arg("outcome", "rejected"),
+                      obs::trace_arg("reason", to_string(reason))});
+  }
+}
+
+void SloAccountant::on_failed(const Request& req, sim::SimTime now) {
+  ++failed_;
+  if (obs::enabled()) ServeMetrics::get().failed->add();
+  auto& tracer = obs::TraceRecorder::global();
+  if (tracer.enabled()) {
+    tracer.async_end("serve.request", op_name(req.op), req.id, now,
+                     {obs::trace_arg("outcome", "failed"),
+                      obs::trace_arg("attempts",
+                                     static_cast<std::int64_t>(req.attempts))});
+  }
+}
+
+void SloAccountant::on_retry(const Request& req) {
+  static_cast<void>(req);
+  ++retries_;
+  if (obs::enabled()) ServeMetrics::get().retries->add();
+}
+
+double SloAccountant::availability() const noexcept {
+  return issued_ == 0
+             ? 0.0
+             : static_cast<double>(completed_) / static_cast<double>(issued_);
+}
+
+double SloAccountant::goodput_qps(sim::SimTime horizon) const noexcept {
+  return horizon <= 0
+             ? 0.0
+             : static_cast<double>(completed_) / sim::to_seconds(horizon);
+}
+
+}  // namespace rb::serve

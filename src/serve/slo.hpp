@@ -1,0 +1,64 @@
+#pragma once
+// SLO accountant: the serving plane's single source of truth for request
+// outcomes and latency.
+//
+// Every request is recorded exactly once as issued and exactly once as
+// completed, rejected, or failed — ledger_ok() checks that partition and is
+// asserted by the integration tests (including chaos runs). Latency of
+// completed requests feeds an exact percentile tracker (p50/p99/p999 are
+// headline numbers, so no bucket approximation), and when rb_obs is enabled
+// everything mirrors into the global registry (serve.* counters, a latency
+// histogram) and each request gets an async trace span on the
+// "serve.request" track.
+
+#include <cstdint>
+
+#include "serve/request.hpp"
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+namespace rb::serve {
+
+class SloAccountant {
+ public:
+  SloAccountant();
+
+  void on_issued(const Request& req);
+  void on_completed(const Request& req, sim::SimTime now);
+  void on_rejected(const Request& req, Overloaded reason, sim::SimTime now);
+  void on_failed(const Request& req, sim::SimTime now);
+  /// One failover retry scheduled (not a terminal state).
+  void on_retry(const Request& req);
+
+  std::uint64_t issued() const noexcept { return issued_; }
+  std::uint64_t completed() const noexcept { return completed_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+  std::uint64_t failed() const noexcept { return failed_; }
+  std::uint64_t retries() const noexcept { return retries_; }
+
+  /// completed + rejected + failed == issued — every request reached
+  /// exactly one terminal state.
+  bool ledger_ok() const noexcept {
+    return completed_ + rejected_ + failed_ == issued_;
+  }
+
+  /// Fraction of issued requests that completed (0 when none issued).
+  double availability() const noexcept;
+  /// Completed requests per second of simulated time (0 for horizon <= 0).
+  double goodput_qps(sim::SimTime horizon) const noexcept;
+
+  /// End-to-end latency (seconds) of completed requests.
+  const sim::PercentileTracker& latency_seconds() const noexcept {
+    return latency_;
+  }
+
+ private:
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
+  sim::PercentileTracker latency_;
+};
+
+}  // namespace rb::serve

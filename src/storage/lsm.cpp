@@ -15,12 +15,16 @@ struct StorageMetrics {
   obs::Counter* flushes;
   obs::Counter* compactions;
   obs::Counter* bytes_internal;
+  obs::Counter* bloom_hits;       // filter passed; the run was probed
+  obs::Counter* bloom_negatives;  // filter ruled the run out; probe skipped
 
   static StorageMetrics& get() {
     auto& r = obs::Registry::global();
     static StorageMetrics m{&r.counter("storage.flushes"),
                             &r.counter("storage.compactions"),
-                            &r.counter("storage.bytes_written_internal")};
+                            &r.counter("storage.bytes_written_internal"),
+                            &r.counter("storage.bloom_hits"),
+                            &r.counter("storage.bloom_negatives")};
     return m;
   }
 };
@@ -166,9 +170,11 @@ std::optional<std::string> LsmStore::get(std::string_view key) const {
     const auto hit = run.get(key);
     if (run.bloom_negatives > before) {
       ++stats_.bloom_skips;
+      if (obs::enabled()) StorageMetrics::get().bloom_negatives->add();
       return true;  // filter said no; keep searching older runs
     }
     ++stats_.sstable_probes;
+    if (obs::enabled()) StorageMetrics::get().bloom_hits->add();
     if (hit) {
       found = true;
       if (!hit->tombstone) result = hit->value;

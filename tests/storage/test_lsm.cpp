@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 
 namespace rb::storage {
@@ -151,6 +152,31 @@ TEST(Lsm, BloomFiltersSkipProbesOnMisses) {
     (void)store.get("absent" + std::to_string(i));
   }
   EXPECT_GT(store.stats().bloom_skips, store.stats().sstable_probes);
+}
+
+TEST(Lsm, BloomCountersExportThroughObs) {
+  auto& registry = obs::Registry::global();
+  registry.clear();
+  obs::set_enabled(true);
+  LsmStore store{tiny()};
+  for (int i = 0; i < 300; ++i) {
+    store.put("present" + std::to_string(i), "v");
+  }
+  store.flush();
+  const auto negatives_before =
+      registry.counter("storage.bloom_negatives").value();
+  for (int i = 0; i < 300; ++i) {
+    (void)store.get("absent" + std::to_string(i));
+  }
+  obs::set_enabled(false);
+  // Negative lookups are ruled out by the filters: the negative counter
+  // moves, and it mirrors the store's own skip statistic.
+  const auto negatives = registry.counter("storage.bloom_negatives").value();
+  EXPECT_GT(negatives, negatives_before);
+  EXPECT_EQ(negatives, store.stats().bloom_skips);
+  EXPECT_EQ(registry.counter("storage.bloom_hits").value(),
+            store.stats().sstable_probes);
+  registry.clear();
 }
 
 TEST(Lsm, MatchesStdMapUnderRandomWorkload) {
