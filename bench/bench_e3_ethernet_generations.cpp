@@ -7,6 +7,9 @@
 // rises; bare-metal procurement cuts capex ~2-3x vs integrated vendors.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "net/fabric.hpp"
@@ -14,10 +17,21 @@
 
 int main(int argc, char** argv) {
   using namespace rb;
+  // --hosts H scales hosts-per-leaf (default 8 → 32 hosts total), so the
+  // shuffle grows quadratically in flow count without changing the fabric.
+  int hosts_per_leaf = 8;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--hosts") == 0) {
+      hosts_per_leaf = std::atoi(argv[i + 1]);
+    }
+  }
+  if (hosts_per_leaf < 1) hosts_per_leaf = 8;
   bench::heading("E3", "Shuffle time and network cost across Ethernet generations");
   bench::Report report{"e3_ethernet_generations", argc, argv};
   report.config("bytes_per_pair", std::uint64_t{64 * sim::kMiB});
-  report.config("topology", "leaf_spine(4,6,8)");
+  report.config("topology",
+                "leaf_spine(4,6," + std::to_string(hosts_per_leaf) + ")");
+  report.config("hosts_per_leaf", std::uint64_t(hosts_per_leaf));
 
   constexpr sim::Bytes kBytesPerPair = 64 * sim::kMiB;
   std::printf("%-8s %12s %10s %14s %14s %14s\n", "gen", "shuffle(s)",
@@ -29,7 +43,7 @@ int main(int argc, char** argv) {
     net::FabricParams params;
     params.host_gen = gen;
     params.fabric_gen = gen;
-    const auto topo = net::make_leaf_spine(4, 6, 8, params);
+    const auto topo = net::make_leaf_spine(4, 6, hosts_per_leaf, params);
     const auto makespan = net::simulate_shuffle(topo, kBytesPerPair);
     const double per_gbps =
         net::port_cost(gen) / (net::rate_of(gen) / sim::kGbps);

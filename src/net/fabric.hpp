@@ -3,10 +3,23 @@
 //
 // Flows are fluid: each active flow receives a rate from a max-min fair
 // allocation across the directed capacities of the links on its ECMP path
-// (progressive filling / water-filling). The allocation is recomputed on
-// every flow arrival and departure, which is the standard abstraction for
+// (progressive filling / water-filling). The allocation is recomputed when
+// the active flow set changes, which is the standard abstraction for
 // studying DC job/network interactions at the scale the roadmap discusses
 // without simulating packets.
+//
+// Fast path (see DESIGN.md "Bandwidth allocator fast path"): flow state
+// lives in a flat slot arena recycled through a free list, per-directed-link
+// state is a dense vector indexed by directed-link index (link_id * 2 + dir),
+// and every directed link keeps the list of flows crossing it so the solver
+// freeze step only touches flows on bottleneck links. Arrivals, departures
+// and reroutes that land on the same simulation timestamp are coalesced into
+// a single reallocation via a zero-delay "realloc pending" event; synchronous
+// queries (current_rate) force the pending solve so callers never observe a
+// stale rate. RateAllocation::kMaxMinIncremental additionally re-solves only
+// the flow/link component(s) reachable from the links whose membership
+// changed, falling back to a full solve when the dirty component grows past
+// a fixed fraction of the active flows.
 //
 // Failures: when the topology's fault state changes (links/switches/hosts
 // going down or coming back), call handle_topology_change(). Every active
@@ -47,11 +60,31 @@ struct FlowRecord {
 
 using FlowCallback = std::function<void(const FlowRecord&)>;
 
-/// Bandwidth-sharing discipline (the DESIGN.md ablation): max-min fair via
-/// progressive filling, or the naive per-link equal split, which gives every
-/// flow min over its links of capacity/flows-on-link — feasible but leaves
-/// bandwidth stranded whenever flows are bottlenecked elsewhere.
-enum class RateAllocation : std::uint8_t { kMaxMinFair, kEqualSharePerLink };
+/// Bandwidth-sharing discipline (the DESIGN.md ablation):
+///  - kMaxMinFair: max-min via progressive filling, full solve per epoch.
+///  - kMaxMinIncremental: same allocation, but single-event changes re-solve
+///    only the affected flow/link component (exact within FP rounding of the
+///    full solve; falls back to a full solve on large dirty sets).
+///  - kEqualSharePerLink: naive per-link equal split — every flow gets
+///    min over its links of capacity/flows-on-link; feasible but leaves
+///    bandwidth stranded whenever flows are bottlenecked elsewhere.
+enum class RateAllocation : std::uint8_t {
+  kMaxMinFair,
+  kEqualSharePerLink,
+  kMaxMinIncremental,
+};
+
+/// Allocator performance counters (all monotone), exposed so benches can
+/// report reallocations/sec and solve-round telemetry.
+struct AllocatorStats {
+  std::uint64_t reallocations = 0;       ///< solver epochs actually run
+  std::uint64_t full_solves = 0;         ///< epochs solved over all flows
+  std::uint64_t incremental_solves = 0;  ///< epochs solved on a component
+  std::uint64_t incremental_fallbacks = 0;  ///< dirty set too large → full
+  std::uint64_t solve_rounds = 0;        ///< progressive-filling rounds total
+  std::uint64_t coalesced_events = 0;    ///< realloc requests merged into a
+                                         ///< pending same-timestamp epoch
+};
 
 class FlowSimulator {
  public:
@@ -62,6 +95,7 @@ class FlowSimulator {
 
   FlowSimulator(const FlowSimulator&) = delete;
   FlowSimulator& operator=(const FlowSimulator&) = delete;
+  ~FlowSimulator();
 
   /// Start a flow of `size` bytes now. `on_complete` (optional) fires at the
   /// flow's finish time (or failure time, with outcome kFailed). Zero-byte
@@ -81,7 +115,7 @@ class FlowSimulator {
   /// Topology::set_*_up mutations. No-op when nothing relevant changed.
   void handle_topology_change();
 
-  std::size_t active_flows() const noexcept { return flows_.size(); }
+  std::size_t active_flows() const noexcept { return active_count_; }
   std::uint64_t started_flows() const noexcept { return started_; }
   std::uint64_t completed_flows() const noexcept { return completed_; }
   std::uint64_t failed_flows() const noexcept { return failed_; }
@@ -91,13 +125,27 @@ class FlowSimulator {
   std::uint64_t rerouted_flows() const noexcept { return rerouted_; }
 
   /// Current max-min rate of an active flow (bits/s); throws if unknown.
+  /// Forces any pending coalesced reallocation so the rate is never stale.
   double current_rate(FlowId id) const;
+
+  /// Allocator telemetry (reallocations, rounds, coalescing counters).
+  const AllocatorStats& allocator_stats() const noexcept { return astats_; }
 
   /// Flow completion times (seconds) of all *completed* flows.
   const sim::PercentileTracker& fct_seconds() const noexcept { return fct_; }
 
  private:
-  struct Active {
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  /// One hop of a flow's directed path plus the flow's position in that
+  /// directed link's membership list (for O(1) swap-removal).
+  struct PathHop {
+    std::uint32_t dlink = 0;  ///< directed link index: link_id * 2 + dir
+    std::uint32_t pos = 0;    ///< index of this flow in DirLink::flows
+  };
+
+  /// Dense flow arena slot. `id == 0` marks a free slot (FlowIds start at 1).
+  struct FlowSlot {
     NodeId src = kInvalidNode;
     NodeId dst = kInvalidNode;
     sim::Bytes size = 0;
@@ -105,28 +153,94 @@ class FlowSimulator {
     double rate = 0.0;  // bits/s
     sim::SimTime start = 0;
     sim::SimTime latency = 0;  // total path propagation, added to completion
-    std::vector<std::uint64_t> dpath;  // directed link keys
+    FlowId id = 0;
+    std::uint32_t next_free = kNoSlot;  // free-list link while the slot is free
+    bool frozen = false;       // progressive-filling scratch (per-slot flag)
+    std::uint64_t visit = 0;   // dirty-component BFS stamp
+    std::vector<PathHop> path;
     FlowCallback on_complete;
   };
 
-  void build_path(FlowId id, Active& flow) const;  // throws NoRouteError
-  bool path_is_live(const Active& flow) const;
+  /// Entry in a directed link's flow-membership list; `hop` is the index of
+  /// this link inside the flow's path (so removals can back-patch the moved
+  /// entry's PathHop::pos).
+  struct LinkEntry {
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t hop = 0;
+  };
+
+  /// Per-directed-link state, indexed by directed link index. Scratch fields
+  /// are epoch-stamped so solves never pay an O(links) clear.
+  struct DirLink {
+    std::vector<LinkEntry> flows;  ///< active flows crossing this direction
+    double remaining_cap = 0.0;    ///< solver scratch
+    std::int32_t unfrozen = 0;     ///< solver scratch
+    std::uint64_t inited = 0;      ///< solve-epoch stamp for scratch validity
+    std::uint64_t visit = 0;       ///< dirty-component BFS stamp
+    std::uint64_t dirty = 0;       ///< dirty-set membership stamp
+  };
+
+  // --- arena plumbing ---
+  void ensure_dlinks();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void link_flow(std::uint32_t idx);
+  void unlink_flow(std::uint32_t idx);
+  void mark_path_dirty(const std::vector<PathHop>& path);
+
+  /// Resolve src→dst into directed-link hops; throws NoRouteError.
+  void build_path(FlowId id, NodeId src, NodeId dst,
+                  std::vector<PathHop>& path, sim::SimTime& latency) const;
+  bool path_is_live(const FlowSlot& flow) const;
   void advance_to_now();
-  void reallocate();
-  /// Per-directed-link utilization gauges (allocated/capacity), updated at
-  /// the end of every max-min reallocation when obs::enabled().
-  void update_link_gauges(
-      const std::unordered_map<std::uint64_t, double>& allocated);
+
+  // --- coalesced reallocation ---
+  /// Mark the allocation stale and arm a zero-delay solve event (at most one
+  /// per timestamp). Same-timestamp requests coalesce into that epoch.
+  void request_realloc();
+  /// Run the pending epoch now (advance, solve, reschedule completion).
+  void flush_realloc();
+  void solve();
+  bool try_solve_incremental();
+  void solve_subset(const std::vector<std::uint32_t>& subset);
+  void solve_equal_share();
+  /// Per-directed-link utilization gauges (allocated/capacity) for the links
+  /// touched by the last solve; only called when obs::enabled().
+  void update_link_gauges();
+
   void schedule_next_completion();
   void handle_completion_event();
-  void finish_flow(FlowId id, Active&& flow);
-  void fail_flow(FlowId id, Active&& flow);
+  void finish_flow(std::uint32_t idx);
+  void fail_flow(std::uint32_t idx);
 
   sim::Simulator* sim_;
   const Topology* topo_;
   const Router* router_;
   RateAllocation allocation_;
-  std::unordered_map<FlowId, Active> flows_;
+
+  std::vector<FlowSlot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint32_t active_count_ = 0;
+  std::vector<DirLink> dlinks_;
+  /// FlowId → slot; consulted only on the API boundary (cancel/current_rate),
+  /// never inside the solver loops.
+  std::unordered_map<FlowId, std::uint32_t> id_to_slot_;
+
+  // Dirty-set accumulator for kMaxMinIncremental (stamp-deduped).
+  std::vector<std::uint32_t> dirty_links_;
+  std::uint64_t dirty_epoch_ = 1;
+
+  bool realloc_pending_ = false;
+  sim::EventHandle realloc_event_;
+  std::uint64_t solve_epoch_ = 0;
+  std::uint64_t visit_epoch_ = 0;
+  // Reusable solver scratch (kept hot across epochs, never shrunk).
+  std::vector<std::uint32_t> active_links_;
+  std::vector<std::uint32_t> subset_slots_;
+  std::vector<std::uint32_t> bfs_stack_;
+  std::vector<std::uint32_t> gauge_links_;
+  std::vector<PathHop> path_scratch_;
+
   FlowId next_id_ = 1;
   sim::SimTime last_advance_ = 0;
   sim::EventHandle completion_event_;
@@ -135,16 +249,18 @@ class FlowSimulator {
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t rerouted_ = 0;
+  AllocatorStats astats_;
   sim::PercentileTracker fct_;
-  /// Cached obs gauges keyed by directed link key; populated lazily and only
-  /// while obs::enabled(), so unobserved runs never touch the registry.
-  std::unordered_map<std::uint64_t, obs::Gauge*> link_util_gauges_;
+  /// Cached obs gauges keyed by directed link index; populated lazily and
+  /// only while obs::enabled(), so unobserved runs never touch the registry.
+  std::unordered_map<std::uint32_t, obs::Gauge*> link_util_gauges_;
 };
 
 /// Run an all-to-all shuffle of `bytes_per_pair` between every ordered pair
 /// of distinct hosts; returns the makespan (time until the last flow
-/// finishes). Used to study Ethernet-generation scaling (experiment E3) and
-/// the rate-allocation ablation.
+/// finishes). All H×(H−1) flows start under a single coalesced reallocation
+/// epoch. Used to study Ethernet-generation scaling (experiment E3) and the
+/// rate-allocation ablation.
 sim::SimTime simulate_shuffle(
     const Topology& topo, sim::Bytes bytes_per_pair,
     RateAllocation allocation = RateAllocation::kMaxMinFair);

@@ -1,0 +1,484 @@
+// Allocator fast-path coverage: golden determinism of the arena rewrite,
+// differential testing of the progressive-filling solver against a
+// map-based reference implementation, incremental-vs-full equivalence
+// (including reroutes and cancels), and event-coalescing accounting.
+
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rb::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden determinism: these hashes were recorded from the pre-arena,
+// map-based solver (PR-5 seed state). Full-mode flow completion streams must
+// stay byte-identical across the rewrite — same ids, same integer SimTime
+// finishes, same outcomes, same delivered bytes.
+// ---------------------------------------------------------------------------
+
+struct GoldenHash {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  void record(const FlowRecord& r) {
+    mix(r.id);
+    mix(static_cast<std::uint64_t>(r.start));
+    mix(static_cast<std::uint64_t>(r.finish));
+    mix(r.bytes_delivered);
+    mix(static_cast<std::uint64_t>(r.outcome));
+  }
+};
+
+TEST(MaxMinGolden, StaggeredArrivalsByteIdentical) {
+  const auto topo = make_leaf_spine(2, 4, 4);
+  sim::Simulator sim;
+  const Router router{topo};
+  FlowSimulator fabric{sim, topo, router};
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  sim::Rng rng{7};
+  GoldenHash gh;
+  struct Req {
+    NodeId src, dst;
+    sim::Bytes size;
+  };
+  std::vector<Req> reqs;
+  for (int i = 0; i < 120; ++i) {
+    reqs.push_back({hosts[rng.uniform_index(hosts.size())],
+                    hosts[rng.uniform_index(hosts.size())],
+                    1'000'000 + rng.uniform_index(8'000'000)});
+  }
+  for (int i = 0; i < 120; ++i) {
+    const Req req = reqs[static_cast<std::size_t>(i)];
+    sim.schedule_at(i * 50 * sim::kMicrosecond, [&fabric, &gh, req] {
+      fabric.start_flow(req.src, req.dst, req.size,
+                        [&gh](const FlowRecord& r) { gh.record(r); });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(gh.h, 0x5449aca23371ea63ULL);
+}
+
+TEST(MaxMinGolden, BurstyFaultyCancellyByteIdentical) {
+  auto topo = make_fat_tree(4);
+  sim::Simulator sim;
+  const Router router{topo};
+  FlowSimulator fabric{sim, topo, router};
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  sim::Rng rng{11};
+  GoldenHash gh;
+  struct Req {
+    NodeId src, dst;
+    sim::Bytes size;
+  };
+  std::vector<std::vector<Req>> bursts;
+  std::vector<FlowId> ids;
+  for (int b = 0; b < 40; ++b) {
+    bursts.emplace_back();
+    for (int j = 0; j < 5; ++j) {
+      bursts.back().push_back({hosts[rng.uniform_index(hosts.size())],
+                               hosts[rng.uniform_index(hosts.size())],
+                               512'000 + rng.uniform_index(4'000'000)});
+    }
+  }
+  std::uint64_t unroutable = 0;
+  for (int b = 0; b < 40; ++b) {
+    sim.schedule_at(b * 100 * sim::kMicrosecond,
+                    [&fabric, &gh, &bursts, &ids, &unroutable, b] {
+                      for (const Req& req : bursts[static_cast<std::size_t>(b)]) {
+                        try {
+                          ids.push_back(fabric.start_flow(
+                              req.src, req.dst, req.size,
+                              [&gh](const FlowRecord& r) { gh.record(r); }));
+                        } catch (const NoRouteError&) {
+                          ++unroutable;
+                        }
+                      }
+                    });
+  }
+  const LinkId l1 = static_cast<LinkId>(topo.link_count() - 1);
+  const LinkId l2 = static_cast<LinkId>(topo.link_count() / 2);
+  sim.schedule_at(2 * sim::kMillisecond, [&] {
+    topo.set_link_up(l1, false);
+    fabric.handle_topology_change();
+  });
+  sim.schedule_at(4 * sim::kMillisecond, [&] {
+    topo.set_link_up(l2, false);
+    fabric.handle_topology_change();
+  });
+  sim.schedule_at(6 * sim::kMillisecond, [&] {
+    topo.set_link_up(l1, true);
+    topo.set_link_up(l2, true);
+    fabric.handle_topology_change();
+  });
+  sim.schedule_at(3 * sim::kMillisecond, [&] {
+    for (std::size_t i = 0; i < ids.size(); i += 7) fabric.cancel_flow(ids[i]);
+  });
+  sim.run();
+  GoldenHash tail;
+  tail.mix(gh.h);
+  tail.mix(fabric.completed_flows());
+  tail.mix(fabric.failed_flows());
+  tail.mix(fabric.cancelled_flows());
+  tail.mix(fabric.rerouted_flows());
+  tail.mix(unroutable);
+  EXPECT_EQ(tail.h, 0x2f1878601c5ee867ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle: a deliberately naive map-based progressive-filling
+// solver (the pre-rewrite algorithm, verbatim in structure) recomputed from
+// scratch after every operation. The arena solver must agree on every rate.
+// ---------------------------------------------------------------------------
+
+/// Directed-link path of a flow exactly as FlowSimulator builds it.
+std::vector<std::uint64_t> directed_path(const Topology& topo,
+                                         const Router& router, FlowId id,
+                                         NodeId src, NodeId dst) {
+  std::vector<std::uint64_t> dpath;
+  NodeId at = src;
+  for (const LinkId link_id : router.path(src, dst, mix64(id))) {
+    const Link& link = topo.link(link_id);
+    const std::uint64_t dir = (link.a == at) ? 0 : 1;
+    dpath.push_back((static_cast<std::uint64_t>(link_id) << 1) | dir);
+    at = (link.a == at) ? link.b : link.a;
+  }
+  return dpath;
+}
+
+std::map<FlowId, double> reference_maxmin(
+    const Topology& topo,
+    const std::map<FlowId, std::vector<std::uint64_t>>& paths) {
+  struct LinkState {
+    double remaining_cap;
+    int unfrozen = 0;
+  };
+  std::unordered_map<std::uint64_t, LinkState> links;
+  for (const auto& [id, dpath] : paths) {
+    for (const std::uint64_t key : dpath) {
+      auto [it, inserted] = links.try_emplace(
+          key, LinkState{topo.link(static_cast<LinkId>(key >> 1)).rate, 0});
+      ++it->second.unfrozen;
+    }
+  }
+  std::map<FlowId, double> rates;
+  std::map<FlowId, bool> frozen;
+  for (const auto& [id, dpath] : paths) frozen[id] = false;
+  std::size_t remaining = paths.size();
+  while (remaining > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (const auto& [key, state] : links) {
+      if (state.unfrozen == 0) continue;
+      const double share = state.remaining_cap / state.unfrozen;
+      if (share < best_share) {
+        best_share = share;
+        found = true;
+      }
+    }
+    if (!found) break;
+    for (const auto& [id, dpath] : paths) {
+      if (frozen[id]) continue;
+      bool bottlenecked = false;
+      for (const std::uint64_t key : dpath) {
+        const auto& state = links.at(key);
+        if (state.unfrozen > 0 &&
+            state.remaining_cap / state.unfrozen <= best_share * (1 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      rates[id] = best_share;
+      frozen[id] = true;
+      --remaining;
+      for (const std::uint64_t key : dpath) {
+        auto& state = links.at(key);
+        state.remaining_cap = std::max(0.0, state.remaining_cap - best_share);
+        --state.unfrozen;
+      }
+    }
+  }
+  return rates;
+}
+
+TEST(MaxMinReference, ArenaSolverMatchesMapSolver) {
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    const auto topo = make_fat_tree(4);
+    sim::Simulator sim;
+    const Router router{topo};
+    FlowSimulator fabric{sim, topo, router};
+    const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+    sim::Rng rng{seed};
+    std::map<FlowId, std::vector<std::uint64_t>> paths;
+    std::vector<FlowId> active;
+    for (int op = 0; op < 250; ++op) {
+      if (active.empty() || rng.uniform() < 0.65) {
+        NodeId src = hosts[rng.uniform_index(hosts.size())];
+        NodeId dst = hosts[rng.uniform_index(hosts.size())];
+        while (dst == src) dst = hosts[rng.uniform_index(hosts.size())];
+        const FlowId id =
+            fabric.start_flow(src, dst, 64 * sim::kMiB, {});
+        paths.emplace(id, directed_path(topo, router, id, src, dst));
+        active.push_back(id);
+      } else {
+        const std::size_t pick = rng.uniform_index(active.size());
+        const FlowId id = active[pick];
+        active[pick] = active.back();
+        active.pop_back();
+        ASSERT_TRUE(fabric.cancel_flow(id));
+        paths.erase(id);
+      }
+      const auto expected = reference_maxmin(topo, paths);
+      ASSERT_EQ(expected.size(), paths.size());
+      for (const auto& [id, rate] : expected) {
+        EXPECT_DOUBLE_EQ(fabric.current_rate(id), rate)
+            << "seed=" << seed << " op=" << op << " flow=" << id;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental mode: must match the full solve within 1e-9 relative error
+// across randomized arrival/departure/reroute sequences.
+// ---------------------------------------------------------------------------
+
+/// Drives two FlowSimulators (full + incremental) through the same operation
+/// script and asserts their rates agree after every step.
+TEST(MaxMinIncremental, MatchesFullAcrossChurnAndFaults) {
+  for (const std::uint64_t seed : {5u, 17u, 91u}) {
+    auto topo_full = make_fat_tree(4);
+    auto topo_inc = make_fat_tree(4);
+    sim::Simulator sim_full, sim_inc;
+    const Router router_full{topo_full}, router_inc{topo_inc};
+    FlowSimulator full{sim_full, topo_full, router_full,
+                       RateAllocation::kMaxMinFair};
+    FlowSimulator inc{sim_inc, topo_inc, router_inc,
+                      RateAllocation::kMaxMinIncremental};
+    const auto hosts = topo_full.nodes_of_kind(NodeKind::kHost);
+    const auto n_links = topo_full.link_count();
+    sim::Rng rng{seed};
+    std::vector<FlowId> active;  // ids are identical in both sims
+    std::vector<LinkId> downed;
+    for (int op = 0; op < 300; ++op) {
+      const double roll = rng.uniform();
+      if (active.empty() || roll < 0.55) {
+        NodeId src = hosts[rng.uniform_index(hosts.size())];
+        NodeId dst = hosts[rng.uniform_index(hosts.size())];
+        while (dst == src) dst = hosts[rng.uniform_index(hosts.size())];
+        const sim::Bytes size = 1 * sim::kMiB + rng.uniform_index(sim::kMiB);
+        FlowId fid = 0, iid = 0;
+        try {
+          fid = full.start_flow(src, dst, size, {});
+        } catch (const NoRouteError&) {
+          EXPECT_THROW(inc.start_flow(src, dst, size, {}), NoRouteError);
+          continue;
+        }
+        iid = inc.start_flow(src, dst, size, {});
+        ASSERT_EQ(fid, iid);
+        active.push_back(fid);
+      } else if (roll < 0.80) {
+        const std::size_t pick = rng.uniform_index(active.size());
+        const FlowId id = active[pick];
+        active[pick] = active.back();
+        active.pop_back();
+        ASSERT_EQ(full.cancel_flow(id), inc.cancel_flow(id));
+      } else if (roll < 0.92 || downed.empty()) {
+        // Take a random link down; reroute or fail affected flows.
+        const LinkId link = static_cast<LinkId>(rng.uniform_index(n_links));
+        if (!topo_full.link_up(link)) continue;
+        topo_full.set_link_up(link, false);
+        topo_inc.set_link_up(link, false);
+        downed.push_back(link);
+        full.handle_topology_change();
+        inc.handle_topology_change();
+      } else {
+        const std::size_t pick = rng.uniform_index(downed.size());
+        const LinkId link = downed[pick];
+        downed[pick] = downed.back();
+        downed.pop_back();
+        topo_full.set_link_up(link, true);
+        topo_inc.set_link_up(link, true);
+        full.handle_topology_change();
+        inc.handle_topology_change();
+      }
+      // Failures prune the same ids in both sims (path liveness is
+      // rate-independent); re-derive the surviving set from `full`.
+      ASSERT_EQ(full.active_flows(), inc.active_flows());
+      std::vector<FlowId> survivors;
+      for (const FlowId id : active) {
+        double r_full = -1.0;
+        try {
+          r_full = full.current_rate(id);
+        } catch (const std::invalid_argument&) {
+          EXPECT_THROW(inc.current_rate(id), std::invalid_argument);
+          continue;
+        }
+        survivors.push_back(id);
+        const double r_inc = inc.current_rate(id);
+        EXPECT_NEAR(r_inc, r_full, 1e-9 * r_full)
+            << "seed=" << seed << " op=" << op << " flow=" << id;
+      }
+      active = std::move(survivors);
+    }
+    // The incremental path must actually have been exercised.
+    EXPECT_GT(inc.allocator_stats().incremental_solves, 0u);
+  }
+}
+
+TEST(MaxMinIncremental, CompletionTimesMatchFullOverTime) {
+  std::map<FlowId, sim::SimTime> fct_full, fct_inc;
+  auto run = [](RateAllocation alloc, std::map<FlowId, sim::SimTime>& out) {
+    const auto topo = make_leaf_spine(2, 4, 4);
+    sim::Simulator sim;
+    const Router router{topo};
+    FlowSimulator fabric{sim, topo, router, alloc};
+    const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+    sim::Rng rng{23};
+    for (int i = 0; i < 150; ++i) {
+      NodeId src = hosts[rng.uniform_index(hosts.size())];
+      NodeId dst = hosts[rng.uniform_index(hosts.size())];
+      while (dst == src) dst = hosts[rng.uniform_index(hosts.size())];
+      const sim::Bytes size = 500'000 + rng.uniform_index(6'000'000);
+      sim.schedule_at(i * 40 * sim::kMicrosecond,
+                      [&fabric, &out, src, dst, size] {
+                        fabric.start_flow(src, dst, size,
+                                          [&out](const FlowRecord& r) {
+                                            out[r.id] = r.finish;
+                                          });
+                      });
+    }
+    sim.run();
+  };
+  run(RateAllocation::kMaxMinFair, fct_full);
+  run(RateAllocation::kMaxMinIncremental, fct_inc);
+  ASSERT_EQ(fct_full.size(), fct_inc.size());
+  for (const auto& [id, finish] : fct_full) {
+    ASSERT_TRUE(fct_inc.count(id));
+    const double tol =
+        std::max(2.0, 1e-9 * static_cast<double>(finish));  // picoseconds
+    EXPECT_NEAR(static_cast<double>(fct_inc[id]),
+                static_cast<double>(finish), tol)
+        << "flow " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reroute regression: current_rate immediately after a mid-flight reroute
+// must reflect the post-reroute allocation (not a stale or zero rate).
+// ---------------------------------------------------------------------------
+
+TEST(MaxMinReroute, CurrentRateReflectsPostRerouteContention) {
+  // 10G everywhere: two leaf0→leaf1 flows can ride distinct spines at
+  // 10 Gb/s each; killing one spine squeezes both onto one 10G spine link.
+  FabricParams params;
+  params.host_gen = EthernetGen::k10G;
+  params.fabric_gen = EthernetGen::k10G;
+  auto topo = make_leaf_spine(2, 2, 2, params);
+  sim::Simulator sim;
+  const Router router{topo};
+  FlowSimulator fabric{sim, topo, router};
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  const auto spines = topo.nodes_of_kind(NodeKind::kAggSwitch);
+  ASSERT_EQ(spines.size(), 2u);
+  // Two cross-leaf flows with distinct endpoints: depending on the ECMP
+  // hash they ride distinct spines (10+10 Gb/s) or share one (5+5).
+  const FlowId f0 = fabric.start_flow(hosts[0], hosts[2], 400'000'000);
+  const FlowId f1 = fabric.start_flow(hosts[1], hosts[3], 400'000'000);
+  sim.run_until(1 * sim::kMillisecond);
+  // Kill a spine so at least one flow migrates mid-flight; if neither path
+  // crossed it, kill the other spine instead.
+  topo.set_node_up(spines[0], false);
+  fabric.handle_topology_change();
+  if (fabric.rerouted_flows() == 0) {
+    topo.set_node_up(spines[0], true);
+    topo.set_node_up(spines[1], false);
+    fabric.handle_topology_change();
+  }
+  EXPECT_GE(fabric.rerouted_flows(), 1u);
+  // Post-reroute both flows share the surviving spine's 10G links: the rate
+  // visible immediately after the reroute must be the fresh 5 Gb/s split.
+  EXPECT_NEAR(fabric.current_rate(f0), 5e9, 1e7);
+  EXPECT_NEAR(fabric.current_rate(f1), 5e9, 1e7);
+  sim.run();
+  EXPECT_EQ(fabric.completed_flows(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Event coalescing: same-timestamp churn shares one reallocation epoch.
+// ---------------------------------------------------------------------------
+
+TEST(MaxMinCoalescing, BurstArrivalsShareOneEpoch) {
+  const auto topo = make_star(8);
+  sim::Simulator sim;
+  const Router router{topo};
+  FlowSimulator fabric{sim, topo, router};
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(fabric.start_flow(hosts[static_cast<std::size_t>(i) % 4],
+                                    hosts[4 + static_cast<std::size_t>(i) % 4],
+                                    8 * sim::kMiB));
+  }
+  // Nothing has been solved yet; the first synchronous query forces exactly
+  // one epoch covering all 20 arrivals.
+  EXPECT_GT(fabric.current_rate(ids[0]), 0.0);
+  EXPECT_EQ(fabric.allocator_stats().reallocations, 1u);
+  EXPECT_EQ(fabric.allocator_stats().coalesced_events, 19u);
+  sim.run();
+  EXPECT_EQ(fabric.completed_flows(), 20u);
+  // Completions at distinct timestamps each get their own epoch, but never
+  // more than one per event batch.
+  EXPECT_LE(fabric.allocator_stats().reallocations, 21u);
+}
+
+TEST(MaxMinCoalescing, ShuffleStartsUnderSingleEpoch) {
+  const auto topo = make_star(6);
+  sim::Simulator sim;
+  const Router router{topo};
+  FlowSimulator fabric{sim, topo, router};
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  int n = 0;
+  for (const NodeId src : hosts)
+    for (const NodeId dst : hosts)
+      if (src != dst) fabric.start_flow(src, dst, 1 * sim::kMiB), ++n;
+  sim.run();
+  EXPECT_EQ(fabric.completed_flows(), static_cast<std::uint64_t>(n));
+  // 30 arrivals coalesced into one epoch; 29 requests absorbed.
+  EXPECT_EQ(fabric.allocator_stats().coalesced_events,
+            static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(MaxMinIncremental, StatsExposeFallbacks) {
+  // A dense all-to-all on a star is one giant component: incremental mode
+  // must fall back to full solves rather than walk the whole closure.
+  const auto topo = make_star(10);
+  sim::Simulator sim;
+  const Router router{topo};
+  FlowSimulator fabric{sim, topo, router,
+                       RateAllocation::kMaxMinIncremental};
+  const auto hosts = topo.nodes_of_kind(NodeKind::kHost);
+  for (const NodeId src : hosts)
+    for (const NodeId dst : hosts)
+      if (src != dst) fabric.start_flow(src, dst, 4 * sim::kMiB);
+  sim.run();
+  const auto& st = fabric.allocator_stats();
+  EXPECT_EQ(fabric.completed_flows(), 90u);
+  EXPECT_EQ(st.full_solves + st.incremental_solves, st.reallocations);
+  EXPECT_GT(st.incremental_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace rb::net
