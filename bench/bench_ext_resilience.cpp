@@ -1,0 +1,443 @@
+// EXT-RESIL — the resilience control plane under correlated and gray
+// failure. The serving plane's admission control (EXT-SERVE) protects one
+// replica from overload; this bench measures the *cross-replica* failure
+// modes the RETHINK-big reliability agenda worries about at datacenter
+// scale, and the control-plane mechanisms that bound them:
+//
+//   Part 1 — correlated pod outage + retry storm. A fat-tree pod carrying
+//   half the replica fleet goes dark mid-run. Per-attempt timeouts turn the
+//   survivors' queueing delay into abandoned (zombie) attempts whose service
+//   is pure waste, and unbudgeted retries then amplify offered load into a
+//   metastable storm: goodput collapses below what the survivors could
+//   serve. A retry budget (token bucket, retries <= ratio x issued + burst)
+//   caps the amplification and keeps the fleet on the bounded-recovery path.
+//
+//   Part 2 — gray failure. One replica host is slowed 8x (it still answers;
+//   membership and health checks never notice). Hedged requests duplicate a
+//   straggling get to a different owner after the tracked p95 attempt
+//   latency, cutting p999 for <= ~5% extra issued attempts; latency-EWMA
+//   circuit breakers learn to route around the gray host entirely.
+//
+//   Part 3 — pure overload (2.5x capacity), as the control: admission
+//   control sheds, goodput holds at capacity, and the breakers stay closed
+//   (timeouts and rejections are *not* breaker evidence — a slow fleet is
+//   not a broken replica).
+//
+// All runs are seeded and bit-deterministic; `--quick` shrinks horizons and
+// asserts the headline claims (budget restores goodput; hedging cuts p999
+// at bounded extra load; overload trips no breakers) for CI. `--json`
+// (or RB_BENCH_JSON) emits machine-readable telemetry.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "faults/domains.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "node/device.hpp"
+#include "serve/frontdoor.hpp"
+#include "serve/resilience.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace rb;
+
+constexpr std::uint64_t kSeed = 0x4E51;
+constexpr std::size_t kReplicas = 8;
+
+serve::FrontDoorParams base_params(bool quick) {
+  serve::FrontDoorParams p;
+  p.replicas = kReplicas;
+  p.replication = 3;
+  p.key_universe = quick ? 2'000 : 10'000;
+  p.zipf_s = 0.99;
+  p.read_fraction = 0.95;
+  p.value_bytes = 256;
+  p.horizon = (quick ? 240 : 600) * sim::kMillisecond;
+  p.max_attempts = 4;
+  p.seed = kSeed;
+  p.replica.device = node::find_device(node::DeviceKind::kCpu);
+  p.replica.batch_overhead = 500 * sim::kMicrosecond;
+  p.replica.per_request = node::KernelProfile{2.0e5, 6.0e5, 1.0, 512.0};
+  p.replica.queue_limit = 64;
+  p.replica.batch_max = 8;
+  return p;
+}
+
+/// Feature toggles stacked onto the base deadline/timeout configuration.
+struct Toggles {
+  bool budget = false;
+  bool breaker = false;
+  bool hedge = false;
+};
+
+void apply(serve::FrontDoorParams& p, const Toggles& t) {
+  // Deadlines and attempt timeouts are always on in this bench: they are
+  // the substrate the toggled mechanisms act on (timeouts create the
+  // zombies budgets must bound; deadlines bound how stale served work can
+  // be). The attempt timeout sits above the healthy p99 (~2-3 ms) but below
+  // a deep queue's full wait — the regime where real retry storms live.
+  p.resilience.request_timeout = 60 * sim::kMillisecond;
+  p.resilience.attempt_timeout = 6 * sim::kMillisecond;
+  p.resilience.budget.enabled = t.budget;
+  p.resilience.budget.ratio = 0.1;
+  p.resilience.budget.burst = 50.0;
+  p.resilience.breaker.enabled = t.breaker;
+  p.resilience.breaker.failure_threshold = 5;
+  p.resilience.breaker.open_cooldown = 25 * sim::kMillisecond;
+  p.resilience.breaker.half_open_probes = 3;
+  p.resilience.breaker.latency_threshold_s = 0.010;
+  p.resilience.breaker.min_latency_samples = 20;
+  p.resilience.breaker.latency_alpha = 0.2;
+  p.resilience.hedge.enabled = t.hedge;
+  p.resilience.hedge.quantile = 95.0;
+  // Floor the hedge delay above the healthy p99 so steady-state traffic
+  // almost never hedges; only genuinely straggling attempts (gray queueing)
+  // cross it. This is what keeps hedge volume inside the 5% budget.
+  p.resilience.hedge.min_delay = 3 * sim::kMillisecond;
+  p.resilience.hedge.window = 512;
+  p.resilience.hedge.min_samples = 50;
+}
+
+struct RunResult {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
+  double goodput_qps = 0.0;
+  double availability = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  bool ledger_ok = false;
+  serve::ResilienceStats stats;
+};
+
+RunResult run(const serve::FrontDoorParams& params,
+              const faults::FaultPlan& plan) {
+  net::Topology topo = net::make_fat_tree(4);  // 16 hosts, 4 pods
+  sim::Simulator sim;
+  net::Router router{topo};
+  serve::FrontDoor door{sim, topo, router, params};
+  door.preload();
+
+  std::optional<faults::FaultInjector> injector;
+  if (!plan.empty()) {
+    injector.emplace(sim, topo, plan);
+    injector->on_event(
+        [&door](const faults::FaultEvent& ev) { door.handle_fault(ev); });
+    injector->arm();
+  }
+  door.start();
+  sim.run();
+
+  const serve::SloAccountant& slo = door.slo();
+  RunResult out;
+  out.issued = slo.issued();
+  out.completed = slo.completed();
+  out.rejected = slo.rejected();
+  out.failed = slo.failed();
+  out.retries = slo.retries();
+  out.goodput_qps = slo.goodput_qps(params.horizon);
+  out.availability = slo.availability();
+  out.ledger_ok = slo.ledger_ok();
+  if (!slo.latency_seconds().empty()) {
+    out.p50_ms = slo.latency_seconds().p50() * 1e3;
+    out.p99_ms = slo.latency_seconds().p99() * 1e3;
+    out.p999_ms = slo.latency_seconds().p999() * 1e3;
+  }
+  out.stats = door.resilience_stats();
+  return out;
+}
+
+/// The pod (non-core switch component + its hosts) holding the most replica
+/// hosts but not the gateway — the correlated blast radius of Part 1.
+faults::FailureDomain victim_pod(const net::Topology& topo,
+                                 const std::vector<net::NodeId>& replica_hosts,
+                                 net::NodeId gateway) {
+  const auto pods = faults::pod_domains(topo);
+  const faults::FailureDomain* best = nullptr;
+  std::size_t best_count = 0;
+  for (const auto& pod : pods) {
+    if (std::binary_search(pod.hosts.begin(), pod.hosts.end(), gateway))
+      continue;
+    std::size_t count = 0;
+    for (const net::NodeId host : replica_hosts) {
+      if (std::binary_search(pod.hosts.begin(), pod.hosts.end(), host))
+        ++count;
+    }
+    if (count > best_count) {
+      best_count = count;
+      best = &pod;
+    }
+  }
+  if (best == nullptr) {
+    std::fprintf(stderr, "no replica-bearing pod found\n");
+    std::exit(1);
+  }
+  return *best;
+}
+
+void fail_if(bool condition, const char* what) {
+  if (!condition) return;
+  std::fprintf(stderr, "ASSERTION FAILED: %s\n", what);
+  std::exit(1);
+}
+
+std::string toggle_name(const Toggles& t) {
+  if (t.budget && t.breaker && t.hedge) return "all";
+  std::string name;
+  if (t.budget) name += "+budget";
+  if (t.breaker) name += "+breaker";
+  if (t.hedge) name += "+hedge";
+  return name.empty() ? "none" : name;
+}
+
+void print_row(const char* label, const RunResult& r) {
+  std::printf(
+      "%-16s %9llu %9llu %7llu %7llu %7llu %8.0f %7.2f %8.2f %8.2f\n",
+      label, static_cast<unsigned long long>(r.issued),
+      static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.retries),
+      static_cast<unsigned long long>(r.rejected),
+      static_cast<unsigned long long>(r.failed), r.goodput_qps,
+      r.p50_ms, r.p99_ms, r.p999_ms);
+}
+
+void report_run(bench::Report& report, const std::string& prefix,
+                const RunResult& r) {
+  report.metric(prefix + ".goodput_qps", r.goodput_qps);
+  report.metric(prefix + ".availability", r.availability);
+  report.metric(prefix + ".retries", r.retries);
+  report.metric(prefix + ".failed", r.failed);
+  report.metric(prefix + ".rejected", r.rejected);
+  report.metric(prefix + ".p50_ms", r.p50_ms);
+  report.metric(prefix + ".p99_ms", r.p99_ms);
+  report.metric(prefix + ".p999_ms", r.p999_ms);
+  report.metric(prefix + ".ledger_ok", r.ledger_ok);
+  report.metric(prefix + ".retries_budgeted", r.stats.retries_budgeted);
+  report.metric(prefix + ".deadline_drops", r.stats.deadline_drops);
+  report.metric(prefix + ".attempt_timeouts", r.stats.attempt_timeouts);
+  report.metric(prefix + ".hedges_issued", r.stats.hedges_issued);
+  report.metric(prefix + ".hedges_won", r.stats.hedges_won);
+  report.metric(prefix + ".breaker_opens", r.stats.breaker_opens);
+  report.metric(prefix + ".wasted_responses", r.stats.wasted_responses);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  bench::heading("EXT-RESIL",
+                 "resilience control plane: pod outage, gray failure, "
+                 "overload");
+  bench::Report report{"ext_resilience", argc, argv};
+
+  const auto params = base_params(quick);
+  const double capacity = serve::estimated_capacity_qps(params, kReplicas);
+  report.config("seed", kSeed);
+  report.config("quick", quick);
+  report.config("replicas", std::uint64_t{kReplicas});
+  report.config("horizon_s", sim::to_seconds(params.horizon));
+  report.config("capacity_qps", capacity);
+
+  // Probe the topology once to size the blast radius.
+  const net::Topology probe = net::make_fat_tree(4);
+  sim::Simulator probe_sim;
+  net::Router probe_router{probe};
+  std::vector<net::NodeId> replica_hosts;
+  net::NodeId gateway = 0;
+  {
+    serve::FrontDoor probe_door{probe_sim, probe, probe_router, params};
+    replica_hosts = probe_door.replica_hosts();
+    gateway = probe_door.gateway();
+  }
+  const faults::FailureDomain pod = victim_pod(probe, replica_hosts, gateway);
+  std::size_t pod_replicas = 0;
+  for (const net::NodeId host : replica_hosts) {
+    if (std::binary_search(pod.hosts.begin(), pod.hosts.end(), host))
+      ++pod_replicas;
+  }
+  report.config("pod_replicas", static_cast<std::uint64_t>(pod_replicas));
+
+  // --- Part 1: correlated pod outage, retry budget on/off -----------------
+  // The pod takes half the fleet, and the survivors spend the first 30 ms of
+  // the failover browned out 3x (the rebalancing/compaction surge that rides
+  // along with real failovers). The brownout pins the survivors' queues past
+  // the attempt-timeout cliff, which is all the ignition a retry storm
+  // needs: once a saturated queue's wait exceeds the timeout, every admitted
+  // attempt is abandoned before service (zombie work), and its retry re-arms
+  // the overload — the fleet stays locked in the metastable state long after
+  // the brownout ends. The budget caps retries at ratio x issued, so the
+  // budgeted fleet sheds the same ignition spike as failures and drains.
+  const sim::SimTime out_at = params.horizon * 3 / 10;
+  const sim::SimTime out_for = params.horizon * 7 / 20;  // repaired at 65%
+  const sim::SimTime brownout = 30 * sim::kMillisecond;
+  faults::FaultPlan pod_plan;
+  faults::add_domain_outage(pod_plan, pod, out_at, out_for);
+  for (const net::NodeId host : replica_hosts) {
+    if (!std::binary_search(pod.hosts.begin(), pod.hosts.end(), host)) {
+      pod_plan.add_node_degrade(host, out_at, brownout, 3.0);
+    }
+  }
+
+  std::printf(
+      "-- pod outage: %s (%zu of %zu replicas) dark %.0f-%.0f ms, survivors "
+      "browned out 3x for %.0f ms, offered 0.3x capacity --\n\n",
+      pod.name.c_str(), pod_replicas, std::size_t{kReplicas},
+      sim::to_seconds(out_at) * 1e3, sim::to_seconds(out_at + out_for) * 1e3,
+      sim::to_seconds(brownout) * 1e3);
+  std::printf("%-16s %9s %9s %7s %7s %7s %8s %7s %8s %8s\n", "config",
+              "issued", "done", "retry", "shed", "fail", "goodput", "p50",
+              "p99", "p999");
+
+  double goodput_nobudget = 0.0, goodput_budget = 0.0;
+  std::uint64_t issued_budget = 0, retries_budget = 0;
+  const std::vector<Toggles> pod_rows =
+      quick ? std::vector<Toggles>{{false, false, false}, {true, false, false}}
+            : std::vector<Toggles>{{false, false, false},
+                                   {true, false, false},
+                                   {true, true, false},
+                                   {true, true, true}};
+  for (const Toggles& t : pod_rows) {
+    auto p = params;
+    p.offered_qps = 0.30 * capacity;
+    // Deep enough that a pinned queue's wait (~9 ms) exceeds the 6 ms
+    // attempt timeout — without that, admitted work always completes in
+    // time and the storm regime is unreachable.
+    p.replica.queue_limit = 128;
+    apply(p, t);
+    const RunResult r = run(p, pod_plan);
+    print_row(toggle_name(t).c_str(), r);
+    report_run(report, std::string{"pod."} + toggle_name(t), r);
+    fail_if(!r.ledger_ok, "pod outage: SLO ledger must balance");
+    if (!t.budget && !t.breaker && !t.hedge) goodput_nobudget = r.goodput_qps;
+    if (t.budget && !t.breaker && !t.hedge) {
+      goodput_budget = r.goodput_qps;
+      issued_budget = r.issued;
+      retries_budget = r.retries;
+    }
+  }
+  report.metric("pod.goodput_recovery_ratio",
+                goodput_nobudget > 0.0 ? goodput_budget / goodput_nobudget
+                                       : 0.0);
+  bench::note("without a budget, attempt timeouts + retries amplify the");
+  bench::note("survivors' load into zombie work (served-but-abandoned);");
+  bench::note("the budget caps retry amplification and goodput recovers.");
+
+  // The headline claims, asserted on the deterministic golden seed.
+  fail_if(goodput_budget <= goodput_nobudget,
+          "retry budget must improve pod-outage goodput");
+  const double retry_ceiling =
+      0.1 * static_cast<double>(issued_budget) + 50.0 + 1.0;
+  fail_if(static_cast<double>(retries_budget) > retry_ceiling,
+          "budgeted retries must respect ratio x issued + burst");
+
+  // --- Part 2: gray failure (one replica 8x slower), hedge/breaker --------
+  faults::FaultPlan gray_plan;
+  const sim::SimTime gray_at = params.horizon / 4;
+  const sim::SimTime gray_for = params.horizon / 4;
+  gray_plan.add_node_degrade(replica_hosts[1], gray_at, gray_for, 8.0);
+
+  std::printf(
+      "\n-- gray failure: replica host %u slowed 8x for %.0f-%.0f ms, "
+      "offered 0.5x capacity --\n\n",
+      replica_hosts[1], sim::to_seconds(gray_at) * 1e3,
+      sim::to_seconds(gray_at + gray_for) * 1e3);
+  std::printf("%-16s %9s %9s %7s %7s %7s %8s %7s %8s %8s\n", "config",
+              "issued", "done", "retry", "shed", "fail", "goodput", "p50",
+              "p99", "p999");
+
+  double p999_plain = 0.0, p999_hedge = 0.0;
+  std::uint64_t hedge_issued_count = 0, hedge_won_count = 0;
+  std::uint64_t hedge_total_attempts = 0;
+  const std::vector<Toggles> gray_rows =
+      quick ? std::vector<Toggles>{{false, false, false}, {false, false, true}}
+            : std::vector<Toggles>{{false, false, false},
+                                   {false, false, true},
+                                   {false, true, false},
+                                   {false, true, true}};
+  for (const Toggles& t : gray_rows) {
+    auto p = params;
+    p.offered_qps = 0.5 * capacity;
+    apply(p, t);
+    // The 6 ms attempt timeout censors the slowest evidence, so the breaker
+    // only ever observes gray successes in the 4-6 ms band. Tune its trip
+    // threshold between the healthy EWMA (~2 ms) and that band — the
+    // per-service tuning any latency-based breaker needs in production.
+    p.resilience.breaker.latency_threshold_s = 0.0035;
+    const RunResult r = run(p, gray_plan);
+    print_row(toggle_name(t).c_str(), r);
+    report_run(report, std::string{"gray."} + toggle_name(t), r);
+    fail_if(!r.ledger_ok, "gray failure: SLO ledger must balance");
+    if (!t.hedge && !t.breaker) p999_plain = r.p999_ms;
+    if (t.hedge && !t.breaker) {
+      p999_hedge = r.p999_ms;
+      hedge_issued_count = r.stats.hedges_issued;
+      hedge_won_count = r.stats.hedges_won;
+      hedge_total_attempts = r.issued + r.retries;
+    }
+  }
+  const double hedge_fraction =
+      hedge_total_attempts > 0
+          ? static_cast<double>(hedge_issued_count) /
+                static_cast<double>(hedge_total_attempts)
+          : 0.0;
+  std::printf("\nhedges issued %llu, won %llu (%.2f%% extra issued load)\n",
+              static_cast<unsigned long long>(hedge_issued_count),
+              static_cast<unsigned long long>(hedge_won_count),
+              100.0 * hedge_fraction);
+  report.metric("gray.p999_cut_ratio",
+                p999_plain > 0.0 ? p999_hedge / p999_plain : 0.0);
+  report.metric("gray.hedge_fraction", hedge_fraction);
+  bench::note("health checks pass on the gray host, so only latency-aware");
+  bench::note("machinery helps: hedging races a second owner after the");
+  bench::note("tracked p95, cutting p999 for <= ~5% extra issued load.");
+
+  fail_if(p999_hedge >= p999_plain,
+          "hedging must cut p999 under gray failure");
+  fail_if(hedge_fraction > 0.05,
+          "hedge volume must stay within 5% extra issued load");
+
+  // --- Part 3: pure overload control --------------------------------------
+  std::printf("\n-- pure overload: offered 2.5x capacity, no faults, full "
+              "control plane --\n\n");
+  std::printf("%-16s %9s %9s %7s %7s %7s %8s %7s %8s %8s\n", "config",
+              "issued", "done", "retry", "shed", "fail", "goodput", "p50",
+              "p99", "p999");
+  {
+    auto p = params;
+    p.offered_qps = 2.5 * capacity;
+    apply(p, Toggles{true, true, true});
+    const RunResult r = run(p, faults::FaultPlan{});
+    print_row("all", r);
+    report_run(report, "overload.all", r);
+    fail_if(!r.ledger_ok, "overload: SLO ledger must balance");
+    // Overload is not failure: rejections and timeouts must not open
+    // breakers (only kills/unreachability do), and shedding must keep
+    // goodput at a healthy fraction of capacity.
+    fail_if(r.stats.breaker_opens != 0,
+            "pure overload must not trip circuit breakers");
+    fail_if(r.goodput_qps < 0.7 * capacity,
+            "overload goodput must stay near capacity (shed, not collapse)");
+  }
+  bench::note("admission control sheds the excess; breakers stay closed");
+  bench::note("because overload is fleet-wide slowness, not replica death.");
+
+  report.write();
+  return 0;
+}

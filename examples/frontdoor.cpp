@@ -6,6 +6,15 @@
 // overload with typed rejections, and when a replica host dies the ring
 // ejects it and in-flight requests fail over to surviving owners.
 //
+// The resilience control plane is exposed on the command line:
+//   --timeout <ms>          end-to-end request deadline (default 80)
+//   --attempt-timeout <ms>  per-attempt timeout (default 20)
+//   --budget <ratio>        retry budget, retries <= ratio x issued (off
+//                           when omitted; burst 50)
+//   --breaker               per-replica circuit breakers (failure counts +
+//                           latency EWMA, closed/open/half-open)
+//   --hedge                 hedge straggling gets after the tracked p95
+//
 // Pass `--trace <path>` (or set RB_TRACE=<path>) to record every request
 // as an async span — plus the fault outages — as Chrome trace_event JSON,
 // loadable in chrome://tracing or https://ui.perfetto.dev.
@@ -22,15 +31,32 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/frontdoor.hpp"
+#include "serve/resilience.hpp"
 #include "sim/simulator.hpp"
 
 int main(int argc, char** argv) {
   using namespace rb;
 
   std::string trace_path;
+  double timeout_ms = 80.0;
+  double attempt_timeout_ms = 20.0;
+  double budget_ratio = 0.0;
+  bool breaker = false;
+  bool hedge = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view{argv[i]} == "--trace" && i + 1 < argc) {
-      trace_path = argv[i + 1];
+    const std::string_view arg{argv[i]};
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      timeout_ms = std::atof(argv[++i]);
+    } else if (arg == "--attempt-timeout" && i + 1 < argc) {
+      attempt_timeout_ms = std::atof(argv[++i]);
+    } else if (arg == "--budget" && i + 1 < argc) {
+      budget_ratio = std::atof(argv[++i]);
+    } else if (arg == "--breaker") {
+      breaker = true;
+    } else if (arg == "--hedge") {
+      hedge = true;
     }
   }
   if (trace_path.empty()) {
@@ -64,12 +90,33 @@ int main(int argc, char** argv) {
   const double capacity = serve::estimated_capacity_qps(params, 8);
   params.offered_qps = 0.8 * capacity;  // peaks push past the knee
 
+  // Resilience control plane, from the command line.
+  params.resilience.request_timeout =
+      static_cast<sim::SimTime>(timeout_ms * static_cast<double>(sim::kMillisecond));
+  params.resilience.attempt_timeout = static_cast<sim::SimTime>(
+      attempt_timeout_ms * static_cast<double>(sim::kMillisecond));
+  params.resilience.budget.enabled = budget_ratio > 0.0;
+  params.resilience.budget.ratio = budget_ratio;
+  params.resilience.budget.burst = 50.0;
+  params.resilience.breaker.enabled = breaker;
+  params.resilience.breaker.failure_threshold = 5;
+  params.resilience.breaker.open_cooldown = 50 * sim::kMillisecond;
+  params.resilience.breaker.half_open_probes = 3;
+  params.resilience.hedge.enabled = hedge;
+  params.resilience.hedge.quantile = 95.0;
+  params.resilience.hedge.min_delay = 2 * sim::kMillisecond;
+
   serve::FrontDoor door{sim, topo, router, params};
   door.preload();
   std::printf("front door up: 8 replicas (R=3, 64 vnodes each), capacity "
               "~%.0f req/s,\n  offered %.0f req/s with a +-60%% diurnal "
-              "swing, 10k keys preloaded\n\n",
+              "swing, 10k keys preloaded\n",
               capacity, params.offered_qps);
+  std::printf("  resilience: deadline %.0f ms, attempt timeout %.0f ms, "
+              "budget %s, breakers %s, hedging %s\n\n",
+              timeout_ms, attempt_timeout_ms,
+              budget_ratio > 0.0 ? "on" : "off", breaker ? "on" : "off",
+              hedge ? "on" : "off");
 
   // Replica hosts flap on a seeded renewal schedule; the gateway and the
   // fabric stay healthy so every loss is a serving-plane event.
@@ -112,6 +159,18 @@ int main(int argc, char** argv) {
   }
   std::printf("  ledger    completed + rejected + failed == issued: %s\n",
               slo.ledger_ok() ? "OK" : "VIOLATED");
+
+  const serve::ResilienceStats rs = door.resilience_stats();
+  std::printf("  control   %llu deadline drops (%llu in-queue), %llu attempt "
+              "timeouts,\n            %llu retries denied by budget, %llu "
+              "breaker opens,\n            %llu hedges issued / %llu won\n",
+              static_cast<unsigned long long>(rs.deadline_drops),
+              static_cast<unsigned long long>(rs.deadline_queue_drops),
+              static_cast<unsigned long long>(rs.attempt_timeouts),
+              static_cast<unsigned long long>(rs.retries_budgeted),
+              static_cast<unsigned long long>(rs.breaker_opens),
+              static_cast<unsigned long long>(rs.hedges_issued),
+              static_cast<unsigned long long>(rs.hedges_won));
 
   if (!trace_path.empty()) {
     obs::TraceRecorder::global().write_chrome_json(trace_path);

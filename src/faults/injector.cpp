@@ -1,6 +1,7 @@
 #include "faults/injector.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/log.hpp"
@@ -38,10 +39,11 @@ const char* target_name(FaultTarget t) {
   return "?";
 }
 
-/// Async-span id for one component's outage: target kind in the top bits so
-/// link 3 and node 3 never collide.
+/// Async-span id for one component's outage: target kind and fault mode in
+/// the top bits so link 3, node 3, and a gray node 3 never collide.
 std::uint64_t outage_span_id(const FaultEvent& e) {
-  return (static_cast<std::uint64_t>(e.target) << 56) | e.id;
+  return (static_cast<std::uint64_t>(e.mode) << 60) |
+         (static_cast<std::uint64_t>(e.target) << 56) | e.id;
 }
 
 }  // namespace
@@ -53,25 +55,33 @@ FaultInjector::FaultInjector(sim::Simulator& sim, net::Topology& topo,
 void FaultInjector::arm() {
   if (armed_) return;
   armed_ = true;
+  // A network injector owns no machines, so validate() with machines = 0
+  // also rejects kMachine events (those belong to sched::run_jobs).
+  plan_.validate(*topo_);
   for (const FaultEvent& event : plan_.events()) {
-    if (event.target == FaultTarget::kMachine)
-      throw std::invalid_argument{
-          "FaultInjector: kMachine events belong to sched::run_jobs, not the "
-          "network injector"};
     sim_->schedule_at(event.at, [this, event] { apply(event); });
   }
 }
 
 void FaultInjector::apply(const FaultEvent& event) {
+  const bool gray = event.mode == FaultMode::kDegrade;
   switch (event.target) {
     case FaultTarget::kLink:
-      topo_->set_link_up(event.id, event.up);
+      if (gray) {
+        topo_->set_link_slowdown(event.id, event.up ? 1.0 : event.factor);
+      } else {
+        topo_->set_link_up(event.id, event.up);
+      }
       break;
     case FaultTarget::kNode:
-      topo_->set_node_up(event.id, event.up);
+      if (gray) {
+        topo_->set_node_slowdown(event.id, event.up ? 1.0 : event.factor);
+      } else {
+        topo_->set_node_up(event.id, event.up);
+      }
       break;
     case FaultTarget::kMachine:
-      break;  // unreachable: rejected in arm()
+      break;  // unreachable: rejected by validate() in arm()
   }
   ++applied_;
   (event.up ? repairs_ : failures_)++;
@@ -92,9 +102,17 @@ void FaultInjector::apply(const FaultEvent& event) {
                      args);
     }
   }
-  faults_log().info() << target_name(event.target) << ' ' << event.id << ' '
-                      << (event.up ? "repaired" : "FAILED") << " at t="
-                      << sim::to_seconds(event.at) << " s";
+  if (event.mode == FaultMode::kDegrade) {
+    faults_log().info() << target_name(event.target) << ' ' << event.id << ' '
+                        << (event.up ? "recovered"
+                                     : "DEGRADED x" +
+                                           std::to_string(event.factor))
+                        << " at t=" << sim::to_seconds(event.at) << " s";
+  } else {
+    faults_log().info() << target_name(event.target) << ' ' << event.id << ' '
+                        << (event.up ? "repaired" : "FAILED") << " at t="
+                        << sim::to_seconds(event.at) << " s";
+  }
   if (fabric_ != nullptr) fabric_->handle_topology_change();
   if (observer_) observer_(event);
 }

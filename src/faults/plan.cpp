@@ -1,7 +1,9 @@
 #include "faults/plan.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <string>
 
 #include "sim/random.hpp"
 
@@ -33,6 +35,30 @@ void FaultPlan::add_machine_outage(std::uint32_t machine, sim::SimTime at,
     add(FaultEvent{at + outage, FaultTarget::kMachine, machine, true});
 }
 
+void FaultPlan::add_link_degrade(net::LinkId link, sim::SimTime at,
+                                 sim::SimTime duration, double factor) {
+  if (factor < 1.0)
+    throw std::invalid_argument{"FaultPlan::add_link_degrade: factor < 1"};
+  add(FaultEvent{at, FaultTarget::kLink, link, false, FaultMode::kDegrade,
+                 factor});
+  if (duration >= 0) {
+    add(FaultEvent{at + duration, FaultTarget::kLink, link, true,
+                   FaultMode::kDegrade, 1.0});
+  }
+}
+
+void FaultPlan::add_node_degrade(net::NodeId node, sim::SimTime at,
+                                 sim::SimTime duration, double factor) {
+  if (factor < 1.0)
+    throw std::invalid_argument{"FaultPlan::add_node_degrade: factor < 1"};
+  add(FaultEvent{at, FaultTarget::kNode, node, false, FaultMode::kDegrade,
+                 factor});
+  if (duration >= 0) {
+    add(FaultEvent{at + duration, FaultTarget::kNode, node, true,
+                   FaultMode::kDegrade, 1.0});
+  }
+}
+
 const std::vector<FaultEvent>& FaultPlan::events() const {
   if (!sorted_) {
     std::stable_sort(
@@ -49,6 +75,73 @@ std::size_t FaultPlan::failures(FaultTarget target) const noexcept {
     if (e.target == target && !e.up) ++n;
   }
   return n;
+}
+
+namespace {
+
+const char* target_word(FaultTarget t) noexcept {
+  switch (t) {
+    case FaultTarget::kLink: return "link";
+    case FaultTarget::kNode: return "node";
+    case FaultTarget::kMachine: return "machine";
+  }
+  return "?";
+}
+
+std::string describe(const FaultEvent& e) {
+  return std::string{target_word(e.target)} + " " + std::to_string(e.id) +
+         " at t=" + std::to_string(e.at) + " ps";
+}
+
+}  // namespace
+
+void FaultPlan::validate(const net::Topology& topo,
+                         std::size_t machines) const {
+  // One state machine per (target, id) and per fault dimension. Outages and
+  // degrades are independent: a degraded component may still die, and a
+  // repair only closes the matching dimension.
+  std::map<std::pair<FaultTarget, std::uint32_t>, bool> downed;
+  std::map<std::pair<FaultTarget, std::uint32_t>, bool> degraded;
+  for (const FaultEvent& e : events()) {  // sorted; insertion order on ties
+    switch (e.target) {
+      case FaultTarget::kLink:
+        if (e.id >= topo.link_count())
+          throw PlanValidationError{"FaultPlan: unknown " + describe(e)};
+        break;
+      case FaultTarget::kNode:
+        if (e.id >= topo.node_count())
+          throw PlanValidationError{"FaultPlan: unknown " + describe(e)};
+        break;
+      case FaultTarget::kMachine:
+        if (e.id >= machines)
+          throw PlanValidationError{"FaultPlan: unknown " + describe(e)};
+        break;
+    }
+    const std::pair<FaultTarget, std::uint32_t> key{e.target, e.id};
+    if (e.mode == FaultMode::kDegrade) {
+      if (!e.up && e.factor < 1.0)
+        throw PlanValidationError{"FaultPlan: degrade factor < 1 on " +
+                                  describe(e)};
+      bool& active = degraded[key];
+      if (!e.up && active)
+        throw PlanValidationError{
+            "FaultPlan: overlapping degrade events on " + describe(e)};
+      if (e.up && !active)
+        throw PlanValidationError{
+            "FaultPlan: degrade recovery without active degrade on " +
+            describe(e)};
+      active = !e.up;
+    } else {
+      bool& down = downed[key];
+      if (!e.up && down)
+        throw PlanValidationError{"FaultPlan: overlapping outage events on " +
+                                  describe(e)};
+      if (e.up && !down)
+        throw PlanValidationError{"FaultPlan: repair without outage on " +
+                                  describe(e)};
+      down = !e.up;
+    }
+  }
 }
 
 namespace {

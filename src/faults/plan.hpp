@@ -10,6 +10,7 @@
 // it against live simulations.
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -24,11 +25,28 @@ enum class FaultTarget : std::uint8_t {
   kMachine,  // machine index in a sched::Cluster
 };
 
+/// How the fault manifests. An outage is the classic binary up/down; a
+/// degrade is a *gray failure* — the component keeps answering, just slower
+/// by `factor` (a flaky optic, a host with a thermal-throttled CPU). Gray
+/// failures are what circuit breakers with latency tripping exist for:
+/// health checks pass while the tail burns.
+enum class FaultMode : std::uint8_t { kOutage, kDegrade };
+
 struct FaultEvent {
   sim::SimTime at = 0;
   FaultTarget target = FaultTarget::kLink;
   std::uint32_t id = 0;
-  bool up = false;  // false = component dies, true = component repaired
+  bool up = false;  // false = fault begins, true = component recovers
+  FaultMode mode = FaultMode::kOutage;
+  double factor = 1.0;  // slowdown while a kDegrade fault is active (>= 1)
+};
+
+/// Typed rejection for logically inconsistent plans (FaultPlan::validate):
+/// unknown component ids, overlapping outages/degrades on one component,
+/// repairs without a preceding failure, or degrade factors < 1.
+class PlanValidationError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
 };
 
 /// MTBF/MTTR parameters (seconds of simulated time) for random plan
@@ -54,6 +72,13 @@ class FaultPlan {
   void add_machine_outage(std::uint32_t machine, sim::SimTime at,
                           sim::SimTime outage);
 
+  /// Gray failure: slowed by `factor` at `at`, healthy again at
+  /// `at + duration` (never recovers if duration < 0). Requires factor >= 1.
+  void add_link_degrade(net::LinkId link, sim::SimTime at,
+                        sim::SimTime duration, double factor);
+  void add_node_degrade(net::NodeId node, sim::SimTime at,
+                        sim::SimTime duration, double factor);
+
   bool empty() const noexcept { return events_.size() == 0; }
   std::size_t size() const noexcept { return events_.size(); }
 
@@ -62,6 +87,17 @@ class FaultPlan {
 
   /// Number of down-transitions per target kind (for reporting).
   std::size_t failures(FaultTarget target) const noexcept;
+
+  /// Check the schedule is executable against `topo`: every kLink/kNode id
+  /// resolves, kMachine ids are < `machines` (pass the cluster size; with
+  /// the default 0 any machine event is rejected), no component fails while
+  /// already failed or recovers while healthy (outages and degrades are
+  /// tracked as independent dimensions — a degraded node may still die),
+  /// and every degrade carries a factor >= 1. Throws PlanValidationError
+  /// with a diagnostic naming the first offending event; silently
+  /// misbehaving schedules (double-kills that "repair" early, typos in
+  /// component ids) become loud instead. FaultInjector::arm() calls this.
+  void validate(const net::Topology& topo, std::size_t machines = 0) const;
 
  private:
   mutable std::vector<FaultEvent> events_;

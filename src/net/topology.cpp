@@ -58,6 +58,7 @@ NodeId Topology::add_node(NodeKind kind, std::string name) {
   nodes_.push_back(NodeInfo{kind, std::move(name)});
   adj_.emplace_back();
   if (!node_up_.empty()) node_up_.push_back(true);
+  if (!node_slow_.empty()) node_slow_.push_back(1.0);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -69,6 +70,7 @@ LinkId Topology::add_link(NodeId a, NodeId b, sim::BitsPerSecond rate,
   if (rate <= 0.0) throw std::invalid_argument{"Topology::add_link: rate <= 0"};
   links_.push_back(Link{a, b, rate, latency});
   if (!link_up_.empty()) link_up_.push_back(true);
+  if (!link_slow_.empty()) link_slow_.push_back(1.0);
   const auto id = static_cast<LinkId>(links_.size() - 1);
   adj_[a].emplace_back(b, id);
   adj_[b].emplace_back(a, id);
@@ -99,6 +101,40 @@ void Topology::set_link_up(LinkId id, bool up) {
   if (link_up_[id] == up) return;
   link_up_[id] = up;
   ++epoch_;
+}
+
+void Topology::set_node_slowdown(NodeId id, double factor) {
+  if (id >= nodes_.size())
+    throw std::invalid_argument{"Topology::set_node_slowdown: unknown node"};
+  if (factor < 1.0)
+    throw std::invalid_argument{"Topology::set_node_slowdown: factor < 1"};
+  if (node_slow_.empty()) node_slow_.assign(nodes_.size(), 1.0);
+  if (node_slow_[id] == factor) return;
+  node_slow_[id] = factor;
+  ++epoch_;
+}
+
+void Topology::set_link_slowdown(LinkId id, double factor) {
+  if (id >= links_.size())
+    throw std::invalid_argument{"Topology::set_link_slowdown: unknown link"};
+  if (factor < 1.0)
+    throw std::invalid_argument{"Topology::set_link_slowdown: factor < 1"};
+  if (link_slow_.empty()) link_slow_.assign(links_.size(), 1.0);
+  if (link_slow_[id] == factor) return;
+  link_slow_[id] = factor;
+  ++epoch_;
+}
+
+std::size_t Topology::degraded_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const double f : node_slow_) n += f > 1.0 ? 1 : 0;
+  return n;
+}
+
+std::size_t Topology::degraded_links() const noexcept {
+  std::size_t n = 0;
+  for (const double f : link_slow_) n += f > 1.0 ? 1 : 0;
+  return n;
 }
 
 std::size_t Topology::down_nodes() const noexcept {

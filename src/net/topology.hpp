@@ -107,11 +107,42 @@ class Topology {
     return node_up(l.a) && node_up(l.b);
   }
 
-  /// Incremented on every set_node_up/set_link_up that changes state.
+  /// --- Gray-failure (degraded) state ---
+  ///
+  /// A component can be *slow* without being down: a flaky optic, an
+  /// overheating NIC, a switch with a failing line card. A slowdown factor
+  /// f >= 1 multiplies the component's latency and divides its effective
+  /// bandwidth; 1.0 means healthy. Like up/down state, the vectors are
+  /// materialized only on the first degradation, so healthy topologies pay
+  /// nothing. Throws std::invalid_argument on unknown id or factor < 1.
+
+  void set_node_slowdown(NodeId id, double factor);
+  void set_link_slowdown(LinkId id, double factor);
+
+  double node_slowdown(NodeId id) const {
+    return node_slow_.empty() ? 1.0 : node_slow_.at(id);
+  }
+  double link_slowdown(LinkId id) const {
+    return link_slow_.empty() ? 1.0 : link_slow_.at(id);
+  }
+
+  /// Combined factor traffic crossing link `id` experiences: the link's own
+  /// slowdown times both endpoints' (a gray host or switch slows every link
+  /// it touches).
+  double effective_slowdown(LinkId id) const {
+    if (node_slow_.empty() && link_slow_.empty()) return 1.0;
+    const Link& l = links_.at(id);
+    return link_slowdown(id) * node_slowdown(l.a) * node_slowdown(l.b);
+  }
+
+  /// Incremented on every set_node_up/set_link_up/set_*_slowdown that
+  /// changes state.
   std::uint64_t state_epoch() const noexcept { return epoch_; }
 
   std::size_t down_nodes() const noexcept;
   std::size_t down_links() const noexcept;
+  std::size_t degraded_nodes() const noexcept;
+  std::size_t degraded_links() const noexcept;
 
  private:
   std::vector<NodeInfo> nodes_;
@@ -120,6 +151,9 @@ class Topology {
   // Empty means "everything up"; materialized lazily on first fault.
   std::vector<bool> node_up_;
   std::vector<bool> link_up_;
+  // Empty means "everything healthy"; materialized on first degradation.
+  std::vector<double> node_slow_;
+  std::vector<double> link_slow_;
   std::uint64_t epoch_ = 0;
 };
 

@@ -8,23 +8,42 @@
 //
 //   1. is placed by the consistent-hash ring (key -> shard -> R owners);
 //   2. travels the fabric (per-link propagation latency + serialization of
-//      the payload along the ECMP path the router picks);
+//      the payload along the ECMP path the router picks, stretched by any
+//      gray-failure slowdown on the links or their endpoints);
 //   3. is admitted into the replica's bounded queue — or shed with a typed
 //      Overloaded rejection (terminal; shed load is never retried);
 //   4. on replica death mid-flight (faults::FaultInjector flipping the host
 //      down), fails over: the ring temporarily ejects the dead node and the
 //      request retries on a surviving owner with capped exponential
-//      backoff, up to max_attempts, then fails.
+//      backoff + seeded equal-jitter, up to max_attempts, then fails.
+//
+// On top of plain failover sits the resilience control plane
+// (serve/resilience.hpp), every piece off by default:
+//
+//   * request_timeout stamps an absolute deadline on each request; replicas
+//     drop expired queued work, and retries that cannot land before the
+//     deadline are abandoned (counted as deadline drops, terminal failed).
+//   * attempt_timeout abandons an unanswered attempt and re-enters the
+//     retry path; the abandoned attempt may still be served — its response
+//     is discarded at the gateway (wasted work, the retry-storm fuel).
+//   * The retry budget gates every retry; a denied retry fails fast.
+//   * Per-replica circuit breakers steer attempts away from replicas that
+//     keep killing requests or (latency EWMA) answer suspiciously slowly.
+//   * Hedging duplicates a straggling get to a different live owner after
+//     the tracked p95 attempt latency; first response wins, the loser is
+//     dropped on delivery if the race is already over, or its response is
+//     discarded.
 //
 // Puts are serviced by one live owner and replicated to the remaining live
 // owners asynchronously (applied to their stores at service-finish time; a
 // node that was down during the write simply misses it — there is no
 // anti-entropy repair, so a later get served by a stale replica returns
-// not-found but still *completes*).
+// not-found but still *completes*). Puts are never hedged.
 //
 // The SLO accountant records every outcome; its ledger invariant
-// (completed + rejected + failed == issued) holds for every configuration,
-// chaos included, and is test-asserted.
+// (completed + rejected + failed == issued) holds for every configuration —
+// chaos, hedging, timeouts and gray failures included — and is
+// test-asserted.
 
 #include <cstdint>
 #include <map>
@@ -35,6 +54,7 @@
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "serve/replica.hpp"
+#include "serve/resilience.hpp"
 #include "serve/ring.hpp"
 #include "serve/slo.hpp"
 #include "sim/random.hpp"
@@ -66,6 +86,9 @@ struct FrontDoorParams {
   sim::SimTime retry_backoff = 200 * sim::kMicrosecond;  // doubles per retry
   sim::SimTime retry_backoff_cap = 5 * sim::kMillisecond;
 
+  /// --- Resilience control plane (all knobs default off) ---
+  ResilienceParams resilience;
+
   ReplicaParams replica;
   std::uint64_t seed = 0x5e21;
 };
@@ -93,7 +116,9 @@ class FrontDoor {
 
   /// Wire this to faults::FaultInjector::on_event (kNode events): a down
   /// replica host is ejected from the ring and its queued work killed (the
-  /// victims fail over); a repaired host resumes serving.
+  /// victims fail over); a repaired host resumes serving. A *degraded*
+  /// replica host stays in the ring but serves slower by the event's factor
+  /// — gray failures are invisible to membership, which is the point.
   void handle_fault(const faults::FaultEvent& event);
 
   const SloAccountant& slo() const noexcept { return slo_; }
@@ -104,18 +129,63 @@ class FrontDoor {
   /// Hosts carrying a replica, in ReplicaId order (chaos-plan targets).
   std::vector<net::NodeId> replica_hosts() const;
 
+  /// Resilience counters, with the per-replica breaker trips/denials summed
+  /// in (rolled up at call time).
+  ResilienceStats resilience_stats() const;
+  const CircuitBreaker& breaker(std::size_t i) const { return breakers_.at(i); }
+  /// Current retry-budget balance (== burst when the budget is disabled).
+  double retry_tokens() const noexcept { return budget_.tokens(); }
+
  private:
+  /// One attempt of the current wave still in flight (wire or queue).
+  struct Attempt {
+    ReplicaId target = 0;
+    sim::SimTime sent = 0;  // gateway dispatch time (attempt RTT anchor)
+    bool hedge = false;
+  };
+  /// An issued request that has not yet reached a terminal state. `wave` is
+  /// the retry round and always equals req.attempts; completions carrying a
+  /// stale attempts value are responses to abandoned (timed-out) attempts
+  /// and are discarded.
+  struct Pending {
+    Request req;
+    std::vector<Attempt> attempts;  // current wave only
+    bool hedged = false;            // this wave already hedged
+    bool rejected = false;          // an attempt of this wave was shed
+    bool expired = false;           // an attempt expired in a replica queue
+  };
+
   void schedule_next_arrival();
   void issue();
   Request make_request();
-  /// Route one attempt of `req`; terminal-state bookkeeping on give-up.
-  void attempt(Request req);
+  /// Launch the current retry wave of `id`: one attempt, plus hedge/timeout
+  /// timers as configured.
+  void start_wave(std::uint64_t id);
+  /// Dispatch one attempt to `target`; registers it in the pending entry.
+  void dispatch(std::uint64_t id, ReplicaId target, bool hedge);
+  /// Preferred-order live owners for the wave, breaker-filtered. Returns
+  /// kInvalidReplica when nothing is sendable.
+  ReplicaId pick_target(const Pending& p, bool hedge);
   void deliver(Request req, ReplicaId target);
   void replica_completed(const Request& req, ReplicaOutcome outcome,
                          ReplicaId target);
-  void attempt_failed(Request req);
+  /// Response for (req-copy, target) reached the gateway.
+  void response_arrived(const Request& req, ReplicaId target,
+                        sim::SimTime sent);
+  /// The attempt to `target` died in transport (unreachable / killed).
+  void attempt_transport_failed(std::uint64_t id, ReplicaId target);
+  void on_attempt_timeout(std::uint64_t id, int wave);
+  void maybe_hedge(std::uint64_t id, int wave);
+  /// The current wave is over with no winner; decide retry vs terminal.
+  void wave_exhausted(std::uint64_t id);
+  /// Retry gates in order: max_attempts -> deadline -> budget.
+  void retry_or_fail(std::uint64_t id);
+  void resolve_failed(std::uint64_t id);
+  bool remove_attempt(Pending& p, ReplicaId target);
+  sim::SimTime backoff_for(int attempts);
   /// One-way fabric delay gateway<->host for `payload` bytes, or -1 when
-  /// currently unreachable.
+  /// currently unreachable. Gray-degraded links/endpoints stretch both the
+  /// propagation and serialization terms.
   sim::SimTime path_delay(net::NodeId from, net::NodeId to,
                           sim::Bytes payload, std::uint64_t flow_hash) const;
   std::string key_string(std::size_t index) const;
@@ -131,6 +201,11 @@ class FrontDoor {
   SloAccountant slo_;
   sim::Rng rng_;
   sim::ZipfDistribution key_dist_;
+  RetryBudget budget_;
+  std::vector<CircuitBreaker> breakers_;  // one per replica
+  HedgeDelayTracker hedge_delay_;
+  ResilienceStats rstats_;
+  std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_request_id_ = 1;
   bool started_ = false;
 };

@@ -65,12 +65,30 @@ bool ReplicaServer::try_enqueue(Request req) {
 
 void ReplicaServer::maybe_start_batch() {
   if (!up_ || !batch_.empty() || queue_.empty()) return;
-  const std::size_t n = std::min(queue_.size(), params_.batch_max);
-  batch_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    batch_.push_back(std::move(queue_.front()));
+  // Deadline propagation: drop expired queued work *before* costing service
+  // — an answer nobody is waiting for must not occupy the device.
+  std::vector<Request> dead;
+  const sim::SimTime now = sim_->now();
+  while (batch_.size() < params_.batch_max && !queue_.empty()) {
+    Request req = std::move(queue_.front());
     queue_.pop_front();
+    if (req.deadline > 0 && req.deadline <= now) {
+      dead.push_back(std::move(req));
+    } else {
+      batch_.push_back(std::move(req));
+    }
   }
+  expired_ += dead.size();
+  if (batch_.empty()) {
+    // Everything at the head was already dead; report and try again (the
+    // recursion terminates: each round consumes queue entries).
+    for (const Request& req : dead) {
+      if (completion_) completion_(req, ReplicaOutcome::kExpired);
+    }
+    maybe_start_batch();
+    return;
+  }
+  const std::size_t n = batch_.size();
   ++batches_;
   batch_sizes_.add(static_cast<double>(n));
 
@@ -85,9 +103,18 @@ void ReplicaServer::maybe_start_batch() {
     cost = static_cast<sim::SimTime>(
         static_cast<double>(cost) * rng_.lognormal(-s2 / 2.0, std::sqrt(s2)));
   }
+  if (slowdown_ > 1.0) {
+    cost = static_cast<sim::SimTime>(static_cast<double>(cost) * slowdown_);
+  }
   const std::uint64_t generation = generation_;
   sim_->schedule_in(std::max<sim::SimTime>(cost, 1),
                     [this, generation] { finish_batch(generation); });
+  // Report the expired requests only after the live batch is committed, so a
+  // completion callback that re-enters (e.g. the front door resolving the
+  // request) sees a consistent replica.
+  for (const Request& req : dead) {
+    if (completion_) completion_(req, ReplicaOutcome::kExpired);
+  }
 }
 
 void ReplicaServer::finish_batch(std::uint64_t generation) {
@@ -136,6 +163,14 @@ void ReplicaServer::set_up() {
   if (up_) return;
   up_ = true;
   maybe_start_batch();
+}
+
+void ReplicaServer::set_slowdown(double factor) {
+  if (factor < 1.0)
+    throw std::invalid_argument{"ReplicaServer: slowdown factor must be >= 1"};
+  // Applies to batches started from now on; the in-service batch keeps the
+  // cost it was scheduled with (its work was already dispatched).
+  slowdown_ = factor;
 }
 
 }  // namespace rb::serve

@@ -49,8 +49,9 @@ struct ReplicaParams {
 
 /// How the replica finished with a request it had admitted.
 enum class ReplicaOutcome : std::uint8_t {
-  kServed,  // executed against the store
-  kKilled,  // replica went down first; the front door may fail over
+  kServed,   // executed against the store
+  kKilled,   // replica went down first; the front door may fail over
+  kExpired,  // deadline passed while queued; dropped before costing service
 };
 
 class ReplicaServer {
@@ -78,6 +79,13 @@ class ReplicaServer {
   void set_up();
   bool serving() const noexcept { return up_; }
 
+  /// Gray failure: stretch every subsequent batch's service time by
+  /// `factor` (>= 1; 1 restores full speed). The replica keeps accepting
+  /// and answering — slowly — which is exactly what makes gray failures
+  /// harder on callers than clean outages.
+  void set_slowdown(double factor);
+  double slowdown() const noexcept { return slowdown_; }
+
   ReplicaId id() const noexcept { return id_; }
   net::NodeId host() const noexcept { return host_; }
   std::size_t queue_depth() const noexcept {
@@ -89,6 +97,8 @@ class ReplicaServer {
 
   std::uint64_t requests_served() const noexcept { return served_; }
   std::uint64_t requests_killed() const noexcept { return killed_; }
+  /// Queued requests dropped because their deadline passed before service.
+  std::uint64_t requests_expired() const noexcept { return expired_; }
   std::uint64_t batches() const noexcept { return batches_; }
   /// Distribution of batch sizes actually served (amortization evidence).
   const sim::RunningStats& batch_sizes() const noexcept { return batch_sizes_; }
@@ -113,11 +123,13 @@ class ReplicaServer {
   std::deque<Request> queue_;
   std::vector<Request> batch_;  // in service; empty when idle
   bool up_ = true;
+  double slowdown_ = 1.0;
   /// Bumped by set_down() so a batch-finish event scheduled before the
   /// death is ignored when it fires.
   std::uint64_t generation_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t killed_ = 0;
+  std::uint64_t expired_ = 0;
   std::uint64_t batches_ = 0;
   sim::RunningStats batch_sizes_;
 };

@@ -31,6 +31,10 @@ struct Request {
   std::string key;
   std::string value;          // payload for puts; empty for gets
   sim::SimTime issued = 0;    // arrival at the front door
+  /// Absolute deadline propagated with the request; 0 = none. Replicas drop
+  /// expired queued work before spending service time on it, and the front
+  /// door never retries past it.
+  sim::SimTime deadline = 0;
   int attempts = 0;           // failover attempts consumed so far
 };
 

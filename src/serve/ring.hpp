@@ -22,6 +22,9 @@ namespace rb::serve {
 
 using ReplicaId = std::uint32_t;
 
+/// "No replica" sentinel (e.g. no live, breaker-admitted owner to send to).
+inline constexpr ReplicaId kInvalidReplica = static_cast<ReplicaId>(-1);
+
 /// Where a key lives: the shard (ring arc, identified by the owning vnode's
 /// position) and the distinct owner nodes clockwise from it, primary first.
 struct Placement {

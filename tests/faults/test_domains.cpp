@@ -1,0 +1,112 @@
+// Correlated failure domains: structural rack/pod derivation and the
+// domain-wide outage/degrade plan builders.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "faults/domains.hpp"
+#include "faults/injector.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace rb {
+namespace {
+
+TEST(FailureDomains, FatTreeRacksAreEdgeSwitchesWithTheirHosts) {
+  const auto topo = net::make_fat_tree(4);  // 16 hosts, 8 edge switches
+  const auto racks = faults::rack_domains(topo);
+  ASSERT_EQ(racks.size(), 8u);
+  std::size_t hosts_total = 0;
+  for (const auto& rack : racks) {
+    EXPECT_EQ(rack.switches.size(), 1u);
+    EXPECT_EQ(topo.node(rack.switches[0]).kind, net::NodeKind::kEdgeSwitch);
+    EXPECT_EQ(rack.hosts.size(), 2u);  // k/2 hosts per edge switch
+    hosts_total += rack.hosts.size();
+  }
+  EXPECT_EQ(hosts_total, 16u);
+}
+
+TEST(FailureDomains, FatTreePodsPartitionHostsAndSwitches) {
+  const auto topo = net::make_fat_tree(4);
+  const auto pods = faults::pod_domains(topo);
+  ASSERT_EQ(pods.size(), 4u);
+  std::vector<net::NodeId> all_hosts;
+  for (const auto& pod : pods) {
+    EXPECT_EQ(pod.hosts.size(), 4u);     // (k/2)^2 hosts per pod
+    EXPECT_EQ(pod.switches.size(), 4u);  // k/2 edge + k/2 agg
+    for (const net::NodeId sw : pod.switches) {
+      EXPECT_NE(topo.node(sw).kind, net::NodeKind::kCoreSwitch);
+    }
+    all_hosts.insert(all_hosts.end(), pod.hosts.begin(), pod.hosts.end());
+  }
+  std::sort(all_hosts.begin(), all_hosts.end());
+  EXPECT_EQ(all_hosts.size(), 16u);
+  EXPECT_EQ(std::unique(all_hosts.begin(), all_hosts.end()), all_hosts.end());
+}
+
+TEST(FailureDomains, LeafSpineIsOnePod) {
+  const auto topo = net::make_leaf_spine(3, 4, 3);  // 12 hosts
+  const auto pods = faults::pod_domains(topo);
+  ASSERT_EQ(pods.size(), 1u);
+  EXPECT_EQ(pods[0].hosts.size(), 12u);
+}
+
+TEST(FailureDomains, DomainOfFindsTheOwningDomain) {
+  const auto topo = net::make_fat_tree(4);
+  const auto pods = faults::pod_domains(topo);
+  for (const auto& pod : pods) {
+    for (const net::NodeId host : pod.hosts) {
+      EXPECT_EQ(faults::domain_of(pods, host), &pod);
+    }
+  }
+  EXPECT_EQ(faults::domain_of(pods, pods[0].switches[0]), nullptr);
+}
+
+TEST(FailureDomains, DomainOutagePlanTakesWholeDomainDownAndBack) {
+  const auto topo = net::make_fat_tree(4);
+  const auto pods = faults::pod_domains(topo);
+  faults::FaultPlan plan;
+  faults::add_domain_outage(plan, pods[1], 2 * sim::kSecond, sim::kSecond);
+  EXPECT_NO_THROW(plan.validate(topo));
+  EXPECT_EQ(plan.size(), 2 * (pods[1].hosts.size() + pods[1].switches.size()));
+
+  // Replayed against a live topology, the whole pod actually goes dark.
+  auto live = net::make_fat_tree(4);
+  sim::Simulator sim;
+  faults::FaultInjector injector{sim, live, plan};
+  injector.arm();
+  sim.run_until(2 * sim::kSecond + 1);
+  for (const net::NodeId id : pods[1].hosts) EXPECT_FALSE(live.node_up(id));
+  for (const net::NodeId id : pods[1].switches) EXPECT_FALSE(live.node_up(id));
+  for (const net::NodeId id : pods[0].hosts) EXPECT_TRUE(live.node_up(id));
+  sim.run();
+  for (const net::NodeId id : pods[1].hosts) EXPECT_TRUE(live.node_up(id));
+}
+
+TEST(FailureDomains, DomainDegradeSlowsHostsButSparesSwitches) {
+  const auto topo = net::make_fat_tree(4);
+  const auto racks = faults::rack_domains(topo);
+  faults::FaultPlan plan;
+  faults::add_domain_degrade(plan, racks[0], sim::kSecond, sim::kSecond, 6.0);
+  EXPECT_NO_THROW(plan.validate(topo));
+
+  auto live = net::make_fat_tree(4);
+  sim::Simulator sim;
+  faults::FaultInjector injector{sim, live, plan};
+  injector.arm();
+  sim.run_until(sim::kSecond + 1);
+  for (const net::NodeId id : racks[0].hosts) {
+    EXPECT_TRUE(live.node_up(id));  // gray, not dead
+    EXPECT_DOUBLE_EQ(live.node_slowdown(id), 6.0);
+  }
+  for (const net::NodeId id : racks[0].switches) {
+    EXPECT_DOUBLE_EQ(live.node_slowdown(id), 1.0);
+  }
+  EXPECT_EQ(live.degraded_nodes(), racks[0].hosts.size());
+  sim.run();
+  EXPECT_EQ(live.degraded_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace rb

@@ -109,5 +109,108 @@ TEST(FaultPlan, MachinePlanTargetsMachines) {
   }
 }
 
+TEST(FaultPlanValidate, AcceptsWellFormedPlans) {
+  const auto topo = net::make_leaf_spine(2, 2, 2);
+  faults::FaultPlan plan;
+  plan.add_link_outage(0, 1 * sim::kSecond, 1 * sim::kSecond);
+  plan.add_node_outage(0, 2 * sim::kSecond, 1 * sim::kSecond);
+  plan.add_link_outage(0, 5 * sim::kSecond, -1);  // permanent, after repair
+  plan.add_node_degrade(1, 1 * sim::kSecond, 2 * sim::kSecond, 4.0);
+  EXPECT_NO_THROW(plan.validate(topo));
+}
+
+TEST(FaultPlanValidate, RejectsUnknownIds) {
+  const auto topo = net::make_star(4);
+  {
+    faults::FaultPlan plan;
+    plan.add_link_outage(topo.link_count(), sim::kSecond, sim::kSecond);
+    EXPECT_THROW(plan.validate(topo), faults::PlanValidationError);
+  }
+  {
+    faults::FaultPlan plan;
+    plan.add_node_outage(static_cast<net::NodeId>(topo.node_count()),
+                         sim::kSecond, sim::kSecond);
+    EXPECT_THROW(plan.validate(topo), faults::PlanValidationError);
+  }
+  {
+    faults::FaultPlan plan;
+    plan.add_machine_outage(4, sim::kSecond, sim::kSecond);
+    EXPECT_THROW(plan.validate(topo), faults::PlanValidationError);  // m=0
+    EXPECT_THROW(plan.validate(topo, 4), faults::PlanValidationError);
+    EXPECT_NO_THROW(plan.validate(topo, 5));
+  }
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingOutages) {
+  const auto topo = net::make_star(4);
+  faults::FaultPlan plan;
+  plan.add_link_outage(1, 1 * sim::kSecond, 10 * sim::kSecond);
+  plan.add_link_outage(1, 2 * sim::kSecond, 1 * sim::kSecond);  // inside
+  EXPECT_THROW(plan.validate(topo), faults::PlanValidationError);
+}
+
+TEST(FaultPlanValidate, RejectsRepairWithoutOutage) {
+  const auto topo = net::make_star(4);
+  faults::FaultPlan plan;
+  plan.add({1 * sim::kSecond, faults::FaultTarget::kNode, 2, true});
+  EXPECT_THROW(plan.validate(topo), faults::PlanValidationError);
+}
+
+TEST(FaultPlanValidate, OutageAndDegradeAreIndependentDimensions) {
+  const auto topo = net::make_star(4);
+  faults::FaultPlan plan;
+  // A degraded node dying (and both recovering) is a legal gray+hard story.
+  plan.add_node_degrade(1, 1 * sim::kSecond, 10 * sim::kSecond, 2.0);
+  plan.add_node_outage(1, 2 * sim::kSecond, 1 * sim::kSecond);
+  EXPECT_NO_THROW(plan.validate(topo));
+  // But two overlapping degrades on one node are rejected.
+  plan.add_node_degrade(1, 3 * sim::kSecond, 1 * sim::kSecond, 3.0);
+  EXPECT_THROW(plan.validate(topo), faults::PlanValidationError);
+}
+
+TEST(FaultPlanValidate, RejectsDegradeFactorBelowOne) {
+  faults::FaultPlan plan;
+  EXPECT_THROW(plan.add_node_degrade(0, sim::kSecond, sim::kSecond, 0.5),
+               std::invalid_argument);
+  // A hand-added raw event with a bad factor is caught by validate().
+  faults::FaultEvent e;
+  e.at = sim::kSecond;
+  e.target = faults::FaultTarget::kNode;
+  e.id = 0;
+  e.mode = faults::FaultMode::kDegrade;
+  e.factor = 0.5;
+  plan.add(e);
+  const auto topo = net::make_star(4);
+  EXPECT_THROW(plan.validate(topo), faults::PlanValidationError);
+}
+
+TEST(FaultPlanValidate, DegradeHelperPairsOnsetWithRecovery) {
+  faults::FaultPlan plan;
+  plan.add_link_degrade(3, 2 * sim::kSecond, 1 * sim::kSecond, 8.0);
+  const auto& events = plan.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].up);
+  EXPECT_EQ(events[0].mode, faults::FaultMode::kDegrade);
+  EXPECT_DOUBLE_EQ(events[0].factor, 8.0);
+  EXPECT_TRUE(events[1].up);
+  EXPECT_EQ(events[1].at, 3 * sim::kSecond);
+}
+
+TEST(FaultPlanValidate, GeneratedChurnPlansAlwaysValidate) {
+  const auto topo = net::make_fat_tree(4);
+  faults::FailureRates rates;
+  rates.link_mtbf_s = 20.0;
+  rates.link_mttr_s = 2.0;
+  rates.switch_mtbf_s = 40.0;
+  rates.switch_mttr_s = 4.0;
+  rates.host_mtbf_s = 30.0;
+  rates.host_mttr_s = 3.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto plan = faults::make_random_fault_plan(
+        topo, rates, 5 * 60 * sim::kSecond, seed);
+    EXPECT_NO_THROW(plan.validate(topo)) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace rb
