@@ -25,8 +25,12 @@
 //
 // All runs are seeded and bit-deterministic; `--quick` shrinks horizons and
 // asserts the headline claims (budget restores goodput; hedging cuts p999
-// at bounded extra load; overload trips no breakers) for CI. `--json`
-// (or RB_BENCH_JSON) emits machine-readable telemetry.
+// at bounded extra load; overload trips no breakers; the burn-rate alert
+// fires during the pod outage and clears after repair; gray-failure p999 is
+// service time on the degraded replica, not hedge wait) for CI. `--json`
+// (or RB_BENCH_JSON) emits machine-readable telemetry, and `--trace <path>`
+// (or RB_TRACE) exports the retained causal exemplar trees as Chrome trace
+// JSON.
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +47,10 @@
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "node/device.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rollup.hpp"
+#include "obs/trace.hpp"
 #include "serve/frontdoor.hpp"
 #include "serve/resilience.hpp"
 #include "sim/simulator.hpp"
@@ -108,6 +116,22 @@ void apply(serve::FrontDoorParams& p, const Toggles& t) {
   p.resilience.hedge.min_samples = 50;
 }
 
+/// Telemetry policy shared by every run: the latency objective that splits
+/// good from bad events, the rollup window width, and the burn-rate alert
+/// rule (Google-SRE multi-window: short proves it is still happening, long
+/// proves it is real).
+constexpr double kSloLatencyS = 0.030;
+constexpr sim::SimTime kRollupWindow = 5 * sim::kMillisecond;
+
+obs::AlertParams alert_params() {
+  obs::AlertParams ap;
+  ap.objective = 0.999;
+  ap.window = kRollupWindow;
+  ap.min_events = 40;
+  ap.rules = {obs::BurnRateRule{"page", 10.0, 2, 12}};
+  return ap;
+}
+
 struct RunResult {
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
@@ -121,14 +145,33 @@ struct RunResult {
   double p999_ms = 0.0;
   bool ledger_ok = false;
   serve::ResilienceStats stats;
+  /// Causal-telemetry products of the run.
+  std::vector<obs::Alert> alerts;
+  std::vector<obs::BandDecomposition> bands;
+  std::vector<obs::ExemplarTrace> exemplars;
+  double peak_window_completed = 0.0;  // busiest 5 ms rollup window
 };
 
 RunResult run(const serve::FrontDoorParams& params,
-              const faults::FaultPlan& plan) {
+              const faults::FaultPlan& plan, bool trace_export = false) {
+  // Fresh causal/metric state per run: the tracer and registry are process
+  // globals shared by every scenario in this bench.
+  obs::RequestTracer& tracer = obs::RequestTracer::global();
+  tracer.clear();
+  obs::ExemplarParams ep;
+  ep.max_exemplars = 64;
+  ep.latency_threshold_s = kSloLatencyS;
+  tracer.set_params(ep);
+  tracer.set_enabled(true);
+  obs::Registry::global().reset_for_test();
+
   net::Topology topo = net::make_fat_tree(4);  // 16 hosts, 4 pods
   sim::Simulator sim;
   net::Router router{topo};
   serve::FrontDoor door{sim, topo, router, params};
+  obs::Rollup rollup{kRollupWindow};
+  obs::AlertEngine alerts{alert_params()};
+  door.slo().attach_telemetry(&rollup, &alerts, kSloLatencyS);
   door.preload();
 
   std::optional<faults::FaultInjector> injector;
@@ -157,7 +200,56 @@ RunResult run(const serve::FrontDoorParams& params,
     out.p999_ms = slo.latency_seconds().p999() * 1e3;
   }
   out.stats = door.resilience_stats();
+  out.alerts = alerts.alerts(params.horizon);
+  out.bands = tracer.band_summary();
+  out.exemplars = tracer.exemplars();
+  if (const obs::WindowedSeries* s = rollup.find("serve.completed")) {
+    for (const obs::WindowStats& w : s->windows()) {
+      out.peak_window_completed = std::max(out.peak_window_completed, w.sum);
+    }
+  }
+  if (trace_export) {
+    // Export just the retained exemplar trees: the recorder is enabled only
+    // around the export so per-run request spam never reaches the file.
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    const bool was = rec.enabled();
+    rec.set_enabled(true);
+    tracer.export_chrome(rec);
+    rec.set_enabled(was);
+  }
+  tracer.set_enabled(false);
   return out;
+}
+
+/// First fired alert of a run, or nullptr.
+const obs::Alert* first_alert(const RunResult& r) {
+  return r.alerts.empty() ? nullptr : &r.alerts.front();
+}
+
+/// The p99.9-100 band of a run's critical-path summary, or nullptr.
+const obs::BandDecomposition* top_band(const RunResult& r) {
+  for (const obs::BandDecomposition& b : r.bands) {
+    if (std::strcmp(b.band, "p99.9-100") == 0) return &b;
+  }
+  return nullptr;
+}
+
+/// Does any exemplar tree show the request stuck on `replica` — a queue or
+/// service span with ref == replica lasting at least `min_ps`? The winning
+/// attempt of a tail trace is usually the healthy-replica retry; the
+/// degraded replica's footprint is the abandoned wave's queue/service spans.
+bool exemplar_stuck_on(const RunResult& r, std::int64_t replica,
+                       std::int64_t min_ps) {
+  for (const obs::ExemplarTrace& ex : r.exemplars) {
+    for (const obs::CausalSpan& s : ex.spans) {
+      if ((s.segment == obs::Segment::kQueue ||
+           s.segment == obs::Segment::kService) &&
+          s.ref == replica && s.duration_ps() >= min_ps) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 /// The pod (non-core switch component + its hosts) holding the most replica
@@ -232,15 +324,74 @@ void report_run(bench::Report& report, const std::string& prefix,
   report.metric(prefix + ".hedges_won", r.stats.hedges_won);
   report.metric(prefix + ".breaker_opens", r.stats.breaker_opens);
   report.metric(prefix + ".wasted_responses", r.stats.wasted_responses);
+  // Causal-telemetry products: burn-rate alert timeline, exemplar retention
+  // and the p99.9-100 critical-path decomposition.
+  report.metric(prefix + ".alerts_fired", r.alerts.size());
+  if (const obs::Alert* a = first_alert(r)) {
+    report.metric(prefix + ".alert_fired_ms", sim::to_seconds(a->fired_at) * 1e3);
+    report.metric(prefix + ".alert_cleared_ms",
+                  a->cleared_at < 0 ? -1.0
+                                    : sim::to_seconds(a->cleared_at) * 1e3);
+  }
+  report.metric(prefix + ".exemplars_retained", r.exemplars.size());
+  report.metric(prefix + ".peak_window_completed", r.peak_window_completed);
+  if (const obs::BandDecomposition* b = top_band(r)) {
+    report.metric(prefix + ".p999_band.queue_share", b->queue_share);
+    report.metric(prefix + ".p999_band.service_share", b->service_share);
+    report.metric(prefix + ".p999_band.network_share", b->network_share);
+    report.metric(prefix + ".p999_band.backoff_share", b->backoff_share);
+    report.metric(prefix + ".p999_band.hedge_wait_share", b->hedge_wait_share);
+    report.metric(prefix + ".p999_band.other_share", b->other_share);
+  }
+}
+
+void print_bands(const RunResult& r) {
+  std::printf("  %-10s %9s %8s | %6s %6s %6s %6s %6s %6s\n", "band", "count",
+              "mean_ms", "queue", "svc", "net", "bkoff", "hedge", "other");
+  for (const obs::BandDecomposition& b : r.bands) {
+    std::printf("  %-10s %9llu %8.2f | %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+                b.band, static_cast<unsigned long long>(b.count),
+                b.mean_latency_s * 1e3, b.queue_share, b.service_share,
+                b.network_share, b.backoff_share, b.hedge_wait_share,
+                b.other_share);
+  }
+}
+
+void print_alerts(const char* label, const RunResult& r) {
+  if (r.alerts.empty()) {
+    std::printf("  %-16s no burn-rate alerts\n", label);
+    return;
+  }
+  for (const obs::Alert& a : r.alerts) {
+    if (a.active()) {
+      std::printf("  %-16s alert '%s' fired %.1f ms (burn %.0fx/%.0fx), "
+                  "active at horizon\n",
+                  label, a.rule.c_str(), sim::to_seconds(a.fired_at) * 1e3,
+                  a.burn_short, a.burn_long);
+    } else {
+      std::printf("  %-16s alert '%s' fired %.1f ms (burn %.0fx/%.0fx), "
+                  "cleared %.1f ms\n",
+                  label, a.rule.c_str(), sim::to_seconds(a.fired_at) * 1e3,
+                  a.burn_short, a.burn_long,
+                  sim::to_seconds(a.cleared_at) * 1e3);
+    }
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
   }
+  if (trace_path.empty()) {
+    if (const char* env = std::getenv("RB_TRACE")) trace_path = env;
+  }
+  const bool tracing = !trace_path.empty();
 
   bench::heading("EXT-RESIL",
                  "resilience control plane: pod outage, gray failure, "
@@ -307,6 +458,7 @@ int main(int argc, char** argv) {
 
   double goodput_nobudget = 0.0, goodput_budget = 0.0;
   std::uint64_t issued_budget = 0, retries_budget = 0;
+  RunResult pod_none_run, pod_budget_run;
   const std::vector<Toggles> pod_rows =
       quick ? std::vector<Toggles>{{false, false, false}, {true, false, false}}
             : std::vector<Toggles>{{false, false, false},
@@ -321,20 +473,27 @@ int main(int argc, char** argv) {
     // time and the storm regime is unreachable.
     p.replica.queue_limit = 128;
     apply(p, t);
-    const RunResult r = run(p, pod_plan);
+    const RunResult r = run(p, pod_plan, tracing);
     print_row(toggle_name(t).c_str(), r);
     report_run(report, std::string{"pod."} + toggle_name(t), r);
     fail_if(!r.ledger_ok, "pod outage: SLO ledger must balance");
-    if (!t.budget && !t.breaker && !t.hedge) goodput_nobudget = r.goodput_qps;
+    if (!t.budget && !t.breaker && !t.hedge) {
+      goodput_nobudget = r.goodput_qps;
+      pod_none_run = r;
+    }
     if (t.budget && !t.breaker && !t.hedge) {
       goodput_budget = r.goodput_qps;
       issued_budget = r.issued;
       retries_budget = r.retries;
+      pod_budget_run = r;
     }
   }
   report.metric("pod.goodput_recovery_ratio",
                 goodput_nobudget > 0.0 ? goodput_budget / goodput_nobudget
                                        : 0.0);
+  std::printf("\n");
+  print_alerts("none", pod_none_run);
+  print_alerts("+budget", pod_budget_run);
   bench::note("without a budget, attempt timeouts + retries amplify the");
   bench::note("survivors' load into zombie work (served-but-abandoned);");
   bench::note("the budget caps retry amplification and goodput recovers.");
@@ -346,6 +505,24 @@ int main(int argc, char** argv) {
       0.1 * static_cast<double>(issued_budget) + 50.0 + 1.0;
   fail_if(static_cast<double>(retries_budget) > retry_ceiling,
           "budgeted retries must respect ratio x issued + burst");
+  // Burn-rate alerting on the budgeted fleet: the outage must page —
+  // deterministically — and the page must clear once the fleet drains
+  // after repair. Never before the fault, never stuck active at horizon.
+  {
+    const obs::Alert* a = first_alert(pod_budget_run);
+    fail_if(a == nullptr, "pod outage must fire a burn-rate alert");
+    if (a != nullptr) {
+      fail_if(a->fired_at < out_at,
+              "burn-rate alert must not fire before the outage");
+      fail_if(a->fired_at > out_at + out_for,
+              "burn-rate alert must fire during the outage window");
+      const obs::Alert& last = pod_budget_run.alerts.back();
+      fail_if(last.active(),
+              "burn-rate alert must clear after repair, before the horizon");
+      fail_if(last.cleared_at >= 0 && last.cleared_at < out_at + out_for,
+              "burn-rate alert must stay active until the pod is repaired");
+    }
+  }
 
   // --- Part 2: gray failure (one replica 8x slower), hedge/breaker --------
   faults::FaultPlan gray_plan;
@@ -365,6 +542,7 @@ int main(int argc, char** argv) {
   double p999_plain = 0.0, p999_hedge = 0.0;
   std::uint64_t hedge_issued_count = 0, hedge_won_count = 0;
   std::uint64_t hedge_total_attempts = 0;
+  RunResult gray_none_run, gray_hedge_run;
   const std::vector<Toggles> gray_rows =
       quick ? std::vector<Toggles>{{false, false, false}, {false, false, true}}
             : std::vector<Toggles>{{false, false, false},
@@ -380,16 +558,20 @@ int main(int argc, char** argv) {
     // threshold between the healthy EWMA (~2 ms) and that band — the
     // per-service tuning any latency-based breaker needs in production.
     p.resilience.breaker.latency_threshold_s = 0.0035;
-    const RunResult r = run(p, gray_plan);
+    const RunResult r = run(p, gray_plan, tracing);
     print_row(toggle_name(t).c_str(), r);
     report_run(report, std::string{"gray."} + toggle_name(t), r);
     fail_if(!r.ledger_ok, "gray failure: SLO ledger must balance");
-    if (!t.hedge && !t.breaker) p999_plain = r.p999_ms;
+    if (!t.hedge && !t.breaker) {
+      p999_plain = r.p999_ms;
+      gray_none_run = r;
+    }
     if (t.hedge && !t.breaker) {
       p999_hedge = r.p999_ms;
       hedge_issued_count = r.stats.hedges_issued;
       hedge_won_count = r.stats.hedges_won;
       hedge_total_attempts = r.issued + r.retries;
+      gray_hedge_run = r;
     }
   }
   const double hedge_fraction =
@@ -413,6 +595,50 @@ int main(int argc, char** argv) {
   fail_if(hedge_fraction > 0.05,
           "hedge volume must stay within 5% extra issued load");
 
+  // Causal tracing closes the loop: the critical-path decomposition of the
+  // unhedged run's tail must blame the gray replica's *service* segment (not
+  // hedge wait, not the fabric), and the retained exemplar trees must
+  // actually contain a winning attempt served on that replica. The degraded
+  // host is replica_hosts[1] == ReplicaId 1 by construction.
+  std::printf("\ncritical-path decomposition (no hedging), per band:\n");
+  print_bands(gray_none_run);
+  {
+    const obs::BandDecomposition* tail = top_band(gray_none_run);
+    fail_if(tail == nullptr || tail->count == 0,
+            "gray run must produce a p99.9-100 critical-path band");
+    if (tail != nullptr) {
+      // The hedge-delay share of p999: if the decomposition blames the
+      // degraded replica for at least this much of the tail, a hedge fired
+      // after hedge.min_delay provably races the right bottleneck.
+      const double hedge_delay_share =
+          p999_plain > 0.0 ? 3.0 /*ms, hedge.min_delay*/ / p999_plain : 1.0;
+      fail_if(tail->queue_share + tail->service_share < hedge_delay_share,
+              "gray p999 must be attributed to the degraded replica's "
+              "queue/service segments, >= the hedge-delay share");
+      fail_if(tail->service_share < tail->hedge_wait_share,
+              "gray p999 must be replica time, not hedge wait");
+      fail_if(tail->other_share > 0.2,
+              "gray p999 must not hide in the 'other' segment");
+    }
+    fail_if(gray_none_run.exemplars.empty(),
+            "gray run must retain exemplar trace trees");
+    fail_if(!exemplar_stuck_on(gray_none_run, 1, 3 * sim::kMillisecond),
+            "an exemplar must show the request stuck on the gray replica "
+            "for at least the hedge delay");
+    // Hedged tail: the decomposition must show the mechanism working — the
+    // residual p999 is the hedge delay plus a healthy replica's service
+    // (hedge-wait visible on the winning path), no longer the gray queue.
+    const obs::BandDecomposition* htail = top_band(gray_hedge_run);
+    fail_if(htail == nullptr,
+            "hedged gray run must produce a p99.9-100 band");
+    if (htail != nullptr && tail != nullptr) {
+      fail_if(htail->hedge_wait_share <= 0.0,
+              "hedged gray p999 must carry hedge-wait on the critical path");
+      fail_if(htail->queue_share >= tail->queue_share,
+              "hedging must move the p999 tail off the gray replica's queue");
+    }
+  }
+
   // --- Part 3: pure overload control --------------------------------------
   std::printf("\n-- pure overload: offered 2.5x capacity, no faults, full "
               "control plane --\n\n");
@@ -423,7 +649,7 @@ int main(int argc, char** argv) {
     auto p = params;
     p.offered_qps = 2.5 * capacity;
     apply(p, Toggles{true, true, true});
-    const RunResult r = run(p, faults::FaultPlan{});
+    const RunResult r = run(p, faults::FaultPlan{}, tracing);
     print_row("all", r);
     report_run(report, "overload.all", r);
     fail_if(!r.ledger_ok, "overload: SLO ledger must balance");
@@ -437,6 +663,13 @@ int main(int argc, char** argv) {
   }
   bench::note("admission control sheds the excess; breakers stay closed");
   bench::note("because overload is fleet-wide slowness, not replica death.");
+
+  if (tracing) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    rec.write_chrome_json(trace_path);
+    std::printf("\nwrote %zu causal spans to %s\n", rec.event_count(),
+                trace_path.c_str());
+  }
 
   report.write();
   return 0;

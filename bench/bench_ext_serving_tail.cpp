@@ -18,9 +18,12 @@
 //   joins a consistent-hash ring (64 vnodes) vs a naive mod-N rehash.
 //
 // `--quick` shrinks horizons and the sweep for CI smoke runs; `--json`
-// (or RB_BENCH_JSON) emits machine-readable telemetry.
+// (or RB_BENCH_JSON) emits machine-readable telemetry; `--trace <path>`
+// (or RB_TRACE) turns on causal request tracing and exports the retained
+// tail exemplar trees as Chrome trace JSON.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -32,6 +35,8 @@
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "node/device.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
 #include "serve/frontdoor.hpp"
 #include "serve/ring.hpp"
 #include "sim/simulator.hpp"
@@ -75,7 +80,17 @@ struct RunResult {
 };
 
 RunResult run(const serve::FrontDoorParams& params, double churn_mtbf_s,
-              double churn_mttr_s) {
+              double churn_mttr_s, bool tracing = false) {
+  if (tracing) {
+    // Causal tracing per run: retain the slowest trees, export them as
+    // Chrome spans at the end of the run.
+    auto& tracer = obs::RequestTracer::global();
+    tracer.clear();
+    obs::ExemplarParams ep;
+    ep.max_exemplars = 32;
+    tracer.set_params(ep);
+    tracer.set_enabled(true);
+  }
   net::Topology topo = net::make_leaf_spine(3, 4, 3);  // 9 hosts
   sim::Simulator sim;
   net::Router router{topo};
@@ -110,6 +125,15 @@ RunResult run(const serve::FrontDoorParams& params, double churn_mtbf_s,
     out.p99_ms = slo.latency_seconds().p99() * 1e3;
     out.p999_ms = slo.latency_seconds().p999() * 1e3;
   }
+  if (tracing) {
+    auto& tracer = obs::RequestTracer::global();
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    const bool was = rec.enabled();
+    rec.set_enabled(true);
+    tracer.export_chrome(rec);
+    rec.set_enabled(was);
+    tracer.set_enabled(false);
+  }
   return out;
 }
 
@@ -117,9 +141,16 @@ RunResult run(const serve::FrontDoorParams& params, double churn_mtbf_s,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
   }
+  if (trace_path.empty()) {
+    if (const char* env = std::getenv("RB_TRACE")) trace_path = env;
+  }
+  const bool tracing = !trace_path.empty();
 
   bench::heading("EXT-SERVE",
                  "KV serving plane: admission knee & replicated failover");
@@ -147,7 +178,7 @@ int main(int argc, char** argv) {
   for (const double load : loads) {
     auto p = params;
     p.offered_qps = load * capacity;
-    const auto r = run(p, 0.0, 0.0);
+    const auto r = run(p, 0.0, 0.0, tracing);
     const double shed_pct =
         r.issued == 0 ? 0.0
                       : 100.0 * static_cast<double>(r.rejected) /
@@ -197,7 +228,7 @@ int main(int argc, char** argv) {
     auto p = params;
     p.replication = replication;
     p.offered_qps = 0.5 * capacity;
-    const auto r = run(p, mtbf_s, mttr_s);
+    const auto r = run(p, mtbf_s, mttr_s, tracing);
     std::printf("%-4zu %9llu %10llu %8llu %8llu %8llu %12.2f%%\n",
                 replication, static_cast<unsigned long long>(r.issued),
                 static_cast<unsigned long long>(r.completed),
@@ -249,5 +280,12 @@ int main(int argc, char** argv) {
   }
   bench::note("consistent hashing moves ~1/(N+1) of keys on a join; a mod-N");
   bench::note("rehash would reshuffle nearly everything.");
+
+  if (tracing) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    rec.write_chrome_json(trace_path);
+    std::printf("\nwrote %zu causal spans to %s\n", rec.event_count(),
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -21,19 +21,24 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rollup.hpp"
 
 namespace {
 
 using rb::obs::Counter;
 using rb::obs::NoopCounter;
 
-/// Telemetry exactly as the instrumented fabric does it: one relaxed atomic
-/// load per reallocation pass, counters bumped only when enabled
-/// (FlowSimulator::reallocate guards its gauge updates the same way).
+/// Telemetry exactly as the instrumented stack does it when everything is
+/// off: one relaxed atomic load for the metric guard, one for the causal
+/// tracer (which hands back an inactive context), and the null-pointer
+/// guards the SLO accountant pays for its unattached rollup/alert sinks.
 struct GuardedSink {
   Counter* fills;
   rb::obs::Gauge* total_rate;
+  rb::obs::Rollup* rollup = nullptr;       // never attached in this bench
+  rb::obs::AlertEngine* alerts = nullptr;  // never attached in this bench
 
   GuardedSink()
       : fills{&rb::obs::Registry::global().counter("bench.fills")},
@@ -44,6 +49,11 @@ struct GuardedSink {
       fills->add();
       total_rate->set(total);
     }
+    const rb::obs::TraceContext ctx =
+        rb::obs::RequestTracer::global().start_trace("fill", 0);
+    if (ctx.active()) total_rate->set(total);  // never taken while disabled
+    if (rollup != nullptr) rollup->counter("bench.fills").record(0, 1.0);
+    if (alerts != nullptr) alerts->record_good(0);
   }
 };
 
@@ -169,6 +179,7 @@ int main(int argc, char** argv) {
   report.config("reps", std::int64_t{kReps});
 
   obs::set_enabled(false);  // the shipping default; makes the claim explicit
+  obs::RequestTracer::global().set_enabled(false);
   const Instance instance{kLinks, kFlows};
   double checksum = 0.0;
 

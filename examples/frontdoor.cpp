@@ -16,8 +16,11 @@
 //   --hedge                 hedge straggling gets after the tracked p95
 //
 // Pass `--trace <path>` (or set RB_TRACE=<path>) to record every request
-// as an async span — plus the fault outages — as Chrome trace_event JSON,
-// loadable in chrome://tracing or https://ui.perfetto.dev.
+// as an async span — plus the fault outages and the causally-linked span
+// trees of the tail exemplars — as Chrome trace_event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Tracing also turns on the
+// windowed rollups and the SLO burn-rate alert engine, whose verdicts print
+// after the run.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +31,9 @@
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "node/device.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rollup.hpp"
 #include "obs/trace.hpp"
 #include "serve/frontdoor.hpp"
 #include "serve/resilience.hpp"
@@ -62,9 +67,17 @@ int main(int argc, char** argv) {
   if (trace_path.empty()) {
     if (const char* env = std::getenv("RB_TRACE")) trace_path = env;
   }
-  if (!trace_path.empty()) {
+  const bool tracing = !trace_path.empty();
+  if (tracing) {
     obs::set_enabled(true);
     obs::TraceRecorder::global().set_enabled(true);
+    // Causal tracing: keep full span trees for the slowest requests and
+    // every failure (tail-based exemplar sampling).
+    obs::ExemplarParams ep;
+    ep.max_exemplars = 32;
+    ep.latency_threshold_s = 0.040;
+    obs::RequestTracer::global().set_params(ep);
+    obs::RequestTracer::global().set_enabled(true);
   }
 
   // A small serving cluster: 9 hosts on a leaf-spine fabric — one gateway,
@@ -107,6 +120,17 @@ int main(int argc, char** argv) {
   params.resilience.hedge.min_delay = 2 * sim::kMillisecond;
 
   serve::FrontDoor door{sim, topo, router, params};
+  // Windowed rollups + burn-rate alerting over a 40 ms latency SLO with a
+  // 99.9% objective: page when both the 20 ms and 120 ms lookbacks burn the
+  // error budget >10x faster than sustainable.
+  obs::Rollup rollup{10 * sim::kMillisecond};
+  obs::AlertParams ap;
+  ap.objective = 0.999;
+  ap.window = 10 * sim::kMillisecond;
+  ap.min_events = 40;
+  ap.rules = {obs::BurnRateRule{"page", 10.0, 2, 12}};
+  obs::AlertEngine alerts{ap};
+  if (tracing) door.slo().attach_telemetry(&rollup, &alerts, 0.040);
   door.preload();
   std::printf("front door up: 8 replicas (R=3, 64 vnodes each), capacity "
               "~%.0f req/s,\n  offered %.0f req/s with a +-60%% diurnal "
@@ -172,7 +196,43 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rs.hedges_issued),
               static_cast<unsigned long long>(rs.hedges_won));
 
-  if (!trace_path.empty()) {
+  if (tracing) {
+    // Causal telemetry: critical-path decomposition per latency band, the
+    // burn-rate alert timeline, and the exemplar trees into the trace file.
+    auto& tracer = obs::RequestTracer::global();
+    std::printf("\ncritical path per latency band (queue/service/network/"
+                "backoff/hedge/other):\n");
+    for (const obs::BandDecomposition& b : tracer.band_summary()) {
+      std::printf("  %-10s %8llu reqs  mean %6.2f ms  | %4.2f %4.2f %4.2f "
+                  "%4.2f %4.2f %4.2f\n",
+                  b.band, static_cast<unsigned long long>(b.count),
+                  b.mean_latency_s * 1e3, b.queue_share, b.service_share,
+                  b.network_share, b.backoff_share, b.hedge_wait_share,
+                  b.other_share);
+    }
+    const auto fired = alerts.alerts(params.horizon);
+    if (fired.empty()) {
+      std::printf("burn-rate alerts: none (error budget intact)\n");
+    } else {
+      for (const obs::Alert& a : fired) {
+        if (a.active()) {
+          std::printf("burn-rate alert '%s': fired %.3f s (burn %.0fx/%.0fx),"
+                      " active at horizon\n",
+                      a.rule.c_str(), sim::to_seconds(a.fired_at),
+                      a.burn_short, a.burn_long);
+        } else {
+          std::printf("burn-rate alert '%s': fired %.3f s (burn %.0fx/%.0fx),"
+                      " cleared %.3f s\n",
+                      a.rule.c_str(), sim::to_seconds(a.fired_at),
+                      a.burn_short, a.burn_long,
+                      sim::to_seconds(a.cleared_at));
+        }
+      }
+    }
+    tracer.export_chrome(obs::TraceRecorder::global());
+    std::printf("retained %zu exemplar trace trees (slowest + failed) of %zu "
+                "finished requests\n",
+                tracer.exemplars().size(), tracer.finished());
     obs::TraceRecorder::global().write_chrome_json(trace_path);
     std::printf("\nwrote %zu trace events to %s (open in "
                 "https://ui.perfetto.dev)\n",

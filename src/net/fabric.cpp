@@ -92,6 +92,7 @@ void FlowSimulator::release_slot(std::uint32_t idx) {
   id_to_slot_.erase(s.id);
   s.id = 0;
   s.on_complete = nullptr;
+  s.causal = {};
   s.path.clear();  // keeps capacity for the next tenant
   s.next_free = free_head_;
   free_head_ = idx;
@@ -149,7 +150,8 @@ void FlowSimulator::build_path(FlowId id, NodeId src, NodeId dst,
 // --- public API -----------------------------------------------------------
 
 FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
-                                 FlowCallback on_complete) {
+                                 FlowCallback on_complete,
+                                 const obs::TraceContext& parent) {
   const FlowId id = next_id_++;
   sim::SimTime latency = 0;
   build_path(id, src, dst, path_scratch_, latency);  // throws NoRouteError
@@ -161,6 +163,18 @@ FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
         {obs::trace_arg("src", static_cast<std::uint64_t>(src)),
          obs::trace_arg("dst", static_cast<std::uint64_t>(dst)),
          obs::trace_arg("bytes", static_cast<std::uint64_t>(size))});
+  }
+  // Causal propagation: the flow's lifetime becomes a network span of the
+  // caller's request tree (annotated with the flow id for cross-reference).
+  obs::TraceContext causal;
+  {
+    auto& tracer = obs::RequestTracer::global();
+    if (tracer.enabled() && parent.active()) {
+      causal.trace_id = parent.trace_id;
+      causal.span_id =
+          tracer.begin_span(parent, obs::Segment::kNetwork, "net.flow",
+                            sim_->now(), static_cast<std::int64_t>(id));
+    }
   }
 
   const double bits = static_cast<double>(size) * 8.0;
@@ -174,7 +188,7 @@ FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
                       sim_->now() + latency,
                       FlowOutcome::kCompleted,
                       size};
-    sim_->schedule_in(latency, [this, record,
+    sim_->schedule_in(latency, [this, record, causal,
                                 cb = std::move(on_complete)] {
       ++completed_;
       const double fct_s = sim::to_seconds(record.finish - record.start);
@@ -185,6 +199,10 @@ FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
         obs::TraceRecorder::global().async_end(
             "net.flow", "flow", record.id, sim_->now(),
             {obs::trace_arg("outcome", "completed")});
+      }
+      if (causal.active()) {
+        obs::RequestTracer::global().end_span(causal.trace_id, causal.span_id,
+                                              sim_->now());
       }
       if (cb) cb(record);
     });
@@ -205,6 +223,7 @@ FlowId FlowSimulator::start_flow(NodeId src, NodeId dst, sim::Bytes size,
   s.id = id;
   s.path.swap(path_scratch_);
   s.on_complete = std::move(on_complete);
+  s.causal = causal;
   id_to_slot_.emplace(id, idx);
   link_flow(idx);
   mark_path_dirty(s.path);
@@ -217,6 +236,11 @@ bool FlowSimulator::cancel_flow(FlowId id) {
   if (it == id_to_slot_.end()) return false;
   advance_to_now();
   const std::uint32_t idx = it->second;
+  if (slots_[idx].causal.active()) {
+    obs::RequestTracer::global().end_span(slots_[idx].causal.trace_id,
+                                          slots_[idx].causal.span_id,
+                                          sim_->now());
+  }
   mark_path_dirty(slots_[idx].path);
   unlink_flow(idx);
   release_slot(idx);
@@ -547,6 +571,11 @@ void FlowSimulator::finish_flow(std::uint32_t idx) {
                     FlowOutcome::kCompleted,
                     s.size};
   auto cb = std::move(s.on_complete);
+  if (s.causal.active()) {
+    obs::RequestTracer::global().end_span(s.causal.trace_id, s.causal.span_id,
+                                          record.finish);
+    s.causal = {};
+  }
   mark_path_dirty(s.path);
   unlink_flow(idx);
   release_slot(idx);
@@ -577,6 +606,11 @@ void FlowSimulator::fail_flow(std::uint32_t idx) {
                     FlowOutcome::kFailed,
                     static_cast<sim::Bytes>(std::max(0.0, sent_bits) / 8.0)};
   auto cb = std::move(s.on_complete);
+  if (s.causal.active()) {
+    obs::RequestTracer::global().end_span(s.causal.trace_id, s.causal.span_id,
+                                          sim_->now());
+    s.causal = {};
+  }
   mark_path_dirty(s.path);
   unlink_flow(idx);
   release_slot(idx);

@@ -34,6 +34,7 @@
 
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -101,9 +102,12 @@ class FlowSimulator {
   /// flow's finish time (or failure time, with outcome kFailed). Zero-byte
   /// flows and src==dst complete immediately (after path propagation
   /// latency). Throws NoRouteError when the destination is unreachable at
-  /// start time.
+  /// start time. When `parent` is an active causal context (and the
+  /// RequestTracer is on), the flow's lifetime is additionally recorded as a
+  /// kNetwork span under the caller's span tree.
   FlowId start_flow(NodeId src, NodeId dst, sim::Bytes size,
-                    FlowCallback on_complete = {});
+                    FlowCallback on_complete = {},
+                    const obs::TraceContext& parent = {});
 
   /// Silently abandon an active flow (no callback, no outcome). Returns
   /// false if the flow is not active. Used when the consumer of the flow
@@ -159,6 +163,8 @@ class FlowSimulator {
     std::uint64_t visit = 0;   // dirty-component BFS stamp
     std::vector<PathHop> path;
     FlowCallback on_complete;
+    /// Causal span for the flow's lifetime (trace_id 0 = untraced).
+    obs::TraceContext causal;
   };
 
   /// Entry in a directed link's flow-membership list; `hop` is the index of

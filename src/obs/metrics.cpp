@@ -20,18 +20,49 @@ LatencyHistogram::LatencyHistogram(std::vector<double> upper_bounds)
           "LatencyHistogram: bounds must be strictly increasing"};
   }
   counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  exemplars_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0);
+    exemplars_[i].store(0);
+  }
+}
+
+std::size_t LatencyHistogram::bucket_index(double v) const noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
 }
 
 void LatencyHistogram::observe(double v) noexcept {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
-  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void LatencyHistogram::observe_exemplar(double v,
+                                        std::uint64_t exemplar_id) noexcept {
+  const std::size_t idx = bucket_index(v);
+  observe(v);
+  if (exemplar_id != 0)
+    exemplars_[idx].store(exemplar_id, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::exemplar(std::size_t i) const {
+  if (i >= bucket_count())
+    throw std::out_of_range{"LatencyHistogram::exemplar"};
+  return exemplars_[i].load(std::memory_order_relaxed);
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (std::size_t i = 0; i < bucket_count(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+    exemplars_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
 }
 
 double LatencyHistogram::bucket_bound(std::size_t i) const {
@@ -280,6 +311,17 @@ std::string Registry::to_csv() const {
 void Registry::clear() {
   const std::scoped_lock lock{mutex_};
   entries_.clear();
+}
+
+void Registry::reset_for_test() {
+  const std::scoped_lock lock{mutex_};
+  for (auto& [key, e] : entries_) {
+    switch (e.kind) {
+      case MetricSample::Kind::kCounter: e.counter->reset(); break;
+      case MetricSample::Kind::kGauge: e.gauge->reset(); break;
+      case MetricSample::Kind::kHistogram: e.hist->reset(); break;
+    }
+  }
 }
 
 Registry& Registry::global() {

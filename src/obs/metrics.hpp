@@ -73,6 +73,12 @@ class Counter {
 
   void merge_from(const Counter& other) noexcept { add(other.value()); }
 
+  /// Zero every shard in place. Test/bench-scenario use only: racing
+  /// writers may be partially counted.
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(64) Shard {
     std::atomic<std::uint64_t> v{0};
@@ -109,6 +115,8 @@ class Gauge {
     if (value() == 0.0) set(other.value());
   }
 
+  void reset() noexcept { set(0.0); }
+
  private:
   std::atomic<double> v_{0.0};
 };
@@ -121,6 +129,14 @@ class LatencyHistogram {
   explicit LatencyHistogram(std::vector<double> upper_bounds);
 
   void observe(double v) noexcept;
+
+  /// observe(v) plus link an exemplar id (e.g. a causal trace_id) into the
+  /// bucket `v` lands in (last-write-wins). Lets an exporter answer "show
+  /// me a trace from the p999 bucket".
+  void observe_exemplar(double v, std::uint64_t exemplar_id) noexcept;
+
+  /// Exemplar id linked into bucket i (0 = none recorded).
+  std::uint64_t exemplar(std::size_t i) const;
 
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -143,11 +159,17 @@ class LatencyHistogram {
 
   void merge_from(const LatencyHistogram& other);
 
+  /// Zero counts/sum/exemplars in place, keeping the bucket layout.
+  void reset() noexcept;
+
   const std::vector<double>& bounds() const noexcept { return bounds_; }
 
  private:
+  std::size_t bucket_index(double v) const noexcept;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> exemplars_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
@@ -237,8 +259,17 @@ class Registry {
   /// Header `name,labels,kind,value,count,sum,p50,p90,p99` + one row each.
   std::string to_csv() const;
 
-  /// Drop every metric (tests and between bench repetitions).
+  /// Drop every metric (tests and between bench repetitions). DANGEROUS
+  /// for the global registry: instrumentation sites cache metric pointers
+  /// in function-local statics, and clear() leaves them dangling. Prefer
+  /// reset_for_test() for the global registry.
   void clear();
+
+  /// Zero every metric's value IN PLACE — entry identity and previously
+  /// returned references stay valid, so cached instrumentation pointers
+  /// keep working. The safe way for tests and multi-scenario benches to
+  /// stop counters leaking across cases.
+  void reset_for_test();
 
   /// The process-wide registry that instrumented library code reports into.
   static Registry& global();

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/context.hpp"
+
 namespace rb::serve {
 
 namespace {
@@ -131,6 +133,11 @@ Request FrontDoor::make_request() {
     req.op = OpKind::kPut;
     req.value.assign(params_.value_bytes, 'w');
   }
+  auto& tracer = obs::RequestTracer::global();
+  if (tracer.enabled()) {
+    req.trace = tracer.start_trace(
+        req.op == OpKind::kGet ? "get" : "put", req.issued);
+  }
   return req;
 }
 
@@ -232,6 +239,19 @@ void FrontDoor::dispatch(std::uint64_t id, ReplicaId target, bool hedge) {
   }
   p.attempts.push_back(Attempt{target, sim_->now(), hedge});
   Request copy = p.req;
+  // Causal propagation: open an attempt span under the request's root and
+  // hand the dispatched copy the attempt's coordinates, so the replica's
+  // queue/service spans (and the response path) parent to THIS attempt.
+  auto& tracer = obs::RequestTracer::global();
+  if (tracer.enabled() && p.req.trace.active()) {
+    const std::uint64_t attempt_span = tracer.begin_span(
+        p.req.trace, obs::Segment::kAttempt, hedge ? "hedge" : "attempt",
+        sim_->now(), static_cast<std::int64_t>(target));
+    copy.trace.span_id = attempt_span;
+    tracer.add_span(copy.trace, obs::Segment::kNetwork, "net.out",
+                    sim_->now(), sim_->now() + delay,
+                    static_cast<std::int64_t>(target));
+  }
   sim_->schedule_in(delay, [this, copy = std::move(copy), target]() mutable {
     deliver(std::move(copy), target);
   });
@@ -314,6 +334,12 @@ void FrontDoor::replica_completed(const Request& req, ReplicaOutcome outcome,
   // Responses are not dropped: if the return path is momentarily
   // partitioned, charge zero fabric delay rather than losing the reply.
   if (delay < 0) delay = 0;
+  auto& tracer = obs::RequestTracer::global();
+  if (tracer.enabled() && req.trace.active()) {
+    tracer.add_span(req.trace, obs::Segment::kNetwork, "net.response",
+                    sim_->now(), sim_->now() + delay,
+                    static_cast<std::int64_t>(target));
+  }
   sim_->schedule_in(delay, [this, req, target, sent] {
     response_arrived(req, target, sent);
   });
@@ -338,6 +364,12 @@ void FrontDoor::response_arrived(const Request& req, ReplicaId target,
       ++rstats_.hedges_won;
       resilience_metrics::hedge_won();
     }
+  }
+  auto& tracer = obs::RequestTracer::global();
+  if (tracer.enabled() && req.trace.active()) {
+    // req.trace.span_id is the winning attempt's span (stamped at dispatch).
+    tracer.end_span(req.trace.trace_id, req.trace.span_id, sim_->now());
+    tracer.mark_won(req.trace.trace_id, req.trace.span_id);
   }
   slo_.on_completed(req, sim_->now());
   pending_.erase(it);
@@ -385,6 +417,15 @@ void FrontDoor::maybe_hedge(std::uint64_t id, int wave) {
   p.hedged = true;
   ++rstats_.hedges_issued;
   resilience_metrics::hedge_issued();
+  auto& tracer = obs::RequestTracer::global();
+  if (tracer.enabled() && p.req.trace.active() && !p.attempts.empty()) {
+    // The wait from the wave's first dispatch until now is what hedging
+    // cost this request IF the hedge ends up winning; the critical-path
+    // analyzer charges it only in that case.
+    tracer.add_span(p.req.trace, obs::Segment::kHedgeWait, "hedge_wait",
+                    p.attempts.front().sent, sim_->now(),
+                    static_cast<std::int64_t>(target));
+  }
   dispatch(id, target, /*hedge=*/true);
 }
 
@@ -445,6 +486,11 @@ void FrontDoor::retry_or_fail(std::uint64_t id) {
     return;
   }
   slo_.on_retry(p.req);
+  auto& tracer = obs::RequestTracer::global();
+  if (tracer.enabled() && p.req.trace.active()) {
+    tracer.add_span(p.req.trace, obs::Segment::kBackoff, "backoff",
+                    sim_->now(), sim_->now() + backoff);
+  }
   sim_->schedule_in(backoff, [this, id] { start_wave(id); });
 }
 

@@ -122,6 +122,8 @@ class FrontDoor {
   void handle_fault(const faults::FaultEvent& event);
 
   const SloAccountant& slo() const noexcept { return slo_; }
+  /// Mutable access for attaching telemetry sinks (rollups, alert engines).
+  SloAccountant& slo() noexcept { return slo_; }
   const HashRing& ring() const noexcept { return ring_; }
   std::size_t replica_count() const noexcept { return replicas_.size(); }
   const ReplicaServer& replica(std::size_t i) const { return *replicas_.at(i); }

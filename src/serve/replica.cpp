@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 
 namespace rb::serve {
@@ -56,6 +57,16 @@ bool ReplicaServer::try_enqueue(Request req) {
   if (!up_) return false;
   if (queue_.size() >= params_.queue_limit && !batch_.empty()) return false;
   // An idle replica serves immediately; only a busy one queues.
+  req.enqueued = sim_->now();
+  auto& tracer = obs::RequestTracer::global();
+  if (tracer.enabled() && req.trace.active()) {
+    // Open the queue span NOW: if the gateway abandons this attempt while it
+    // is still queued, the clamped span keeps the wait attributable to this
+    // replica instead of vanishing into "other".
+    req.queue_span =
+        tracer.begin_span(req.trace, obs::Segment::kQueue, "queue",
+                          req.enqueued, static_cast<std::int64_t>(id_));
+  }
   queue_.push_back(std::move(req));
   if (obs::enabled())
     queue_gauge(id_)->set(static_cast<double>(queue_depth()));
@@ -73,6 +84,10 @@ void ReplicaServer::maybe_start_batch() {
     Request req = std::move(queue_.front());
     queue_.pop_front();
     if (req.deadline > 0 && req.deadline <= now) {
+      if (req.queue_span != 0) {
+        obs::RequestTracer::global().end_span(req.trace.trace_id,
+                                              req.queue_span, now);
+      }
       dead.push_back(std::move(req));
     } else {
       batch_.push_back(std::move(req));
@@ -91,6 +106,7 @@ void ReplicaServer::maybe_start_batch() {
   const std::size_t n = batch_.size();
   ++batches_;
   batch_sizes_.add(static_cast<double>(n));
+  batch_started_ = now;
 
   // Amortized batch cost: fixed overhead + roofline time of n requests'
   // work, stretched by seeded lognormal jitter (device service_cv).
@@ -123,8 +139,24 @@ void ReplicaServer::finish_batch(std::uint64_t generation) {
   if (generation != generation_) return;
   std::vector<Request> done;
   done.swap(batch_);
+  const sim::SimTime started = batch_started_;
+  auto& tracer = obs::RequestTracer::global();
   for (const Request& req : done) {
-    execute(req);
+    // Causal queue/service decomposition: the request waited from admission
+    // to batch start, then occupied the device until now. Both spans parent
+    // to the attempt span the dispatched copy carries.
+    obs::TraceContext service_ctx;
+    if (tracer.enabled() && req.trace.active()) {
+      tracer.end_span(req.trace.trace_id, req.queue_span, started);
+      const std::uint64_t service_span =
+          tracer.begin_span(req.trace, obs::Segment::kService, "service",
+                            started, static_cast<std::int64_t>(id_));
+      service_ctx = obs::TraceContext{req.trace.trace_id, service_span};
+    }
+    execute(req, service_ctx);
+    if (service_ctx.active()) {
+      tracer.end_span(service_ctx.trace_id, service_ctx.span_id, sim_->now());
+    }
     ++served_;
     if (completion_) completion_(req, ReplicaOutcome::kServed);
   }
@@ -133,14 +165,16 @@ void ReplicaServer::finish_batch(std::uint64_t generation) {
   maybe_start_batch();
 }
 
-void ReplicaServer::execute(const Request& req) {
+void ReplicaServer::execute(const Request& req,
+                            const obs::TraceContext& service_ctx) {
   if (req.op == OpKind::kPut) {
     store_.put(req.key, req.value);
   } else {
     // The result value is not propagated (clients in this simulation care
     // about latency, not payloads), but the lookup is real: bloom filters,
-    // sstable probes and their counters all move.
-    static_cast<void>(store_.get(req.key));
+    // sstable probes and their counters all move — and with an active trace
+    // the read emits a storage span under the service span.
+    static_cast<void>(store_.get(req.key, service_ctx, batch_started_));
   }
 }
 
@@ -150,7 +184,15 @@ void ReplicaServer::set_down() {
   ++generation_;  // invalidate any in-flight batch-finish event
   std::vector<Request> victims;
   victims.swap(batch_);
-  for (Request& req : queue_) victims.push_back(std::move(req));
+  for (Request& req : queue_) {
+    // Batch victims' queue spans already closed at batch start; only the
+    // still-queued ones are open and end at the kill.
+    if (req.queue_span != 0) {
+      obs::RequestTracer::global().end_span(req.trace.trace_id, req.queue_span,
+                                            sim_->now());
+    }
+    victims.push_back(std::move(req));
+  }
   queue_.clear();
   killed_ += victims.size();
   if (obs::enabled()) queue_gauge(id_)->set(0.0);

@@ -111,7 +111,7 @@ class ReplicaServer {
  private:
   void maybe_start_batch();
   void finish_batch(std::uint64_t generation);
-  void execute(const Request& req);
+  void execute(const Request& req, const obs::TraceContext& service_ctx);
 
   sim::Simulator* sim_;
   ReplicaId id_;
@@ -124,6 +124,7 @@ class ReplicaServer {
   std::vector<Request> batch_;  // in service; empty when idle
   bool up_ = true;
   double slowdown_ = 1.0;
+  sim::SimTime batch_started_ = 0;  // queue/service split for tracing
   /// Bumped by set_down() so a batch-finish event scheduled before the
   /// death is ignored when it fires.
   std::uint64_t generation_ = 0;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/context.hpp"
 #include "sim/units.hpp"
 
 namespace rb::serve {
@@ -36,6 +37,17 @@ struct Request {
   /// door never retries past it.
   sim::SimTime deadline = 0;
   int attempts = 0;           // failover attempts consumed so far
+  /// Causal trace coordinates (inactive unless the RequestTracer is on).
+  /// The front door stamps the root context at issue time; each dispatched
+  /// copy carries its attempt's span so replica queue/service and storage
+  /// work parent correctly. Not part of request identity.
+  obs::TraceContext trace;
+  /// Set by the replica at admission (queue-wait anchor for tracing).
+  sim::SimTime enqueued = 0;
+  /// Open causal queue span, begun at admission so a request abandoned while
+  /// still queued (attempt timeout) keeps its wait attributable; closed at
+  /// dequeue, kill, or expiry — or clamped when the trace finishes first.
+  std::uint64_t queue_span = 0;
 };
 
 const char* to_string(RequestOutcome outcome) noexcept;

@@ -1,5 +1,6 @@
 #include "serve/slo.hpp"
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -53,9 +54,18 @@ const char* to_string(Overloaded reason) noexcept {
 
 SloAccountant::SloAccountant() = default;
 
+void SloAccountant::attach_telemetry(obs::Rollup* rollup,
+                                     obs::AlertEngine* alerts,
+                                     double slo_latency_s) {
+  rollup_ = rollup;
+  alerts_ = alerts;
+  slo_latency_s_ = slo_latency_s;
+}
+
 void SloAccountant::on_issued(const Request& req) {
   ++issued_;
   if (obs::enabled()) ServeMetrics::get().issued->add();
+  if (rollup_ != nullptr) rollup_->counter("serve.issued").record(req.issued, 1.0);
   auto& tracer = obs::TraceRecorder::global();
   if (tracer.enabled()) {
     tracer.async_begin("serve.request", op_name(req.op), req.id, req.issued,
@@ -67,10 +77,35 @@ void SloAccountant::on_completed(const Request& req, sim::SimTime now) {
   ++completed_;
   const double seconds = sim::to_seconds(now - req.issued);
   latency_.add(seconds);
+  // Close the causal trace first: whether the full tree was retained as a
+  // tail exemplar decides whether this latency observation carries the
+  // trace_id into its histogram bucket.
+  bool retained = false;
+  auto& causal = obs::RequestTracer::global();
+  if (causal.enabled() && req.trace.active()) {
+    retained =
+        causal.finish(req.trace.trace_id, now, obs::TraceOutcome::kCompleted);
+  }
   if (obs::enabled()) {
     auto& m = ServeMetrics::get();
     m.completed->add();
-    m.latency_ms->observe(seconds * 1e3);
+    if (retained) {
+      m.latency_ms->observe_exemplar(seconds * 1e3, req.trace.trace_id);
+    } else {
+      m.latency_ms->observe(seconds * 1e3);
+    }
+  }
+  if (rollup_ != nullptr) {
+    rollup_->counter("serve.completed").record(now, 1.0);
+    rollup_->value("serve.latency_s").record(now, seconds);
+  }
+  if (alerts_ != nullptr) {
+    const bool good = slo_latency_s_ <= 0.0 || seconds <= slo_latency_s_;
+    if (good) {
+      alerts_->record_good(now);
+    } else {
+      alerts_->record_bad(now);
+    }
   }
   auto& tracer = obs::TraceRecorder::global();
   if (tracer.enabled()) {
@@ -85,6 +120,12 @@ void SloAccountant::on_rejected(const Request& req, Overloaded reason,
                                 sim::SimTime now) {
   ++rejected_;
   if (obs::enabled()) ServeMetrics::get().rejected->add();
+  auto& causal = obs::RequestTracer::global();
+  if (causal.enabled() && req.trace.active()) {
+    causal.finish(req.trace.trace_id, now, obs::TraceOutcome::kRejected);
+  }
+  if (rollup_ != nullptr) rollup_->counter("serve.rejected").record(now, 1.0);
+  if (alerts_ != nullptr) alerts_->record_bad(now);
   auto& tracer = obs::TraceRecorder::global();
   if (tracer.enabled()) {
     tracer.async_end("serve.request", op_name(req.op), req.id, now,
@@ -96,6 +137,12 @@ void SloAccountant::on_rejected(const Request& req, Overloaded reason,
 void SloAccountant::on_failed(const Request& req, sim::SimTime now) {
   ++failed_;
   if (obs::enabled()) ServeMetrics::get().failed->add();
+  auto& causal = obs::RequestTracer::global();
+  if (causal.enabled() && req.trace.active()) {
+    causal.finish(req.trace.trace_id, now, obs::TraceOutcome::kFailed);
+  }
+  if (rollup_ != nullptr) rollup_->counter("serve.failed").record(now, 1.0);
+  if (alerts_ != nullptr) alerts_->record_bad(now);
   auto& tracer = obs::TraceRecorder::global();
   if (tracer.enabled()) {
     tracer.async_end("serve.request", op_name(req.op), req.id, now,

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "obs/rollup.hpp"
 #include "serve/request.hpp"
 #include "sim/stats.hpp"
 #include "sim/units.hpp"
@@ -22,6 +23,16 @@ namespace rb::serve {
 class SloAccountant {
  public:
   SloAccountant();
+
+  /// Attach streaming telemetry sinks (both optional, not owned; must
+  /// outlive the accountant or be detached with nullptr). Each terminal
+  /// outcome is fed to `alerts` as good/bad — completed within
+  /// `slo_latency_s` is good; completed-but-late, failed and rejected are
+  /// bad (they all burn the availability/latency error budget). `rollup`
+  /// gets per-window serve counters plus a latency value series. With
+  /// slo_latency_s <= 0 every completion counts good.
+  void attach_telemetry(obs::Rollup* rollup, obs::AlertEngine* alerts,
+                        double slo_latency_s = 0.0);
 
   void on_issued(const Request& req);
   void on_completed(const Request& req, sim::SimTime now);
@@ -59,6 +70,9 @@ class SloAccountant {
   std::uint64_t failed_ = 0;
   std::uint64_t retries_ = 0;
   sim::PercentileTracker latency_;
+  obs::Rollup* rollup_ = nullptr;          // not owned
+  obs::AlertEngine* alerts_ = nullptr;     // not owned
+  double slo_latency_s_ = 0.0;
 };
 
 }  // namespace rb::serve

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -154,6 +155,19 @@ void LsmStore::for_each_run_newest_first(Fn fn) const {
       if (!fn(*it)) return;
     }
   }
+}
+
+std::optional<std::string> LsmStore::get(std::string_view key,
+                                         const obs::TraceContext& ctx,
+                                         std::int64_t ts_ps) const {
+  auto& tracer = obs::RequestTracer::global();
+  if (!tracer.enabled() || !ctx.active()) return get(key);
+  const std::uint64_t probes_before = stats_.sstable_probes;
+  std::optional<std::string> result = get(key);
+  tracer.add_span(ctx, obs::Segment::kStorage, "lsm.get", ts_ps, ts_ps,
+                  static_cast<std::int64_t>(stats_.sstable_probes -
+                                            probes_before));
+  return result;
 }
 
 std::optional<std::string> LsmStore::get(std::string_view key) const {

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/context.hpp"
+
 namespace rb::storage {
 
 /// Split-block bloom filter over string keys (k = 4 derived hashes).
@@ -105,6 +107,15 @@ class LsmStore {
   void put(std::string key, std::string value);
   void erase(std::string key);
   std::optional<std::string> get(std::string_view key) const;
+
+  /// get() plus a causal storage span: when the RequestTracer is on and
+  /// `ctx` is active, emits a kStorage span [ts_ps, ts_ps] under `ctx`
+  /// annotated with the sstable probes this lookup cost (the read-
+  /// amplification evidence a slow-read exemplar needs). The store has no
+  /// clock of its own, so the caller supplies the simulated timestamp.
+  std::optional<std::string> get(std::string_view key,
+                                 const obs::TraceContext& ctx,
+                                 std::int64_t ts_ps) const;
 
   /// All live (key, value) pairs with lo <= key < hi, in key order.
   std::vector<std::pair<std::string, std::string>> scan(

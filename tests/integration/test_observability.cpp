@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "dataflow/plan.hpp"
@@ -14,9 +17,13 @@
 #include "net/fabric.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "node/device.hpp"
+#include "obs/context.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/rollup.hpp"
 #include "obs/trace.hpp"
+#include "serve/frontdoor.hpp"
 #include "sched/cluster.hpp"
 #include "sched/engine.hpp"
 #include "sched/policies.hpp"
@@ -188,19 +195,146 @@ TEST(Observability, SchedulerSpansCoverEveryAttempt) {
 }
 
 TEST(Observability, RegistryCountersMirrorFabricState) {
+  // reset_for_test() zeroes the global registry in place, so the cached
+  // metric pointers inside the fabric stay valid and this test needs no
+  // before/after deltas to isolate itself from earlier traced runs.
   auto& reg = obs::Registry::global();
-  const auto started_before = reg.counter("net.flows_started").value();
-  const auto completed_before = reg.counter("net.flows_completed").value();
-  const auto failed_before = reg.counter("net.flows_failed").value();
+  reg.reset_for_test();
 
   const auto r = run_traced_chaos(0xC0FFEE);
 
-  EXPECT_EQ(reg.counter("net.flows_started").value() - started_before,
-            r.flows_started);
-  EXPECT_EQ(reg.counter("net.flows_completed").value() - completed_before,
-            r.flows_completed);
-  EXPECT_EQ(reg.counter("net.flows_failed").value() - failed_before,
-            r.flows_failed);
+  EXPECT_EQ(reg.counter("net.flows_started").value(), r.flows_started);
+  EXPECT_EQ(reg.counter("net.flows_completed").value(), r.flows_completed);
+  EXPECT_EQ(reg.counter("net.flows_failed").value(), r.flows_failed);
+}
+
+/// One causally-traced serving run: a small replicated front door under the
+/// global RequestTracer with windowed rollups + burn-rate alerting attached.
+struct CausalRunResult {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::size_t finished_traces = 0;
+  /// (trace_id, latency_ps, span count) per retained exemplar, slowest first.
+  std::vector<std::tuple<std::uint64_t, std::int64_t, std::size_t>> exemplars;
+  /// (band count, queue, service, network, backoff, hedge, other) per band.
+  std::vector<std::tuple<std::uint64_t, double, double, double, double,
+                         double, double>>
+      bands;
+  /// (fired_at, cleared_at) per burn-rate alert.
+  std::vector<std::pair<std::int64_t, std::int64_t>> alert_times;
+  double rollup_completed = 0.0;
+  bool trees_well_formed = true;
+  bool paths_add_up = true;
+};
+
+CausalRunResult run_traced_serving() {
+  auto& tracer = obs::RequestTracer::global();
+  tracer.clear();
+  obs::ExemplarParams ep;
+  ep.max_exemplars = 16;
+  tracer.set_params(ep);
+  tracer.set_enabled(true);
+
+  serve::FrontDoorParams params;
+  params.replication = 3;
+  params.key_universe = 2'000;
+  params.horizon = 100 * sim::kMillisecond;
+  params.offered_qps = 4'000.0;
+  params.seed = 0xBEEF;
+  params.replica.device = node::find_device(node::DeviceKind::kCpu);
+  params.replica.batch_overhead = sim::kMillisecond;
+  params.replica.per_request = node::KernelProfile{2.0e5, 6.0e5, 1.0, 512.0};
+  params.replica.queue_limit = 16;
+  params.replica.batch_max = 8;
+
+  net::Topology topo = net::make_leaf_spine(2, 2, 2);  // 4 hosts
+  sim::Simulator sim;
+  net::Router router{topo};
+  serve::FrontDoor door{sim, topo, router, params};
+
+  obs::Rollup rollup{5 * sim::kMillisecond};
+  obs::AlertParams ap;
+  ap.objective = 0.99;
+  ap.window = 5 * sim::kMillisecond;
+  ap.min_events = 10;
+  ap.rules = {obs::BurnRateRule{"page", 5.0, 2, 8}};
+  obs::AlertEngine alerts{ap};
+  door.slo().attach_telemetry(&rollup, &alerts, /*slo_latency_s=*/0.020);
+
+  door.preload();
+  door.start();
+  sim.run();
+
+  CausalRunResult out;
+  out.issued = door.slo().issued();
+  out.completed = door.slo().completed();
+  out.finished_traces = tracer.finished();
+  for (const obs::ExemplarTrace& ex : tracer.exemplars()) {
+    out.exemplars.emplace_back(ex.trace_id, ex.finish_ps - ex.start_ps,
+                               ex.spans.size());
+    // Tree integrity: [0] is the root; every parent_id names a span in the
+    // same tree; no span outlives the trace.
+    std::set<std::uint64_t> ids;
+    for (const obs::CausalSpan& s : ex.spans) ids.insert(s.span_id);
+    if (ex.spans.empty() || ex.spans[0].parent_id != 0) {
+      out.trees_well_formed = false;
+    }
+    for (const obs::CausalSpan& s : ex.spans) {
+      if (s.parent_id != 0 && ids.count(s.parent_id) == 0) {
+        out.trees_well_formed = false;
+      }
+      if (s.end_ps < s.start_ps || s.end_ps > ex.finish_ps) {
+        out.trees_well_formed = false;
+      }
+    }
+    // The decomposition is exhaustive: segments sum to the total.
+    const obs::CriticalPath& p = ex.path;
+    if (p.queue_ps + p.service_ps + p.network_ps + p.backoff_ps +
+            p.hedge_wait_ps + p.other_ps !=
+        p.total_ps) {
+      out.paths_add_up = false;
+    }
+  }
+  for (const obs::BandDecomposition& b : tracer.band_summary()) {
+    out.bands.emplace_back(b.count, b.queue_share, b.service_share,
+                           b.network_share, b.backoff_share,
+                           b.hedge_wait_share, b.other_share);
+  }
+  for (const obs::Alert& a : alerts.alerts(params.horizon)) {
+    out.alert_times.emplace_back(a.fired_at, a.cleared_at);
+  }
+  if (const obs::WindowedSeries* s = rollup.find("serve.completed")) {
+    for (const obs::WindowStats& w : s->windows()) {
+      out.rollup_completed += w.sum;
+    }
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+  return out;
+}
+
+TEST(Observability, CausalServingTelemetryIsDeterministicAndReconciles) {
+  const CausalRunResult a = run_traced_serving();
+  ASSERT_GT(a.issued, 0u);
+  // Every issued request finished exactly one trace.
+  EXPECT_EQ(a.finished_traces, a.issued);
+  ASSERT_FALSE(a.exemplars.empty());
+  EXPECT_TRUE(a.trees_well_formed);
+  EXPECT_TRUE(a.paths_add_up);
+  // The windowed rollup accounts for every completed request.
+  EXPECT_DOUBLE_EQ(a.rollup_completed, static_cast<double>(a.completed));
+  // Band counts cover every finished trace.
+  std::uint64_t band_total = 0;
+  for (const auto& b : a.bands) band_total += std::get<0>(b);
+  EXPECT_EQ(band_total, a.finished_traces);
+
+  // Identically-seeded runs replay the full causal telemetry bit-identically
+  // (latencies, retained trees, band decomposition, alert timeline).
+  const CausalRunResult b = run_traced_serving();
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(a.exemplars, b.exemplars);
+  EXPECT_EQ(a.bands, b.bands);
+  EXPECT_EQ(a.alert_times, b.alert_times);
 }
 
 }  // namespace

@@ -88,6 +88,31 @@ TEST(LatencyHistogram, MergeCombinesBuckets) {
   EXPECT_EQ(a.bucket(2), 1u);
 }
 
+TEST(LatencyHistogram, ExemplarLinksLandInTheRightBucket) {
+  LatencyHistogram h{{1.0, 10.0}};
+  h.observe_exemplar(0.5, 101);   // bucket 0: <= 1
+  h.observe_exemplar(5.0, 202);   // bucket 1: <= 10
+  h.observe_exemplar(500.0, 303); // overflow bucket
+  EXPECT_EQ(h.exemplar(0), 101u);
+  EXPECT_EQ(h.exemplar(1), 202u);
+  EXPECT_EQ(h.exemplar(2), 303u);
+  EXPECT_EQ(h.count(), 3u);  // observe_exemplar also counts the observation
+  h.observe_exemplar(0.7, 404);
+  EXPECT_EQ(h.exemplar(0), 404u);  // last write wins inside a bucket
+}
+
+TEST(LatencyHistogram, ResetZeroesCountsAndExemplarsInPlace) {
+  LatencyHistogram h{{1.0, 10.0}};
+  h.observe_exemplar(0.5, 42);
+  h.observe(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.exemplar(0), 0u);
+  EXPECT_EQ(h.bucket_count(), 3u);  // layout survives
+}
+
 TEST(LatencyHistogram, ExponentialBounds) {
   const auto bounds = exponential_bounds(1.0, 2.0, 4);
   ASSERT_EQ(bounds.size(), 4u);
@@ -198,6 +223,27 @@ TEST(Registry, ClearEmptiesSnapshot) {
   r.counter("c").add(1);
   r.clear();
   EXPECT_TRUE(r.snapshot().empty());
+}
+
+TEST(Registry, ResetForTestZeroesInPlaceKeepingIdentity) {
+  Registry r;
+  Counter& c = r.counter("c");
+  Gauge& g = r.gauge("g");
+  LatencyHistogram& h = r.histogram("h", {1.0, 10.0});
+  c.add(5);
+  g.set(2.0);
+  h.observe_exemplar(0.5, 42);
+  r.reset_for_test();
+  // Unlike clear(), references cached by instrumentation sites stay valid
+  // and keep pointing at the same (now zeroed) metric objects.
+  EXPECT_EQ(&r.counter("c"), &c);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.exemplar(0), 0u);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(r.snapshot().size(), 3u);  // entries survive, values zeroed
 }
 
 TEST(EnabledFlag, DefaultsOffAndToggles) {

@@ -2,13 +2,22 @@
 // output flag pointed at a temp file, then parses and sanity-checks the
 // result:
 //
-//   validate_telemetry bench <bench-binary> [extra args...]
+//   validate_telemetry bench <bench-binary> [--require <key>]... [args...]
 //     runs `<bench-binary> --json <tmp>` and checks the report shape
 //     ({"bench": ..., "config": {...}, "metrics": {...}} with >= 1 metric).
+//     Each --require <key> (consumed here, never forwarded to the bench)
+//     additionally asserts that the named metric is present — how CI pins
+//     down telemetry fields downstream dashboards depend on.
 //
 //   validate_telemetry trace <example-binary> [extra args...]
 //     runs `<example-binary> --trace <tmp>` and checks the Chrome trace
 //     (traceEvents array, monotone ts, flow + fault + sched categories).
+//
+//   validate_telemetry serve-trace <binary> [extra args...]
+//     same spawn as `trace`, but checks a serving-plane trace: causal
+//     "trace.*" exemplar spans must be present and every span carrying a
+//     parent_span_id arg must reference a span_id that was emitted
+//     (referential integrity of the exported span trees).
 //
 // Exits 0 on success, 1 with a diagnostic on stderr otherwise. Registered
 // as ctest cases so a bench that silently stops emitting JSON fails CI.
@@ -18,8 +27,10 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 
@@ -40,7 +51,8 @@ std::string read_file(const std::filesystem::path& path) {
   return out.str();
 }
 
-int validate_bench(const JsonValue& doc) {
+int validate_bench(const JsonValue& doc,
+                   const std::vector<std::string>& required) {
   if (!doc.is_object()) return fail("bench report is not a JSON object");
   if (!doc.contains("bench") || !doc.at("bench").is_string()) {
     return fail("bench report missing string field 'bench'");
@@ -51,23 +63,37 @@ int validate_bench(const JsonValue& doc) {
   if (!doc.contains("metrics") || !doc.at("metrics").is_object()) {
     return fail("bench report missing object field 'metrics'");
   }
-  if (doc.at("metrics").object.empty()) {
+  const auto& metrics = doc.at("metrics").object;
+  if (metrics.empty()) {
     return fail("bench report has an empty 'metrics' object");
   }
+  for (const std::string& key : required) {
+    if (metrics.find(key) == metrics.end()) {
+      return fail("bench report missing required metric '" + key + "'");
+    }
+  }
   std::cout << "bench '" << doc.at("bench").string << "': "
-            << doc.at("metrics").object.size() << " metrics OK\n";
+            << metrics.size() << " metrics";
+  if (!required.empty()) {
+    std::cout << " (" << required.size() << " required fields present)";
+  }
+  std::cout << " OK\n";
   return 0;
 }
 
-int validate_trace(const JsonValue& doc) {
+int validate_trace(const JsonValue& doc, bool serve_mode) {
   if (!doc.is_object()) return fail("trace is not a JSON object");
   if (!doc.contains("traceEvents") || !doc.at("traceEvents").is_array()) {
     return fail("trace missing 'traceEvents' array");
   }
   const auto& events = doc.at("traceEvents").array;
   double last_ts = -1.0;
-  std::size_t data_events = 0;
+  std::size_t data_events = 0, causal_spans = 0;
   bool saw_flow = false, saw_fault = false, saw_sched = false;
+  // Causal-span referential integrity: every parent_span_id arg must name a
+  // span_id that was actually emitted (no orphaned tree edges).
+  std::set<double> span_ids;
+  std::vector<double> parent_refs;
   for (const auto& e : events) {
     if (!e.contains("ph")) return fail("event missing 'ph'");
     if (e.at("ph").string == "M") continue;
@@ -83,13 +109,38 @@ int validate_trace(const JsonValue& doc) {
     if (cat == "net.flow") saw_flow = true;
     if (cat == "faults") saw_fault = true;
     if (cat.rfind("sched.", 0) == 0) saw_sched = true;
+    if (cat.rfind("trace.", 0) == 0) ++causal_spans;
+    if (e.contains("args") && e.at("args").is_object()) {
+      const auto& args = e.at("args").object;
+      const auto sid = args.find("span_id");
+      if (sid != args.end()) span_ids.insert(sid->second.number);
+      const auto pid = args.find("parent_span_id");
+      if (pid != args.end()) parent_refs.push_back(pid->second.number);
+    }
   }
   if (data_events == 0) return fail("trace has no data events");
+  for (const double p : parent_refs) {
+    if (span_ids.find(p) == span_ids.end()) {
+      return fail("span references parent_span_id " + std::to_string(p) +
+                  " that was never emitted");
+    }
+  }
+  if (serve_mode) {
+    if (causal_spans == 0) return fail("trace has no causal trace.* spans");
+    if (parent_refs.empty()) {
+      return fail("causal spans carry no parent_span_id links");
+    }
+    std::cout << "serve trace: " << data_events << " events, "
+              << causal_spans << " causal spans, " << parent_refs.size()
+              << " parent links all resolve OK\n";
+    return 0;
+  }
   if (!saw_flow) return fail("trace has no net.flow spans");
   if (!saw_fault) return fail("trace has no faults spans");
   if (!saw_sched) return fail("trace has no sched.* spans");
   std::cout << "trace: " << data_events
-            << " events, monotone ts, flow+fault+sched present OK\n";
+            << " events, monotone ts, flow+fault+sched present, "
+            << parent_refs.size() << " parent links resolve OK\n";
   return 0;
 }
 
@@ -97,11 +148,27 @@ int validate_trace(const JsonValue& doc) {
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    return fail("usage: validate_telemetry <bench|trace> <binary> [args...]");
+    return fail(
+        "usage: validate_telemetry <bench|trace|serve-trace> <binary> "
+        "[--require <key>]... [args...]");
   }
   const std::string mode = argv[1];
-  if (mode != "bench" && mode != "trace") {
+  if (mode != "bench" && mode != "trace" && mode != "serve-trace") {
     return fail("unknown mode '" + mode + "'");
+  }
+
+  // --require keys are validator arguments; everything else is forwarded.
+  std::vector<std::string> required;
+  std::vector<std::string> forwarded;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string{argv[i]} == "--require" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else {
+      forwarded.emplace_back(argv[i]);
+    }
+  }
+  if (!required.empty() && mode != "bench") {
+    return fail("--require is only valid in bench mode");
   }
 
   const auto out_path =
@@ -114,7 +181,7 @@ int main(int argc, char** argv) {
   std::string cmd = std::string{"\""} + argv[2] + "\" " +
                     (mode == "bench" ? "--json" : "--trace") + " \"" +
                     out_path.string() + "\"";
-  for (int i = 3; i < argc; ++i) cmd += std::string{" "} + argv[i];
+  for (const std::string& arg : forwarded) cmd += " " + arg;
   // Benches print human-readable tables too; keep stdout for ctest logs.
   std::cout << "running: " << cmd << "\n";
   const int rc = std::system(cmd.c_str());
@@ -122,8 +189,9 @@ int main(int argc, char** argv) {
 
   try {
     const JsonValue doc = rb::obs::json_parse(read_file(out_path));
-    const int result = mode == "bench" ? validate_bench(doc)
-                                       : validate_trace(doc);
+    const int result = mode == "bench"
+                           ? validate_bench(doc, required)
+                           : validate_trace(doc, mode == "serve-trace");
     std::filesystem::remove(out_path, ec);
     return result;
   } catch (const std::exception& e) {
