@@ -1,0 +1,227 @@
+// EXT-QUERY — Vectorized push-based engine vs the row-at-a-time reference
+// interpreter on a TPC-H-flavored join → filter → aggregate → top-k
+// workload (Rec 10: accelerated building blocks inside a framework).
+//
+// Sweeps batch size, join order, and table scale; every cell cross-checks
+// that the vectorized result is byte-identical to Query::run(), and one
+// case runs the same plan over an LSM-backed scan (storage substrate
+// instead of a resident table). In --quick mode the bench gates on the
+// vectorized path being >= 3x faster than the interpreter on the
+// join-aggregate query at the largest quick scale and exits 1 on failure
+// (report-only under sanitizer builds, whose per-access overhead distorts
+// ratios).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "query/exec/lsm_table.hpp"
+#include "query/exec/plan.hpp"
+#include "query/table.hpp"
+#include "storage/lsm.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+using rb::query::Aggregate;
+using rb::query::Query;
+using rb::query::Table;
+
+struct Tables {
+  Table orders;     // order_id, customer
+  Table lineitems;  // order_id, amount
+};
+
+Tables make_tables(std::size_t n_orders, std::uint64_t seed) {
+  const auto rel = rb::workloads::order_tables(n_orders, 4.0, 0.8, seed);
+  Tables t;
+  std::vector<std::int64_t> oid, cust;
+  for (const auto& r : rel.orders) {
+    oid.push_back(static_cast<std::int64_t>(r.key));
+    cust.push_back(static_cast<std::int64_t>(r.payload));
+  }
+  t.orders.add_int_column("order_id", std::move(oid));
+  t.orders.add_int_column("customer", std::move(cust));
+  std::vector<std::int64_t> lid, amount;
+  for (const auto& r : rel.lineitems) {
+    lid.push_back(static_cast<std::int64_t>(r.key));
+    amount.push_back(static_cast<std::int64_t>(r.payload));
+  }
+  t.lineitems.add_int_column("order_id", std::move(lid));
+  t.lineitems.add_int_column("amount", std::move(amount));
+  return t;
+}
+
+/// The benchmark query: revenue by customer over large-ticket lineitems,
+/// top 10. `items_probe` picks the join order (lineitems probing an orders
+/// build, or the reverse).
+Query make_query(const Tables& t, bool items_probe) {
+  Query q = items_probe ? Query(t.lineitems) : Query(t.orders);
+  q.join(items_probe ? t.orders : t.lineitems, "order_id", "order_id")
+      .where_int("amount", [](std::int64_t a) { return a >= 20'000; })
+      .group_by("customer", Aggregate::kSum, "amount", "revenue")
+      .order_by("revenue", true)
+      .limit(10);
+  return q;
+}
+
+bool tables_equal(const Table& a, const Table& b) {
+  if (a.row_count() != b.row_count()) return false;
+  if (a.column_names() != b.column_names()) return false;
+  for (const auto& col : a.column_names()) {
+    if (a.column_type(col) != b.column_type(col)) return false;
+    if (a.column_type(col) == rb::query::ColumnType::kInt) {
+      if (a.ints(col) != b.ints(col)) return false;
+    } else {
+      if (a.strings(col) != b.strings(col)) return false;
+    }
+  }
+  return true;
+}
+
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  rb::bench::Report report{"ext_query_engine", argc, argv};
+  report.config("quick", quick);
+  report.config("sanitized", kSanitized);
+
+  rb::bench::heading("EXT-QUERY",
+                     "vectorized push-based engine vs row-at-a-time "
+                     "interpreter (join->filter->aggregate->topk)");
+
+  const std::vector<std::size_t> scales =
+      quick ? std::vector<std::size_t>{2'000, 20'000}
+            : std::vector<std::size_t>{2'000, 20'000, 100'000};
+  const std::vector<std::size_t> batch_sizes{256, 1024, 4096};
+  const int reps = quick ? 3 : 5;
+
+  std::printf(
+      "  %-9s %-11s %-6s %10s %12s %9s %s\n", "orders", "join-order",
+      "batch", "fluent-ms", "vector-ms", "speedup", "identical");
+
+  bool all_identical = true;
+  double gate_speedup = 0.0;  // largest scale, items-probe, batch 1024
+
+  for (const std::size_t n_orders : scales) {
+    const auto tables = make_tables(n_orders, /*seed=*/42 + n_orders);
+    for (const bool items_probe : {true, false}) {
+      const Query query = make_query(tables, items_probe);
+      const Table reference = query.run();
+      const double fluent_s = best_seconds(reps, [&query] {
+        const Table t = query.run();
+        if (t.row_count() > 10) std::abort();  // keep the result live
+      });
+      for (const std::size_t batch : batch_sizes) {
+        const auto plan = rb::query::exec::compile(query);
+        rb::query::exec::ExecOptions opts;
+        opts.batch_size = batch;
+        const bool identical = tables_equal(plan.run(opts), reference);
+        all_identical = all_identical && identical;
+        const double vec_s = best_seconds(reps, [&plan, &opts] {
+          const Table t = plan.run(opts);
+          if (t.row_count() > 10) std::abort();
+        });
+        const double speedup = fluent_s / vec_s;
+        if (n_orders == scales.back() && items_probe && batch == 1024) {
+          gate_speedup = speedup;
+        }
+        std::printf("  %-9zu %-11s %-6zu %10.2f %12.2f %8.2fx %s\n",
+                    n_orders, items_probe ? "items|orders" : "orders|items",
+                    batch, fluent_s * 1e3, vec_s * 1e3, speedup,
+                    identical ? "yes" : "NO");
+        const std::string tag =
+            std::to_string(n_orders) + "." +
+            (items_probe ? "items_probe" : "orders_probe") + ".b" +
+            std::to_string(batch);
+        report.metric(tag + ".fluent_ms", fluent_s * 1e3);
+        report.metric(tag + ".vector_ms", vec_s * 1e3);
+        report.metric(tag + ".speedup", speedup);
+      }
+    }
+  }
+
+  // LSM-backed scan: same chain over the storage substrate.
+  bool lsm_identical = true;
+  {
+    const auto tables = make_tables(scales.front(), /*seed=*/7);
+    rb::storage::LsmOptions lsm_opts;
+    lsm_opts.memtable_bytes = 1 << 16;  // forces SSTable flushes
+    rb::storage::LsmStore store{lsm_opts};
+    rb::query::exec::store_table(store, "lineitems", tables.lineitems);
+    auto plan =
+        rb::query::exec::PlanBuilder(store, "lineitems")
+            .join(tables.orders, "order_id", "order_id")
+            .filter_int("amount", [](std::int64_t a) { return a >= 20'000; })
+            .group_by("customer", Aggregate::kSum, "amount", "revenue")
+            .order_by("revenue", true)
+            .limit(10)
+            .build();
+    const Table reference = make_query(tables, /*items_probe=*/true).run();
+    lsm_identical = tables_equal(plan.run(), reference);
+    const double lsm_s = best_seconds(reps, [&plan] { (void)plan.run(); });
+    std::printf("  lsm-backed scan (%zu orders): %.2f ms, identical: %s\n",
+                scales.front(), lsm_s * 1e3, lsm_identical ? "yes" : "NO");
+    report.metric("lsm.vector_ms", lsm_s * 1e3);
+  }
+
+  const bool gate_ok = !quick || gate_speedup >= 3.0 || kSanitized;
+  const bool pass = all_identical && lsm_identical && gate_ok;
+
+  std::printf("\n  join-aggregate speedup at largest scale: %.2fx "
+              "(quick gate: >=3x)\n",
+              gate_speedup);
+  if (!all_identical || !lsm_identical) {
+    std::printf("  FAIL: vectorized results diverged from the reference "
+                "interpreter\n");
+  }
+  if (!gate_ok) {
+    std::printf("  PERF REGRESSION: vectorized path only %.2fx over "
+                "row-at-a-time (expected >=3x)\n",
+                gate_speedup);
+  }
+  if (kSanitized && quick && gate_speedup < 3.0) {
+    std::printf("  (sanitized build: speed gate is report-only)\n");
+  }
+
+  report.metric("speedup_join_agg", gate_speedup);
+  report.metric("results_identical", all_identical);
+  report.metric("lsm_identical", lsm_identical);
+  report.metric("pass", pass);
+  report.write();
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,206 @@
+#include "query/exec/lsm_table.hpp"
+
+#include <stdexcept>
+
+namespace rb::query::exec {
+
+namespace {
+
+constexpr std::size_t kRowIdDigits = 10;
+
+std::string table_prefix(const std::string& name) { return "t!" + name; }
+
+std::string schema_key(const std::string& name) {
+  return table_prefix(name) + "!s";
+}
+
+std::string row_key(const std::string& name, std::uint64_t row) {
+  char digits[kRowIdDigits];
+  for (std::size_t i = kRowIdDigits; i-- > 0; row /= 10) {
+    digits[i] = static_cast<char>('0' + row % 10);
+  }
+  return table_prefix(name) + "!r!" + std::string{digits, kRowIdDigits};
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& data) : data_{data} {}
+
+  std::uint32_t read_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::int64_t read_i64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return static_cast<std::int64_t>(v);
+  }
+
+  std::string read_bytes(std::size_t n) {
+    need(n);
+    std::string v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::runtime_error{"lsm_table: truncated record"};
+    }
+  }
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+void validate_name(const std::string& name) {
+  if (name.empty())
+    throw std::invalid_argument{"lsm_table: empty table name"};
+  if (name.find('!') != std::string::npos)
+    throw std::invalid_argument{"lsm_table: table name contains '!'"};
+}
+
+SchemaPtr decode_schema(const std::string& record) {
+  Cursor cur{record};
+  const std::uint32_t n = cur.read_u32();
+  auto schema = std::make_shared<BatchSchema>();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const char tag = cur.read_bytes(1)[0];
+    const std::uint32_t len = cur.read_u32();
+    std::string col = cur.read_bytes(len);
+    schema->add(std::move(col),
+                tag == 'i' ? ColumnType::kInt : ColumnType::kString);
+  }
+  if (!cur.exhausted())
+    throw std::runtime_error{"lsm_table: trailing bytes in schema record"};
+  return schema;
+}
+
+void decode_row(const std::string& value, const BatchSchema& schema,
+                ColumnBatch& out) {
+  Cursor cur{value};
+  for (std::size_t c = 0; c < schema.column_count(); ++c) {
+    if (schema.at(c).type == ColumnType::kInt) {
+      out.ints(c).push_back(cur.read_i64());
+    } else {
+      const std::uint32_t len = cur.read_u32();
+      out.strings(c).push_back(cur.read_bytes(len));
+    }
+  }
+  if (!cur.exhausted())
+    throw std::runtime_error{"lsm_table: trailing bytes in row record"};
+}
+
+}  // namespace
+
+void store_table(storage::LsmStore& store, const std::string& name,
+                 const Table& table) {
+  validate_name(name);
+  constexpr std::uint64_t kMaxRows = 9'999'999'999ULL;
+  if (table.row_count() > kMaxRows)
+    throw std::invalid_argument{"lsm_table: table too large for row ids"};
+
+  const auto names = table.column_names();
+  std::string schema_record;
+  append_u32(schema_record, static_cast<std::uint32_t>(names.size()));
+  for (const auto& col : names) {
+    schema_record.push_back(
+        table.column_type(col) == ColumnType::kInt ? 'i' : 's');
+    append_u32(schema_record, static_cast<std::uint32_t>(col.size()));
+    schema_record += col;
+  }
+  store.put(schema_key(name), std::move(schema_record));
+
+  // Column accessors resolved once, outside the row loop.
+  std::vector<const std::vector<std::int64_t>*> int_cols;
+  std::vector<const std::vector<std::string>*> str_cols;
+  for (const auto& col : names) {
+    if (table.column_type(col) == ColumnType::kInt) {
+      int_cols.push_back(&table.ints(col));
+      str_cols.push_back(nullptr);
+    } else {
+      int_cols.push_back(nullptr);
+      str_cols.push_back(&table.strings(col));
+    }
+  }
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    std::string value;
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      if (int_cols[c] != nullptr) {
+        append_i64(value, (*int_cols[c])[r]);
+      } else {
+        const std::string& s = (*str_cols[c])[r];
+        append_u32(value, static_cast<std::uint32_t>(s.size()));
+        value += s;
+      }
+    }
+    store.put(row_key(name, r), std::move(value));
+  }
+}
+
+LsmSource::LsmSource(const storage::LsmStore* store, std::string name) {
+  validate_name(name);
+  const auto schema_record = store->get(schema_key(name));
+  if (!schema_record.has_value()) {
+    throw std::invalid_argument{"lsm_table: no table named " + name};
+  }
+  schema_ = decode_schema(*schema_record);
+  const std::string lo = table_prefix(name) + "!r!";
+  const std::string hi = table_prefix(name) + "!r" + char('!' + 1);
+  rows_ = store->scan(lo, hi);
+}
+
+bool LsmSource::next(ColumnBatch& out) {
+  if (pos_ >= rows_.size()) return false;
+  const std::size_t n = std::min(out.capacity(), rows_.size() - pos_);
+  for (std::size_t i = 0; i < n; ++i) {
+    decode_row(rows_[pos_ + i].second, *schema_, out);
+  }
+  out.set_row_count(n);
+  pos_ += n;
+  rows_emitted += n;
+  return true;
+}
+
+Table load_table(const storage::LsmStore& store, const std::string& name) {
+  LsmSource source{&store, name};
+  CollectSink sink{source.schema()};
+  ColumnBatch batch{source.schema(), 4096};
+  while (source.next(batch)) {
+    sink.push(batch);
+    batch.clear();
+  }
+  sink.finish();
+  return sink.take();
+}
+
+}  // namespace rb::query::exec

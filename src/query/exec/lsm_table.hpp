@@ -1,0 +1,51 @@
+#pragma once
+// Typed relational tables over the LSM key-value store.
+//
+// Encoding: a table named T occupies the key range "t!T!…":
+//   "t!T!s"                 → schema record (column names + types, binary)
+//   "t!T!r!<rowid %010u>"   → one row, columns serialized in schema order
+//                             (int64: 8 bytes little-endian; string: u32
+//                             length prefix + bytes)
+// Zero-padded decimal row ids make lexicographic key order equal row order,
+// so LsmStore::scan streams rows back exactly as they were appended and an
+// LSM-backed scan is byte-identical to the in-memory one. This is the
+// storage-backed end of the Rec 10 pipeline: the same operator chain runs
+// over a memtable+SSTable substrate instead of a resident Table.
+
+#include <cstdint>
+#include <string>
+
+#include "query/exec/batch.hpp"
+#include "query/exec/operators.hpp"
+#include "query/table.hpp"
+#include "storage/lsm.hpp"
+
+namespace rb::query::exec {
+
+/// Write `table` into `store` under `name` (schema record + one entry per
+/// row). Throws std::invalid_argument when `name` is empty or contains the
+/// '!' key separator, or when the table has more rows than the 10-digit
+/// row id can address.
+void store_table(storage::LsmStore& store, const std::string& name,
+                 const Table& table);
+
+/// Read a whole stored table back. Throws std::invalid_argument when no
+/// schema record exists under `name`, std::runtime_error on a corrupt row.
+Table load_table(const storage::LsmStore& store, const std::string& name);
+
+/// Source that scans a stored table out of the LSM store with typed decode,
+/// in row order, batch by batch.
+class LsmSource : public Source {
+ public:
+  LsmSource(const storage::LsmStore* store, std::string name);
+  const char* name() const noexcept override { return "lsm_scan"; }
+  const SchemaPtr& schema() const noexcept override { return schema_; }
+  bool next(ColumnBatch& out) override;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<std::pair<std::string, std::string>> rows_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rb::query::exec

@@ -1,0 +1,261 @@
+#include "query/exec/plan.hpp"
+
+#include <stdexcept>
+
+#include "query/exec/lsm_table.hpp"
+#include "query/exec/operators.hpp"
+
+namespace rb::query::exec {
+
+namespace {
+
+/// order_by+limit fuses into TopK only when the k slots are worth
+/// preallocating; beyond this a full sort is no worse.
+constexpr std::size_t kTopKFusionMax = std::size_t{1} << 16;
+
+bool fuses_to_topk(const std::vector<Stage>& stages, std::size_t i) {
+  if (!std::holds_alternative<OrderByStage>(stages[i])) return false;
+  if (i + 1 >= stages.size()) return false;
+  const auto* next = std::get_if<LimitStage>(&stages[i + 1]);
+  return next != nullptr && next->n <= kTopKFusionMax;
+}
+
+/// Operators that forward batches without buffering input; a Limit behind
+/// only these can stop the scan early.
+bool is_streaming(const char* name) noexcept {
+  const std::string_view n{name};
+  return n == "filter" || n == "hash_join" || n == "project" || n == "limit";
+}
+
+}  // namespace
+
+Table Plan::run(const ExecOptions& opts) const { return run(opts, nullptr); }
+
+Table Plan::run(const ExecOptions& opts, ExecStats* stats) const {
+  if (opts.batch_size == 0)
+    throw std::invalid_argument{"Plan: batch_size must be positive"};
+
+  std::unique_ptr<Source> source;
+  if (store_ != nullptr) {
+    source = std::make_unique<LsmSource>(store_, lsm_table_);
+  } else {
+    source = std::make_unique<TableSource>(source_table());
+  }
+
+  const std::vector<Stage>& stages = this->stages();
+  std::vector<std::unique_ptr<Operator>> ops;
+  SchemaPtr schema = source->schema();
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (fuses_to_topk(stages, i)) {
+      const auto& ob = std::get<OrderByStage>(stages[i]);
+      const auto& lim = std::get<LimitStage>(stages[i + 1]);
+      ops.push_back(std::make_unique<TopK>(schema, ob.column, ob.descending,
+                                           lim.n, opts.batch_size));
+      ++i;
+    } else {
+      std::visit(
+          [&](const auto& s) {
+            using S = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<S, FilterIntStage>) {
+              ops.push_back(
+                  std::make_unique<FilterInt>(schema, s.column, s.pred));
+            } else if constexpr (std::is_same_v<S, FilterStringStage>) {
+              ops.push_back(
+                  std::make_unique<FilterString>(schema, s.column, s.pred));
+            } else if constexpr (std::is_same_v<S, JoinStage>) {
+              ops.push_back(std::make_unique<HashJoin>(
+                  schema, &s.right, s.left_key, s.right_key,
+                  opts.batch_size));
+            } else if constexpr (std::is_same_v<S, GroupByStage>) {
+              ops.push_back(std::make_unique<GroupAggregate>(
+                  schema, s.key, s.agg, s.value, s.result, opts.batch_size));
+            } else if constexpr (std::is_same_v<S, OrderByStage>) {
+              ops.push_back(std::make_unique<OrderBy>(
+                  schema, s.column, s.descending, opts.batch_size));
+            } else if constexpr (std::is_same_v<S, LimitStage>) {
+              ops.push_back(std::make_unique<Limit>(schema, s.n));
+            } else {
+              ops.push_back(
+                  std::make_unique<Project>(schema, s.columns,
+                                            opts.batch_size));
+            }
+          },
+          stages[i]);
+    }
+    schema = ops.back()->output_schema();
+  }
+  auto sink = std::make_unique<CollectSink>(schema);
+
+  for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+    ops[i]->set_output(ops[i + 1].get());
+  }
+  if (!ops.empty()) ops.back()->set_output(sink.get());
+  Operator* first = ops.empty() ? sink.get() : ops.front().get();
+
+  // A Limit preceded only by streaming operators can stop the scan once
+  // its quota fills (a blocking operator in between needs all input).
+  Operator* stop = nullptr;
+  for (const auto& op : ops) {
+    if (dynamic_cast<Limit*>(op.get()) != nullptr) {
+      stop = op.get();
+      break;
+    }
+    if (!is_streaming(op->name())) break;
+  }
+
+  const bool timed = opts.trace != nullptr;
+  for (const auto& op : ops) op->set_timed(timed);
+  sink->set_timed(timed);
+
+  for (const auto& op : ops) op->open();
+  sink->open();
+
+  ColumnBatch batch{source->schema(), opts.batch_size};
+  while (source->next(batch)) {
+    first->push(batch);
+    batch.clear();
+    if (stop != nullptr && stop->saturated()) break;
+  }
+  first->finish();
+
+  if (opts.trace != nullptr && opts.trace->enabled()) {
+    for (const auto& op : ops) {
+      const auto& s = op->stats();
+      opts.trace->complete(
+          "query.op", op->name(), 0, op->busy_ns() * 1000,
+          {obs::trace_arg("rows_in", s.rows_in),
+           obs::trace_arg("rows_out", s.rows_out),
+           obs::trace_arg("batches", s.batches_in),
+           obs::trace_arg("build_rows", s.build_rows)});
+    }
+    opts.trace->complete(
+        "query.op", "collect", 0, sink->busy_ns() * 1000,
+        {obs::trace_arg("rows_in", sink->stats().rows_in),
+         obs::trace_arg("batches", sink->stats().batches_in)});
+  }
+
+  if (stats != nullptr) {
+    stats->source = source->name();
+    stats->source_rows = source->rows_emitted;
+    stats->operators.clear();
+    const auto record = [&stats](const Operator& op) {
+      const auto& s = op.stats();
+      stats->operators.push_back(ExecStats::OpStat{
+          op.name(), s.rows_in, s.rows_out, s.batches_in, s.build_rows,
+          op.busy_ns()});
+    };
+    for (const auto& op : ops) record(*op);
+    record(*sink);
+  }
+
+  return sink->take();
+}
+
+std::vector<std::string> Plan::describe() const {
+  std::vector<std::string> names;
+  names.push_back(store_ != nullptr ? "lsm_scan" : "scan");
+  const std::vector<Stage>& stages = this->stages();
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (fuses_to_topk(stages, i)) {
+      names.push_back("topk");
+      ++i;
+      continue;
+    }
+    std::visit(
+        [&names](const auto& s) {
+          using S = std::decay_t<decltype(s)>;
+          if constexpr (std::is_same_v<S, FilterIntStage> ||
+                        std::is_same_v<S, FilterStringStage>) {
+            names.push_back("filter");
+          } else if constexpr (std::is_same_v<S, JoinStage>) {
+            names.push_back("hash_join");
+          } else if constexpr (std::is_same_v<S, GroupByStage>) {
+            names.push_back("group_aggregate");
+          } else if constexpr (std::is_same_v<S, OrderByStage>) {
+            names.push_back("order_by");
+          } else if constexpr (std::is_same_v<S, LimitStage>) {
+            names.push_back("limit");
+          } else {
+            names.push_back("project");
+          }
+        },
+        stages[i]);
+  }
+  names.push_back("collect");
+  return names;
+}
+
+PlanBuilder::PlanBuilder(Table source) {
+  plan_.owned_source_ = std::move(source);
+}
+
+PlanBuilder::PlanBuilder(const storage::LsmStore& store,
+                         std::string lsm_table) {
+  plan_.store_ = &store;
+  plan_.lsm_table_ = std::move(lsm_table);
+}
+
+PlanBuilder& PlanBuilder::filter_int(std::string column,
+                                     std::function<bool(std::int64_t)> pred) {
+  plan_.owned_stages_.push_back(
+      FilterIntStage{std::move(column), std::move(pred)});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::filter_string(
+    std::string column, std::function<bool(const std::string&)> pred) {
+  plan_.owned_stages_.push_back(
+      FilterStringStage{std::move(column), std::move(pred)});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::join(Table right, std::string left_key,
+                               std::string right_key) {
+  plan_.owned_stages_.push_back(JoinStage{
+      std::move(right), std::move(left_key), std::move(right_key)});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::group_by(std::string key, Aggregate agg,
+                                   std::string value,
+                                   std::string result_name) {
+  plan_.owned_stages_.push_back(GroupByStage{
+      std::move(key), agg, std::move(value), std::move(result_name)});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::order_by(std::string column, bool descending) {
+  plan_.owned_stages_.push_back(OrderByStage{std::move(column), descending});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::limit(std::size_t n) {
+  plan_.owned_stages_.push_back(LimitStage{n});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::project(std::vector<std::string> columns) {
+  plan_.owned_stages_.push_back(ProjectStage{std::move(columns)});
+  return *this;
+}
+
+Plan PlanBuilder::build() { return std::move(plan_); }
+
+Plan compile(const Query& query) {
+  Plan plan;
+  plan.borrowed_source_ = &query.source();
+  plan.borrowed_stages_ = &query.stages();
+  return plan;
+}
+
+}  // namespace rb::query::exec
+
+namespace rb::query {
+
+Table Query::run_vectorized(std::size_t batch_size) const {
+  exec::ExecOptions opts;
+  opts.batch_size = batch_size;
+  return exec::compile(*this).run(opts);
+}
+
+}  // namespace rb::query

@@ -1,0 +1,121 @@
+#pragma once
+// Physical plans for the vectorized push-based engine.
+//
+// A Plan is a source (in-memory Table or a table stored in an LSM store)
+// plus the same Stage descriptors the fluent Query records. run() compiles
+// the stages into the operator chain from operators.hpp — fusing
+// order_by+limit into the bounded TopK operator and stopping the scan
+// early when a Limit with a fully-streaming prefix saturates — then drives
+// batches from the source through the chain into a CollectSink.
+//
+// Two ways in:
+//   * PlanBuilder: standalone fluent construction, including LSM-backed
+//     scans:  PlanBuilder(store, "lineitem").filter_int(...).build()
+//   * compile(query): borrow an existing fluent Query's source and stages
+//     (zero-copy; the Query must outlive the Plan).
+//
+// Every plan produces results byte-identical to Query::run() on the same
+// stages — the differential tests enforce this property.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "query/exec/batch.hpp"
+#include "query/table.hpp"
+
+namespace rb::storage {
+class LsmStore;
+}
+
+namespace rb::query::exec {
+
+struct ExecOptions {
+  /// Rows per ColumnBatch.
+  std::size_t batch_size = 1024;
+  /// When set (and enabled), run() emits one "query.op" complete span per
+  /// operator with rows/batches/build args and per-operator busy time.
+  obs::TraceRecorder* trace = nullptr;
+};
+
+/// Per-run execution telemetry (filled when run() is given a stats out).
+struct ExecStats {
+  struct OpStat {
+    std::string op;
+    std::uint64_t rows_in = 0;
+    std::uint64_t rows_out = 0;
+    std::uint64_t batches_in = 0;
+    std::uint64_t build_rows = 0;
+    std::int64_t busy_ns = 0;
+  };
+  std::string source;
+  std::uint64_t source_rows = 0;
+  std::vector<OpStat> operators;  // chain order, sink last
+};
+
+class Plan {
+ public:
+  /// Execute and materialize the result. Column/type errors throw
+  /// std::invalid_argument (same contract as Query::run).
+  Table run(const ExecOptions& opts = {}) const;
+  Table run(const ExecOptions& opts, ExecStats* stats) const;
+
+  /// Operator names in chain order after fusion (no validation, no
+  /// execution): e.g. {"scan", "hash_join", "filter", "topk", "collect"}.
+  std::vector<std::string> describe() const;
+
+ private:
+  friend class PlanBuilder;
+  friend Plan compile(const Query& query);
+
+  const Table* source_table() const noexcept {
+    return owned_source_.has_value() ? &*owned_source_ : borrowed_source_;
+  }
+  const std::vector<Stage>& stages() const noexcept {
+    return borrowed_stages_ != nullptr ? *borrowed_stages_ : owned_stages_;
+  }
+
+  std::optional<Table> owned_source_;
+  const Table* borrowed_source_ = nullptr;
+  const storage::LsmStore* store_ = nullptr;  // non-null = LSM-backed scan
+  std::string lsm_table_;
+  std::vector<Stage> owned_stages_;
+  const std::vector<Stage>* borrowed_stages_ = nullptr;
+};
+
+/// Fluent plan construction mirroring the Query verbs.
+class PlanBuilder {
+ public:
+  /// Scan an in-memory table (the builder owns a copy).
+  explicit PlanBuilder(Table source);
+  /// Scan table `lsm_table` out of `store` (see exec/lsm_table.hpp;
+  /// resolution happens at run() time, so the store may still be loading).
+  PlanBuilder(const storage::LsmStore& store, std::string lsm_table);
+
+  PlanBuilder& filter_int(std::string column,
+                          std::function<bool(std::int64_t)> pred);
+  PlanBuilder& filter_string(std::string column,
+                             std::function<bool(const std::string&)> pred);
+  PlanBuilder& join(Table right, std::string left_key,
+                    std::string right_key);
+  PlanBuilder& group_by(std::string key, Aggregate agg, std::string value,
+                        std::string result_name);
+  PlanBuilder& order_by(std::string column, bool descending = false);
+  PlanBuilder& limit(std::size_t n);
+  PlanBuilder& project(std::vector<std::string> columns);
+
+  /// Moves the accumulated plan out; the builder is spent afterwards.
+  Plan build();
+
+ private:
+  Plan plan_;
+};
+
+/// Compile a fluent Query onto the vectorized engine. Borrows the query's
+/// source table and stages — the Query must outlive the returned Plan.
+Plan compile(const Query& query);
+
+}  // namespace rb::query::exec

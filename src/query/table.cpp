@@ -123,6 +123,8 @@ std::string Table::to_string(std::size_t max_rows) const {
   return out.str();
 }
 
+/// --- Row-at-a-time stage interpreters ----------------------------------
+
 namespace {
 
 std::vector<std::uint32_t> all_rows(std::size_t n) {
@@ -131,194 +133,231 @@ std::vector<std::uint32_t> all_rows(std::size_t n) {
   return idx;
 }
 
+Table apply_filter_int(Table t, const FilterIntStage& s) {
+  const auto& values = t.ints(s.column);
+  std::vector<std::uint32_t> keep;
+  for (std::uint32_t i = 0; i < values.size(); ++i) {
+    if (s.pred(values[i])) keep.push_back(i);
+  }
+  return t.gather(keep);
+}
+
+Table apply_filter_string(Table t, const FilterStringStage& s) {
+  const auto& values = t.strings(s.column);
+  std::vector<std::uint32_t> keep;
+  for (std::uint32_t i = 0; i < values.size(); ++i) {
+    if (s.pred(values[i])) keep.push_back(i);
+  }
+  return t.gather(keep);
+}
+
+Table apply_join(Table left, const JoinStage& s) {
+  const auto& lkeys = left.ints(s.left_key);
+  const auto& rkeys = s.right.ints(s.right_key);
+  // Row indices ride along as payloads through the hash-join block.
+  std::vector<accel::Row> lrows, rrows;
+  lrows.reserve(lkeys.size());
+  for (std::uint32_t i = 0; i < lkeys.size(); ++i) {
+    lrows.push_back(accel::Row{static_cast<std::uint64_t>(lkeys[i]), i});
+  }
+  rrows.reserve(rkeys.size());
+  for (std::uint32_t i = 0; i < rkeys.size(); ++i) {
+    rrows.push_back(accel::Row{static_cast<std::uint64_t>(rkeys[i]), i});
+  }
+  auto joined = accel::hash_join(lrows, rrows);
+  // The radix join emits partition-major; canonicalize to left-major order
+  // (left rows in order, matches in right-row order) so the output is
+  // independent of the physical join strategy — the vectorized engine's
+  // streaming probe produces this order natively.
+  std::sort(joined.begin(), joined.end(),
+            [](const accel::JoinedRow& a, const accel::JoinedRow& b) {
+              return a.left_payload != b.left_payload
+                         ? a.left_payload < b.left_payload
+                         : a.right_payload < b.right_payload;
+            });
+  std::vector<std::uint32_t> lidx, ridx;
+  lidx.reserve(joined.size());
+  ridx.reserve(joined.size());
+  for (const auto& j : joined) {
+    lidx.push_back(static_cast<std::uint32_t>(j.left_payload));
+    ridx.push_back(static_cast<std::uint32_t>(j.right_payload));
+  }
+  Table out = left.gather(lidx);
+  const Table rgathered = s.right.gather(ridx);
+  for (const auto& name : rgathered.column_names()) {
+    const std::string out_name = out.has_column(name) ? name + "_r" : name;
+    if (rgathered.column_type(name) == ColumnType::kInt) {
+      out.add_int_column(out_name, rgathered.ints(name));
+    } else {
+      out.add_string_column(out_name, rgathered.strings(name));
+    }
+  }
+  return out;
+}
+
+Table apply_group_by(Table t, const GroupByStage& s) {
+  const auto& values = t.ints(s.value);
+  const auto block_op = [&s] {
+    switch (s.agg) {
+      case Aggregate::kSum: return accel::AggOp::kSum;
+      case Aggregate::kCount: return accel::AggOp::kCount;
+      case Aggregate::kMin: return accel::AggOp::kMin;
+      case Aggregate::kMax: return accel::AggOp::kMax;
+    }
+    return accel::AggOp::kSum;
+  }();
+  // The aggregate block compares unsigned; min/max over signed values
+  // need the order-preserving sign-flip bias. Sum rides on two's-
+  // complement wraparound and count ignores the payload entirely.
+  const bool ordered = s.agg == Aggregate::kMin || s.agg == Aggregate::kMax;
+  constexpr std::uint64_t kBias = 0x8000'0000'0000'0000ULL;
+  const auto encode = [ordered](std::int64_t v) {
+    return static_cast<std::uint64_t>(v) ^ (ordered ? kBias : 0);
+  };
+  const auto decode = [ordered](std::uint64_t v) {
+    return static_cast<std::int64_t>(v ^ (ordered ? kBias : 0));
+  };
+
+  Table out;
+  if (t.column_type(s.key) == ColumnType::kInt) {
+    const auto& keys = t.ints(s.key);
+    std::vector<accel::Row> rows;
+    rows.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      rows.push_back(accel::Row{static_cast<std::uint64_t>(keys[i]),
+                                encode(values[i])});
+    }
+    const auto groups = accel::group_aggregate(rows, block_op);
+    std::vector<std::int64_t> out_keys, out_values;
+    for (const auto& g : groups) {
+      out_keys.push_back(static_cast<std::int64_t>(g.key));
+      out_values.push_back(s.agg == Aggregate::kCount
+                               ? static_cast<std::int64_t>(g.value)
+                               : decode(g.value));
+    }
+    out.add_int_column(s.key, std::move(out_keys));
+    out.add_int_column(s.result, std::move(out_values));
+  } else {
+    // String keys: dictionary-encode, aggregate on codes, decode.
+    const auto& keys = t.strings(s.key);
+    std::unordered_map<std::string, std::uint64_t> codes;
+    std::vector<std::string> dictionary;
+    std::vector<accel::Row> rows;
+    rows.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto [it, inserted] =
+          codes.try_emplace(keys[i], dictionary.size());
+      if (inserted) dictionary.push_back(keys[i]);
+      rows.push_back(accel::Row{it->second, encode(values[i])});
+    }
+    const auto groups = accel::group_aggregate(rows, block_op);
+    std::vector<std::string> out_keys;
+    std::vector<std::int64_t> out_values;
+    for (const auto& g : groups) {
+      out_keys.push_back(dictionary.at(static_cast<std::size_t>(g.key)));
+      out_values.push_back(s.agg == Aggregate::kCount
+                               ? static_cast<std::int64_t>(g.value)
+                               : decode(g.value));
+    }
+    out.add_string_column(s.key, std::move(out_keys));
+    out.add_int_column(s.result, std::move(out_values));
+  }
+  return out;
+}
+
+Table apply_order_by(Table t, const OrderByStage& s) {
+  const auto& values = t.ints(s.column);
+  auto idx = all_rows(values.size());
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&values, &s](std::uint32_t a, std::uint32_t b) {
+                     return s.descending ? values[a] > values[b]
+                                         : values[a] < values[b];
+                   });
+  return t.gather(idx);
+}
+
+Table apply_limit(Table t, const LimitStage& s) {
+  return t.gather(all_rows(std::min(s.n, t.row_count())));
+}
+
+Table apply_project(Table t, const ProjectStage& s) {
+  Table out;
+  for (const auto& name : s.columns) {
+    if (t.column_type(name) == ColumnType::kInt) {
+      out.add_int_column(name, t.ints(name));
+    } else {
+      out.add_string_column(name, t.strings(name));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Query& Query::where_int(std::string column,
                         std::function<bool(std::int64_t)> pred) {
-  stages_.push_back({[column = std::move(column),
-                      pred = std::move(pred)](Table t) {
-    const auto& values = t.ints(column);
-    std::vector<std::uint32_t> keep;
-    for (std::uint32_t i = 0; i < values.size(); ++i) {
-      if (pred(values[i])) keep.push_back(i);
-    }
-    return t.gather(keep);
-  }});
+  stages_.push_back(FilterIntStage{std::move(column), std::move(pred)});
   return *this;
 }
 
 Query& Query::where_string(std::string column,
                            std::function<bool(const std::string&)> pred) {
-  stages_.push_back({[column = std::move(column),
-                      pred = std::move(pred)](Table t) {
-    const auto& values = t.strings(column);
-    std::vector<std::uint32_t> keep;
-    for (std::uint32_t i = 0; i < values.size(); ++i) {
-      if (pred(values[i])) keep.push_back(i);
-    }
-    return t.gather(keep);
-  }});
+  stages_.push_back(FilterStringStage{std::move(column), std::move(pred)});
   return *this;
 }
 
 Query& Query::join(Table right, std::string left_key,
                    std::string right_key) {
-  stages_.push_back({[right = std::move(right), left_key = std::move(left_key),
-                      right_key = std::move(right_key)](Table left) {
-    const auto& lkeys = left.ints(left_key);
-    const auto& rkeys = right.ints(right_key);
-    // Row indices ride along as payloads through the hash-join block.
-    std::vector<accel::Row> lrows, rrows;
-    lrows.reserve(lkeys.size());
-    for (std::uint32_t i = 0; i < lkeys.size(); ++i) {
-      lrows.push_back(
-          accel::Row{static_cast<std::uint64_t>(lkeys[i]), i});
-    }
-    rrows.reserve(rkeys.size());
-    for (std::uint32_t i = 0; i < rkeys.size(); ++i) {
-      rrows.push_back(
-          accel::Row{static_cast<std::uint64_t>(rkeys[i]), i});
-    }
-    const auto joined = accel::hash_join(lrows, rrows);
-    std::vector<std::uint32_t> lidx, ridx;
-    lidx.reserve(joined.size());
-    ridx.reserve(joined.size());
-    for (const auto& j : joined) {
-      lidx.push_back(static_cast<std::uint32_t>(j.left_payload));
-      ridx.push_back(static_cast<std::uint32_t>(j.right_payload));
-    }
-    Table out = left.gather(lidx);
-    const Table rgathered = right.gather(ridx);
-    for (const auto& name : rgathered.column_names()) {
-      const std::string out_name =
-          out.has_column(name) ? name + "_r" : name;
-      if (rgathered.column_type(name) == ColumnType::kInt) {
-        out.add_int_column(out_name, rgathered.ints(name));
-      } else {
-        out.add_string_column(out_name, rgathered.strings(name));
-      }
-    }
-    return out;
-  }});
+  stages_.push_back(JoinStage{std::move(right), std::move(left_key),
+                              std::move(right_key)});
   return *this;
 }
 
 Query& Query::group_by(std::string key, Aggregate agg, std::string value,
                        std::string result_name) {
-  stages_.push_back({[key = std::move(key), agg, value = std::move(value),
-                      result_name = std::move(result_name)](Table t) {
-    const auto& values = t.ints(value);
-    const auto block_op = [agg] {
-      switch (agg) {
-        case Aggregate::kSum: return accel::AggOp::kSum;
-        case Aggregate::kCount: return accel::AggOp::kCount;
-        case Aggregate::kMin: return accel::AggOp::kMin;
-        case Aggregate::kMax: return accel::AggOp::kMax;
-      }
-      return accel::AggOp::kSum;
-    }();
-    // The aggregate block compares unsigned; min/max over signed values
-    // need the order-preserving sign-flip bias. Sum rides on two's-
-    // complement wraparound and count ignores the payload entirely.
-    const bool ordered = agg == Aggregate::kMin || agg == Aggregate::kMax;
-    constexpr std::uint64_t kBias = 0x8000'0000'0000'0000ULL;
-    const auto encode = [ordered](std::int64_t v) {
-      return static_cast<std::uint64_t>(v) ^ (ordered ? kBias : 0);
-    };
-    const auto decode = [ordered](std::uint64_t v) {
-      return static_cast<std::int64_t>(v ^ (ordered ? kBias : 0));
-    };
-
-    Table out;
-    if (t.column_type(key) == ColumnType::kInt) {
-      const auto& keys = t.ints(key);
-      std::vector<accel::Row> rows;
-      rows.reserve(keys.size());
-      for (std::size_t i = 0; i < keys.size(); ++i) {
-        rows.push_back(accel::Row{static_cast<std::uint64_t>(keys[i]),
-                                  encode(values[i])});
-      }
-      const auto groups = accel::group_aggregate(rows, block_op);
-      std::vector<std::int64_t> out_keys, out_values;
-      for (const auto& g : groups) {
-        out_keys.push_back(static_cast<std::int64_t>(g.key));
-        out_values.push_back(agg == Aggregate::kCount
-                                 ? static_cast<std::int64_t>(g.value)
-                                 : decode(g.value));
-      }
-      out.add_int_column(key, std::move(out_keys));
-      out.add_int_column(result_name, std::move(out_values));
-    } else {
-      // String keys: dictionary-encode, aggregate on codes, decode.
-      const auto& keys = t.strings(key);
-      std::unordered_map<std::string, std::uint64_t> codes;
-      std::vector<std::string> dictionary;
-      std::vector<accel::Row> rows;
-      rows.reserve(keys.size());
-      for (std::size_t i = 0; i < keys.size(); ++i) {
-        const auto [it, inserted] =
-            codes.try_emplace(keys[i], dictionary.size());
-        if (inserted) dictionary.push_back(keys[i]);
-        rows.push_back(accel::Row{it->second, encode(values[i])});
-      }
-      const auto groups = accel::group_aggregate(rows, block_op);
-      std::vector<std::string> out_keys;
-      std::vector<std::int64_t> out_values;
-      for (const auto& g : groups) {
-        out_keys.push_back(dictionary.at(static_cast<std::size_t>(g.key)));
-        out_values.push_back(agg == Aggregate::kCount
-                                 ? static_cast<std::int64_t>(g.value)
-                                 : decode(g.value));
-      }
-      out.add_string_column(key, std::move(out_keys));
-      out.add_int_column(result_name, std::move(out_values));
-    }
-    return out;
-  }});
+  stages_.push_back(GroupByStage{std::move(key), agg, std::move(value),
+                                 std::move(result_name)});
   return *this;
 }
 
 Query& Query::order_by(std::string column, bool descending) {
-  stages_.push_back({[column = std::move(column), descending](Table t) {
-    const auto& values = t.ints(column);
-    auto idx = all_rows(values.size());
-    std::stable_sort(idx.begin(), idx.end(),
-                     [&values, descending](std::uint32_t a, std::uint32_t b) {
-                       return descending ? values[a] > values[b]
-                                         : values[a] < values[b];
-                     });
-    return t.gather(idx);
-  }});
+  stages_.push_back(OrderByStage{std::move(column), descending});
   return *this;
 }
 
 Query& Query::limit(std::size_t n) {
-  stages_.push_back({[n](Table t) {
-    auto idx = all_rows(std::min(n, t.row_count()));
-    return t.gather(idx);
-  }});
+  stages_.push_back(LimitStage{n});
   return *this;
 }
 
 Query& Query::project(std::vector<std::string> columns) {
-  stages_.push_back({[columns = std::move(columns)](Table t) {
-    Table out;
-    for (const auto& name : columns) {
-      if (t.column_type(name) == ColumnType::kInt) {
-        out.add_int_column(name, t.ints(name));
-      } else {
-        out.add_string_column(name, t.strings(name));
-      }
-    }
-    return out;
-  }});
+  stages_.push_back(ProjectStage{std::move(columns)});
   return *this;
 }
 
 Table Query::run() const {
   Table current = table_;
   for (const auto& stage : stages_) {
-    current = stage.apply(std::move(current));
+    current = std::visit(
+        [&current](const auto& s) -> Table {
+          using S = std::decay_t<decltype(s)>;
+          if constexpr (std::is_same_v<S, FilterIntStage>) {
+            return apply_filter_int(std::move(current), s);
+          } else if constexpr (std::is_same_v<S, FilterStringStage>) {
+            return apply_filter_string(std::move(current), s);
+          } else if constexpr (std::is_same_v<S, JoinStage>) {
+            return apply_join(std::move(current), s);
+          } else if constexpr (std::is_same_v<S, GroupByStage>) {
+            return apply_group_by(std::move(current), s);
+          } else if constexpr (std::is_same_v<S, OrderByStage>) {
+            return apply_order_by(std::move(current), s);
+          } else if constexpr (std::is_same_v<S, LimitStage>) {
+            return apply_limit(std::move(current), s);
+          } else {
+            return apply_project(std::move(current), s);
+          }
+        },
+        stage);
   }
   return current;
 }

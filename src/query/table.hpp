@@ -18,10 +18,18 @@
 //       .order_by("revenue", /*descending=*/true)
 //       .limit(10)
 //       .run();
+//
+// run() is the row-at-a-time reference interpreter: every stage fully
+// materializes its output table. The same fluent chain also compiles onto
+// the vectorized push-based engine in query/exec (run_vectorized(), or
+// exec::compile() for explicit plans); both paths produce byte-identical
+// results. Stages are stored as introspectable descriptors (the Stage
+// variant below) so the compiler can walk them.
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <variant>
 #include <vector>
 
 namespace rb::query {
@@ -73,6 +81,50 @@ class Table {
 
 enum class Aggregate : std::uint8_t { kSum, kCount, kMin, kMax };
 
+/// --- Stage descriptors -------------------------------------------------
+//
+// One per fluent verb, in chain order. Both execution paths (the reference
+// interpreter in Query::run and the vectorized compiler in query/exec)
+// consume the same descriptors, which is what keeps them semantically
+// aligned.
+
+struct FilterIntStage {
+  std::string column;
+  std::function<bool(std::int64_t)> pred;
+};
+struct FilterStringStage {
+  std::string column;
+  std::function<bool(const std::string&)> pred;
+};
+/// Inner equi-join on int keys. Output order is canonical left-major: left
+/// rows in order, each followed by its matches in right-row order. Right
+/// columns keep their names; collisions get suffix "_r".
+struct JoinStage {
+  Table right;
+  std::string left_key;
+  std::string right_key;
+};
+struct GroupByStage {
+  std::string key;
+  Aggregate agg = Aggregate::kSum;
+  std::string value;
+  std::string result;
+};
+struct OrderByStage {
+  std::string column;
+  bool descending = false;
+};
+struct LimitStage {
+  std::size_t n = 0;
+};
+struct ProjectStage {
+  std::vector<std::string> columns;
+};
+
+using Stage = std::variant<FilterIntStage, FilterStringStage, JoinStage,
+                           GroupByStage, OrderByStage, LimitStage,
+                           ProjectStage>;
+
 /// Fluent relational query over a source table. Stages execute in the
 /// order they were chained when run() is called. All referenced columns
 /// are validated at run() time; errors throw std::invalid_argument.
@@ -106,13 +158,20 @@ class Query {
   /// Keep only the named columns, in the given order.
   Query& project(std::vector<std::string> columns);
 
-  /// Execute the pipeline and return the result table.
+  /// Execute row-at-a-time (full materialization between stages) and
+  /// return the result table. The reference semantics.
   Table run() const;
 
+  /// Compile onto the vectorized push-based engine (query/exec) and
+  /// execute in column batches of `batch_size` rows. Byte-identical to
+  /// run() for every chain. Defined in exec/plan.cpp.
+  Table run_vectorized(std::size_t batch_size = 1024) const;
+
+  /// Introspection for the plan compiler.
+  const Table& source() const noexcept { return table_; }
+  const std::vector<Stage>& stages() const noexcept { return stages_; }
+
  private:
-  struct Stage {
-    std::function<Table(Table)> apply;
-  };
   Table table_;
   std::vector<Stage> stages_;
 };

@@ -47,6 +47,34 @@ TEST(Table, GatherOutOfRangeThrows) {
   EXPECT_THROW(people().gather({99}), std::out_of_range);
 }
 
+TEST(Table, GatherStringColumnsWithDuplicatesAndEmpty) {
+  const auto t = people();
+  const auto dup = t.gather({1, 1, 3});
+  EXPECT_EQ(dup.strings("name"),
+            (std::vector<std::string>{"bob", "bob", "dan"}));
+  EXPECT_EQ(dup.ints("age"), (std::vector<std::int64_t>{25, 25, 25}));
+  const auto none = t.gather({});
+  EXPECT_EQ(none.row_count(), 0u);
+  EXPECT_EQ(none.column_count(), 3u);
+  EXPECT_EQ(none.column_type("name"), ColumnType::kString);
+}
+
+TEST(Table, DuplicateColumnAcrossTypesThrows) {
+  Table t;
+  t.add_int_column("a", {1, 2});
+  EXPECT_THROW(t.add_string_column("a", {"x", "y"}), std::invalid_argument);
+  Table s;
+  s.add_string_column("b", {"x"});
+  EXPECT_THROW(s.add_int_column("b", {1}), std::invalid_argument);
+}
+
+TEST(Table, TypedAccessMismatchThrows) {
+  const auto t = people();
+  EXPECT_THROW(t.ints("name"), std::invalid_argument);
+  EXPECT_THROW(t.strings("age"), std::invalid_argument);
+  EXPECT_THROW(t.column_type("missing"), std::invalid_argument);
+}
+
 TEST(Table, ToStringShowsHeaderAndRows) {
   const auto text = people().to_string(2);
   EXPECT_NE(text.find("name"), std::string::npos);
@@ -205,6 +233,28 @@ TEST(Query, EmptyResultFlowsThroughPipeline) {
           .limit(5)
           .run();
   EXPECT_EQ(result.row_count(), 0u);
+}
+
+TEST(Query, EmptyTableSupportsEveryStageKind) {
+  Table empty;
+  empty.add_int_column("k", {});
+  empty.add_int_column("v", {});
+  empty.add_string_column("s", {});
+  Table right;
+  right.add_int_column("k", {1, 2});
+  const auto result =
+      Query(empty)
+          .where_int("v", [](std::int64_t) { return true; })
+          .where_string("s", [](const std::string&) { return true; })
+          .join(right, "k", "k")
+          .group_by("s", Aggregate::kSum, "v", "total")
+          .order_by("total")
+          .limit(3)
+          .project({"s", "total"})
+          .run();
+  EXPECT_EQ(result.row_count(), 0u);
+  EXPECT_EQ(result.column_names(),
+            (std::vector<std::string>{"s", "total"}));
 }
 
 TEST(Query, MissingColumnSurfacesAtRun) {
