@@ -1,0 +1,274 @@
+// EXT-CRASH — Durable LSM: crash-consistency proof and the price of
+// durability (robustness leg of the Rec 10 storage substrate).
+//
+// Three sections:
+//  1. durable-put overhead — the same put workload against the in-memory
+//     store, a MemDevice-backed durable store, and a FileDevice-backed one
+//     (real fsync), at several group-commit cadences; reports ns/op and the
+//     durable/in-memory ratio.
+//  2. recovery time vs WAL length — fill the WAL without flushing, then
+//     time the recovering constructor as the log grows; reports ms and
+//     replayed records/s.
+//  3. crash-point + bit-flip fuzz sweep — run_crash_fuzz over >= 3 workload
+//     seeds (every device-op boundary x every tear offset, plus a
+//     lying-disk pass), then run_bitflip_fuzz across every persisted
+//     artifact. Gates: zero invariant violations, zero undetected
+//     corruption, and >= 1000 distinct crash points in the full sweep.
+//     Exits 1 when any invariant fails (also in --quick mode, so CI runs
+//     the proof, not just the timing).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "storage/crashfuzz.hpp"
+#include "storage/device.hpp"
+#include "storage/lsm.hpp"
+
+namespace {
+
+using rb::storage::CrashFuzzConfig;
+using rb::storage::CrashFuzzResult;
+using rb::storage::FileDevice;
+using rb::storage::LsmOptions;
+using rb::storage::LsmStore;
+using rb::storage::MemDevice;
+
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+std::string bench_key(std::size_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "key-%08zu", i);
+  return buf;
+}
+
+/// One put workload: `n` writes over a 1/4-size key space (so updates and
+/// fresh keys mix), group commit every `sync_every` ops, final sync.
+void run_puts(LsmStore& store, std::size_t n, std::size_t sync_every) {
+  const std::string value(32, 'v');
+  const std::size_t keys = n / 4 + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    store.put(bench_key(i % keys), value);
+    if ((i + 1) % sync_every == 0) store.sync();
+  }
+  store.sync();
+}
+
+/// Fresh scratch directory for a FileDevice run; removed by the caller.
+std::string scratch_dir(int run) {
+  return (std::filesystem::temp_directory_path() /
+          ("rb_bench_crash_" + std::to_string(::getpid()) + "_" +
+           std::to_string(run)))
+      .string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  rb::bench::Report report{"ext_crash_recovery", argc, argv};
+  report.config("quick", quick);
+
+  LsmOptions bench_opts;
+  bench_opts.memtable_bytes = 1 << 18;  // WAL-dominated put path
+
+  // --- 1. durable-put overhead ---------------------------------------------
+  rb::bench::heading("EXT-CRASH",
+                     "durable LSM: put overhead, recovery time, and "
+                     "crash-point fuzz proof");
+  std::printf("  durable-put overhead (value 32 B, memtable %zu KiB)\n",
+              bench_opts.memtable_bytes / 1024);
+  std::printf("  %-10s %-6s %8s %12s %8s\n", "backend", "sync/", "ops",
+              "ns-per-op", "vs-mem");
+
+  const int reps = quick ? 3 : 5;
+  const std::size_t base_ops = quick ? 2'000 : 10'000;
+  double inmem_ns = 0.0;
+  int file_run = 0;
+  for (const std::size_t sync_every : {std::size_t{1}, std::size_t{16}}) {
+    for (const char* backend : {"inmem", "memdev", "filedev"}) {
+      const bool is_file = std::strcmp(backend, "filedev") == 0;
+      // Real per-op fsyncs are expensive; keep that cell small.
+      const std::size_t n = is_file && sync_every == 1
+                                ? (quick ? 300 : 1'000)
+                                : base_ops;
+      const double s = best_seconds(reps, [&] {
+        if (std::strcmp(backend, "inmem") == 0) {
+          LsmStore store{bench_opts};
+          run_puts(store, n, sync_every);
+        } else if (std::strcmp(backend, "memdev") == 0) {
+          MemDevice device;
+          LsmStore store{bench_opts, device};
+          run_puts(store, n, sync_every);
+        } else {
+          const std::string dir = scratch_dir(file_run++);
+          {
+            FileDevice device{dir};
+            LsmStore store{bench_opts, device};
+            run_puts(store, n, sync_every);
+          }
+          std::filesystem::remove_all(dir);
+        }
+      });
+      const double ns = s * 1e9 / static_cast<double>(n);
+      if (std::strcmp(backend, "inmem") == 0) inmem_ns = ns;
+      const double ratio = inmem_ns > 0.0 ? ns / inmem_ns : 0.0;
+      std::printf("  %-10s %-6zu %8zu %12.0f %7.1fx\n", backend, sync_every,
+                  n, ns, ratio);
+      const std::string tag = std::string{"put."} + backend + ".sync" +
+                              std::to_string(sync_every);
+      report.metric(tag + ".ns_per_op", ns);
+      report.metric(tag + ".vs_inmem", ratio);
+    }
+  }
+
+  // --- 2. recovery time vs WAL length --------------------------------------
+  std::printf("\n  recovery time vs WAL length (no flush: pure replay)\n");
+  std::printf("  %-10s %12s %14s\n", "records", "recover-ms", "records/s");
+  LsmOptions replay_opts;
+  replay_opts.memtable_bytes = 64u << 20;  // nothing flushes: WAL-only state
+  const std::vector<std::size_t> wal_lengths =
+      quick ? std::vector<std::size_t>{500, 2'000}
+            : std::vector<std::size_t>{1'000, 4'000, 16'000};
+  for (const std::size_t n : wal_lengths) {
+    MemDevice device;
+    {
+      LsmStore store{replay_opts, device};
+      run_puts(store, n, /*sync_every=*/64);
+    }
+    std::uint64_t replayed = 0;
+    const double s = best_seconds(reps, [&] {
+      LsmStore recovered{replay_opts, device};
+      replayed = recovered.recovery_info().wal_records_replayed;
+    });
+    const double per_s = replayed / s;
+    std::printf("  %-10zu %12.3f %14.0f\n", n, s * 1e3, per_s);
+    const std::string tag = "recovery.wal" + std::to_string(n);
+    report.metric(tag + ".ms", s * 1e3);
+    report.metric(tag + ".records_per_s", per_s);
+  }
+
+  // --- 3. crash-point + bit-flip fuzz sweep --------------------------------
+  std::printf("\n  crash-point fuzz (every device-op boundary x tear "
+              "offsets, model oracle)\n");
+  std::printf("  %-22s %8s %8s %8s %8s %s\n", "mode", "points", "recov",
+              "losses", "prefix", "pass");
+
+  const std::vector<std::uint64_t> seeds = {1, 2, 3};
+  CrashFuzzResult crash_total;
+  CrashFuzzResult lying_total;
+  CrashFuzzResult flip_total;
+  const auto fuzz_t0 = std::chrono::steady_clock::now();
+  for (const std::uint64_t seed : seeds) {
+    CrashFuzzConfig cfg;
+    cfg.seed = seed;
+    if (quick) {
+      cfg.ops = 120;
+      cfg.key_space = 32;
+      cfg.tears = {0, 3, 17};
+    }
+    crash_total.merge(rb::storage::run_crash_fuzz(cfg));
+
+    CrashFuzzConfig lying = cfg;
+    lying.drop_sync_rate = 0.3;  // the disk lies about fsync
+    lying_total.merge(rb::storage::run_crash_fuzz(lying));
+
+    CrashFuzzConfig flips = cfg;
+    flips.flip_stride = quick ? 53 : 23;
+    flip_total.merge(rb::storage::run_bitflip_fuzz(flips));
+  }
+  const double fuzz_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    fuzz_t0)
+          .count();
+
+  const auto print_fuzz = [](const char* mode, const CrashFuzzResult& r) {
+    std::printf("  %-22s %8llu %8llu %8llu %8llu %s\n", mode,
+                static_cast<unsigned long long>(r.crash_points),
+                static_cast<unsigned long long>(r.recoveries),
+                static_cast<unsigned long long>(r.acked_losses),
+                static_cast<unsigned long long>(r.prefix_violations),
+                r.pass() ? "yes" : "NO");
+  };
+  print_fuzz("crash-points", crash_total);
+  print_fuzz("crash-points+lying", lying_total);
+  std::printf("  %-22s %8llu flips: %llu detected, %llu safe drops, "
+              "%llu missed, %llu served -> %s\n", "bit-flips",
+              static_cast<unsigned long long>(flip_total.flip_points),
+              static_cast<unsigned long long>(flip_total.corruption_detected),
+              static_cast<unsigned long long>(flip_total.safe_tail_drops),
+              static_cast<unsigned long long>(flip_total.corruption_missed),
+              static_cast<unsigned long long>(flip_total.corruption_served),
+              flip_total.pass() ? "pass" : "FAIL");
+  std::printf("  fuzz sweep: %zu seeds, %.2f s\n", seeds.size(), fuzz_s);
+
+  const std::uint64_t total_points =
+      crash_total.crash_points + lying_total.crash_points;
+  const std::uint64_t point_floor = 1000;
+  const bool coverage_ok = crash_total.crash_points >= point_floor;
+  const bool pass = crash_total.pass() && lying_total.pass() &&
+                    flip_total.pass() && coverage_ok &&
+                    flip_total.flip_points > 0 &&
+                    flip_total.corruption_detected > 0;
+
+  if (!coverage_ok) {
+    std::printf("  FAIL: only %llu crash points (floor %llu)\n",
+                static_cast<unsigned long long>(crash_total.crash_points),
+                static_cast<unsigned long long>(point_floor));
+  }
+  if (!pass && coverage_ok) {
+    std::printf("  FAIL: a durability/consistency invariant was violated\n");
+  }
+
+  report.metric("crash_points", static_cast<double>(crash_total.crash_points));
+  report.metric("crash_points_total", static_cast<double>(total_points));
+  report.metric("fuzz.recoveries",
+                static_cast<double>(crash_total.recoveries +
+                                    lying_total.recoveries));
+  report.metric("fuzz.acked_losses",
+                static_cast<double>(crash_total.acked_losses));
+  report.metric("fuzz.prefix_violations",
+                static_cast<double>(crash_total.prefix_violations +
+                                    lying_total.prefix_violations));
+  report.metric("fuzz.reopen_mismatches",
+                static_cast<double>(crash_total.reopen_mismatches +
+                                    lying_total.reopen_mismatches));
+  report.metric("fuzz.unexpected_corruption",
+                static_cast<double>(crash_total.unexpected_corruption));
+  report.metric("fuzz.flip_points",
+                static_cast<double>(flip_total.flip_points));
+  report.metric("fuzz.corruption_detected",
+                static_cast<double>(flip_total.corruption_detected));
+  report.metric("fuzz.safe_tail_drops",
+                static_cast<double>(flip_total.safe_tail_drops));
+  report.metric("fuzz.corruption_missed",
+                static_cast<double>(flip_total.corruption_missed));
+  report.metric("fuzz.corruption_served",
+                static_cast<double>(flip_total.corruption_served));
+  report.metric("fuzz_seconds", fuzz_s);
+  report.metric("pass", pass);
+  report.write();
+  return pass ? 0 : 1;
+}

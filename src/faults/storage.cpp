@@ -1,0 +1,46 @@
+#include "faults/storage.hpp"
+
+#include "sim/random.hpp"
+
+namespace rb::faults {
+
+void StorageFaultPlan::crash_at(std::uint64_t op, std::uint64_t tear_bytes) {
+  crash_ = StorageCrashPoint{op, tear_bytes};
+}
+
+void StorageFaultPlan::drop_sync(std::uint64_t ordinal) {
+  dropped_syncs_.insert(ordinal);
+}
+
+void StorageFaultPlan::flip_bit(std::string file, std::uint64_t byte,
+                                unsigned bit) {
+  if (file.empty())
+    throw PlanValidationError{"StorageFaultPlan: bit flip on empty file name"};
+  if (bit > 7)
+    throw PlanValidationError{"StorageFaultPlan: bit index " +
+                              std::to_string(bit) + " > 7"};
+  flips_.push_back(StorageBitFlip{std::move(file), byte, bit});
+}
+
+StorageFaultPlan make_random_storage_plan(std::uint64_t max_ops,
+                                          std::uint64_t max_tear,
+                                          double drop_sync_rate,
+                                          std::uint64_t seed) {
+  if (max_ops == 0)
+    throw PlanValidationError{"make_random_storage_plan: max_ops == 0"};
+  if (drop_sync_rate < 0.0 || drop_sync_rate > 1.0)
+    throw PlanValidationError{
+        "make_random_storage_plan: drop_sync_rate outside [0, 1]"};
+  sim::Rng rng{seed};
+  StorageFaultPlan plan;
+  plan.crash_at(rng.uniform_index(max_ops),
+                max_tear == 0 ? 0 : rng.uniform_index(max_tear + 1));
+  if (drop_sync_rate > 0.0) {
+    for (std::uint64_t s = 0; s < max_ops; ++s) {
+      if (rng.chance(drop_sync_rate)) plan.drop_sync(s);
+    }
+  }
+  return plan;
+}
+
+}  // namespace rb::faults

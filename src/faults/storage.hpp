@@ -1,0 +1,88 @@
+#pragma once
+// Deterministic storage fault schedules — the storage-side twin of the
+// link/host FaultPlan. A StorageFaultPlan describes how a storage device
+// misbehaves during one run:
+//
+//  * a crash point: the device "loses power" when its mutating-operation
+//    counter reaches `op`. Unsynced appended data survives the crash only up
+//    to `tear_bytes` extra bytes per file — tear 0 models a strict
+//    synced-only disk, a tear landing mid-record models the torn write every
+//    WAL format must tolerate;
+//  * dropped syncs: the ordinal-numbered fsyncs that a lying disk
+//    acknowledges without persisting (firmware write caches, bad NFS);
+//  * bit flips: latent media corruption surfaced at the next reopen, the
+//    fault checksums exist to catch.
+//
+// Plans are pure data; storage::MemDevice replays them. Like every fault
+// surface in the repo they are seedable (make_random_storage_plan) so chaos
+// runs are bit-reproducible. Validation is loud: malformed plans throw
+// PlanValidationError rather than silently doing nothing.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "faults/plan.hpp"
+
+namespace rb::faults {
+
+/// Power loss once the device has executed `op` mutating operations. The
+/// crashing operation itself lands in the volatile state (the process dies
+/// immediately after issuing it, before any ack can happen).
+struct StorageCrashPoint {
+  std::uint64_t op = 0;
+  /// How many bytes of each file's unsynced appended tail survive the crash
+  /// (clamped to the tail length). 0 = only fsynced data survives.
+  std::uint64_t tear_bytes = 0;
+};
+
+/// One latent media bit flip, applied to the surviving (durable) image of
+/// `file` when the device is next reopened.
+struct StorageBitFlip {
+  std::string file;
+  std::uint64_t byte = 0;
+  unsigned bit = 0;  // 0..7
+};
+
+class StorageFaultPlan {
+ public:
+  /// Schedule the (single) crash point. Re-arming replaces the previous one.
+  void crash_at(std::uint64_t op, std::uint64_t tear_bytes = 0);
+
+  /// Silently drop the `ordinal`-th sync (0-based, counted across the run).
+  void drop_sync(std::uint64_t ordinal);
+
+  /// Flip bit `bit` (0..7) of byte `byte` of `file` at the next reopen.
+  /// Throws PlanValidationError for bit > 7 or an empty file name.
+  void flip_bit(std::string file, std::uint64_t byte, unsigned bit);
+
+  const std::optional<StorageCrashPoint>& crash() const noexcept {
+    return crash_;
+  }
+  bool sync_dropped(std::uint64_t ordinal) const {
+    return dropped_syncs_.count(ordinal) != 0;
+  }
+  const std::vector<StorageBitFlip>& flips() const noexcept { return flips_; }
+  bool empty() const noexcept {
+    return !crash_.has_value() && dropped_syncs_.empty() && flips_.empty();
+  }
+
+ private:
+  std::optional<StorageCrashPoint> crash_;
+  std::set<std::uint64_t> dropped_syncs_;
+  std::vector<StorageBitFlip> flips_;
+};
+
+/// Seeded random plan: a crash uniformly over [0, max_ops) with a tear
+/// uniform over [0, max_tear], and each of the first `max_ops` syncs dropped
+/// independently with probability `drop_sync_rate`. Deterministic for a
+/// fixed (max_ops, max_tear, drop_sync_rate, seed). Throws
+/// PlanValidationError when max_ops == 0 or drop_sync_rate is outside [0,1].
+StorageFaultPlan make_random_storage_plan(std::uint64_t max_ops,
+                                          std::uint64_t max_tear,
+                                          double drop_sync_rate,
+                                          std::uint64_t seed);
+
+}  // namespace rb::faults

@@ -165,6 +165,10 @@ void store_table(storage::LsmStore& store, const std::string& name,
     }
     store.put(row_key(name, r), std::move(value));
   }
+  // One group commit covers the whole table: on a durable store nothing
+  // above is acked until the WAL is fsynced, and a crash mid-store leaves a
+  // prefix of rows that recovery replays (never a row with a hole in it).
+  store.sync();
 }
 
 LsmSource::LsmSource(const storage::LsmStore* store, std::string name) {

@@ -23,9 +23,11 @@
 namespace rb::query::exec {
 
 /// Write `table` into `store` under `name` (schema record + one entry per
-/// row). Throws std::invalid_argument when `name` is empty or contains the
-/// '!' key separator, or when the table has more rows than the 10-digit
-/// row id can address.
+/// row), then sync() — on a durable store the whole table lands under one
+/// group commit, so a recovered store serves either the full table or a
+/// clean prefix of its rows. Throws std::invalid_argument when `name` is
+/// empty or contains the '!' key separator, or when the table has more rows
+/// than the 10-digit row id can address.
 void store_table(storage::LsmStore& store, const std::string& name,
                  const Table& table);
 

@@ -1,0 +1,278 @@
+#include "storage/crashfuzz.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/random.hpp"
+#include "storage/device.hpp"
+
+namespace rb::storage {
+
+namespace {
+
+struct Op {
+  bool erase = false;
+  std::string key;
+  std::string value;
+};
+
+// Values embed the op index, so no two puts ever write the same bytes and a
+// state match pins down exactly which prefix survived.
+std::vector<Op> make_ops(const CrashFuzzConfig& config) {
+  sim::Rng rng{config.seed};
+  std::vector<Op> ops;
+  ops.reserve(config.ops);
+  for (std::size_t i = 0; i < config.ops; ++i) {
+    Op op;
+    op.key = "key-" + std::to_string(rng.uniform_index(config.key_space));
+    op.erase = rng.chance(0.2);
+    if (!op.erase)
+      op.value = "v" + std::to_string(i) + "-" +
+                 std::to_string(rng.uniform_index(100000));
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+using State = std::vector<std::pair<std::string, std::string>>;
+
+// The model oracle: states[j] is the live view after the first j workload
+// ops, sorted by key — directly comparable to LsmStore::scan("", "").
+std::vector<State> make_states(const std::vector<Op>& ops) {
+  std::vector<State> states;
+  states.reserve(ops.size() + 1);
+  std::map<std::string, std::string> model;
+  states.emplace_back();
+  for (const auto& op : ops) {
+    if (op.erase)
+      model.erase(op.key);
+    else
+      model[op.key] = op.value;
+    states.emplace_back(model.begin(), model.end());
+  }
+  return states;
+}
+
+// Dropped-sync schedule is a function of the seed alone, so every crash
+// point within one config sees the same lying disk.
+faults::StorageFaultPlan base_plan(const CrashFuzzConfig& config,
+                                   std::uint64_t max_syncs) {
+  faults::StorageFaultPlan plan;
+  if (config.drop_sync_rate > 0.0) {
+    sim::Rng rng{config.seed ^ 0xD150D150D150D150ULL};
+    for (std::uint64_t ordinal = 0; ordinal < max_syncs; ++ordinal)
+      if (rng.chance(config.drop_sync_rate)) plan.drop_sync(ordinal);
+  }
+  return plan;
+}
+
+struct RunEnd {
+  bool crashed = false;
+  std::size_t acked_ops = 0;   // workload ops covered by a successful sync
+  std::size_t issued_ops = 0;  // workload ops fully applied before the crash
+};
+
+RunEnd run_workload(const CrashFuzzConfig& config, MemDevice& device,
+                    const std::vector<Op>& ops) {
+  RunEnd end;
+  try {
+    LsmStore store{config.lsm, device};
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      if (ops[k].erase)
+        store.erase(ops[k].key);
+      else
+        store.put(ops[k].key, ops[k].value);
+      end.issued_ops = k + 1;
+      if ((k + 1) % config.sync_every == 0) {
+        store.sync();
+        end.acked_ops = k + 1;
+      }
+    }
+    store.sync();
+    end.acked_ops = ops.size();
+  } catch (const DeviceCrashed&) {
+    end.crashed = true;
+  }
+  return end;
+}
+
+// Highest j in [0, hi] with scan == states[j]. Downward search biases toward
+// the most-survived state (the common case) and makes the acked lower-bound
+// check an existence check: if any j >= acked matches, it is found first.
+std::optional<std::size_t> find_prefix_match(const State& scan,
+                                             const std::vector<State>& states,
+                                             std::size_t hi) {
+  hi = std::min(hi, states.size() - 1);
+  for (std::size_t j = hi + 1; j-- > 0;)
+    if (scan.size() == states[j].size() && scan == states[j]) return j;
+  return std::nullopt;
+}
+
+void verify_point(const CrashFuzzConfig& config, MemDevice& device,
+                  const std::vector<State>& states, const RunEnd& end,
+                  CrashFuzzResult& result) {
+  device.reopen();
+  State first_scan;
+  try {
+    LsmStore recovered{config.lsm, device};
+    first_scan = recovered.scan("", "");
+    result.replayed_records_total +=
+        recovered.recovery_info().wal_records_replayed;
+  } catch (const CorruptionError&) {
+    // A lying disk can persist a torn manifest or a run file whose fsync it
+    // swallowed; refusing to open *is* the contract then. With real syncs
+    // there is nothing to corrupt — any report is an invariant violation.
+    if (config.drop_sync_rate > 0.0)
+      ++result.corruption_detected;
+    else
+      ++result.unexpected_corruption;
+    return;
+  }
+  ++result.recoveries;
+
+  // The in-flight op's WAL record may have survived the tear, so the upper
+  // bound is one past the last fully-issued op.
+  const auto j =
+      find_prefix_match(first_scan, states, end.issued_ops + 1);
+  if (!j)
+    ++result.prefix_violations;
+  else if (*j < end.acked_ops)
+    ++result.acked_losses;
+
+  // Determinism: recovering the same device again must reproduce the state
+  // byte-for-byte (the first recovery already truncated the torn tail and
+  // swept orphans, so the second sees a clean image).
+  try {
+    LsmStore again{config.lsm, device};
+    if (again.scan("", "") != first_scan) ++result.reopen_mismatches;
+  } catch (const CorruptionError&) {
+    ++result.reopen_mismatches;
+  }
+}
+
+}  // namespace
+
+void CrashFuzzResult::merge(const CrashFuzzResult& other) {
+  crash_points += other.crash_points;
+  device_ops += other.device_ops;
+  workload_ops += other.workload_ops;
+  recoveries += other.recoveries;
+  replayed_records_total += other.replayed_records_total;
+  acked_losses += other.acked_losses;
+  prefix_violations += other.prefix_violations;
+  reopen_mismatches += other.reopen_mismatches;
+  unexpected_corruption += other.unexpected_corruption;
+  flip_points += other.flip_points;
+  corruption_detected += other.corruption_detected;
+  safe_tail_drops += other.safe_tail_drops;
+  corruption_missed += other.corruption_missed;
+  corruption_served += other.corruption_served;
+  expect_acked_durable = expect_acked_durable && other.expect_acked_durable;
+}
+
+CrashFuzzResult run_crash_fuzz(const CrashFuzzConfig& config) {
+  if (config.ops == 0 || config.key_space == 0 || config.sync_every == 0)
+    throw std::invalid_argument{
+        "CrashFuzzConfig: ops, key_space and sync_every must be positive"};
+  const std::vector<Op> ops = make_ops(config);
+  const std::vector<State> states = make_states(ops);
+
+  CrashFuzzResult result;
+  result.workload_ops = config.ops;
+  result.expect_acked_durable = config.drop_sync_rate == 0.0;
+
+  // Fault-free pass: learns the device-op count (the crash-point axis) and
+  // sanity-checks the oracle against an honest disk.
+  std::uint64_t clean_syncs = 0;
+  {
+    MemDevice device;
+    const RunEnd end = run_workload(config, device, ops);
+    result.device_ops = device.ops();
+    clean_syncs = device.syncs();
+    LsmStore reloaded{config.lsm, device};
+    if (end.crashed || reloaded.scan("", "") != states.back())
+      throw std::logic_error{
+          "run_crash_fuzz: fault-free run does not match the model"};
+  }
+
+  for (const std::uint64_t tear : config.tears) {
+    for (std::uint64_t op = 0; op < result.device_ops; ++op) {
+      faults::StorageFaultPlan plan = base_plan(config, clean_syncs + 64);
+      plan.crash_at(op, tear);
+      MemDevice device{std::move(plan)};
+      const RunEnd end = run_workload(config, device, ops);
+      ++result.crash_points;
+      verify_point(config, device, states, end, result);
+    }
+  }
+  return result;
+}
+
+CrashFuzzResult run_bitflip_fuzz(const CrashFuzzConfig& config) {
+  const std::vector<Op> ops = make_ops(config);
+  const std::vector<State> states = make_states(ops);
+
+  CrashFuzzResult result;
+  result.workload_ops = config.ops;
+
+  // Clean run to enumerate the persisted artifacts (manifest, current WAL,
+  // SSTable runs). The workload is deterministic, so each per-flip rerun
+  // recreates exactly these files.
+  std::vector<std::pair<std::string, std::uint64_t>> artifacts;
+  {
+    MemDevice device;
+    const RunEnd end = run_workload(config, device, ops);
+    if (end.crashed)
+      throw std::logic_error{"run_bitflip_fuzz: fault-free run crashed"};
+    for (const auto& file : device.list())
+      artifacts.emplace_back(file, device.size(file));
+  }
+
+  const std::uint64_t stride =
+      std::max<std::uint64_t>(1, config.flip_stride);
+  for (const auto& [file, size] : artifacts) {
+    if (size == 0) continue;
+    std::vector<std::uint64_t> bytes;
+    for (std::uint64_t b = 0; b < size; b += stride) bytes.push_back(b);
+    if (bytes.back() != size - 1) bytes.push_back(size - 1);
+    for (const std::uint64_t byte : bytes) {
+      for (const unsigned bit : config.flip_bits) {
+        faults::StorageFaultPlan plan;
+        plan.flip_bit(file, byte, bit);
+        MemDevice device{std::move(plan)};
+        run_workload(config, device, ops);
+        device.reopen();  // clean restart; the latent flip surfaces here
+        ++result.flip_points;
+        State scan;
+        bool drop_reported = false;
+        try {
+          LsmStore recovered{config.lsm, device};
+          scan = recovered.scan("", "");
+          drop_reported = recovered.recovery_info().wal_tail_torn ||
+                          recovered.recovery_info().wal_bytes_dropped > 0;
+        } catch (const CorruptionError&) {
+          ++result.corruption_detected;  // checksum caught it; refused to open
+          continue;
+        }
+        ++result.recoveries;
+        // A flip in a WAL length field can masquerade as a torn tail: the
+        // store may legally open to a *reported* shorter prefix (never to a
+        // fabricated state, and never silently).
+        const auto j = find_prefix_match(scan, states, states.size() - 1);
+        if (!j)
+          ++result.corruption_served;
+        else if (*j + 1 == states.size() && !drop_reported)
+          ++result.corruption_missed;
+        else
+          ++result.safe_tail_drops;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rb::storage

@@ -1,0 +1,104 @@
+#pragma once
+// Deterministic crash-point recovery fuzzer — the correctness engine behind
+// the durable LSM's guarantees.
+//
+// run_crash_fuzz replays one seeded put/erase/sync workload against a
+// MemDevice over and over, crashing at *every* mutating-device-operation
+// boundary (op 0, 1, ..., D-1) and, via tear offsets, at arbitrary byte
+// positions inside the unsynced tail — mid-WAL-record included. After each
+// crash it reopens the device, recovers the store, and checks against an
+// in-memory model oracle (the per-op prefix states of the workload):
+//
+//  * durability  — every synced-and-acked write survives;
+//  * prefix consistency — the recovered state equals the model after the
+//    first j workload ops for some j between the last ack and the crash
+//    (never a state the workload was not in);
+//  * determinism — recovering the same device twice yields byte-identical
+//    state;
+//  * loud corruption — with no injected bit flips, recovery never reports
+//    corruption; a torn tail is truncated and accounted, not served.
+//
+// run_bitflip_fuzz flips individual bits across every persisted artifact
+// (manifest, WAL, SSTable runs) of a cleanly-written store and asserts each
+// flip is *detected by checksum* (CorruptionError / reported drop) rather
+// than served as data. drop_sync_rate > 0 turns the device into a lying
+// disk: acked-durability is then waived (the hardware broke the contract)
+// but prefix consistency must still hold.
+//
+// Everything is a pure function of the config (seeded Rng, MemDevice, no
+// wall clock), so a failing point reproduces exactly — including under
+// asan/ubsan in CI.
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/lsm.hpp"
+
+namespace rb::storage {
+
+struct CrashFuzzConfig {
+  std::uint64_t seed = 1;
+  /// Workload length (puts/erases) and key-space size.
+  std::size_t ops = 240;
+  std::size_t key_space = 48;
+  /// Group-commit cadence: sync (ack) every this many workload ops.
+  std::size_t sync_every = 5;
+  /// Surviving unsynced-tail byte counts to enumerate per crash op; 0 is
+  /// the strict synced-only boundary, the rest land mid-record.
+  std::vector<std::uint64_t> tears = {0, 1, 7, 23};
+  /// Lying-disk mode: each sync silently dropped with this probability.
+  double drop_sync_rate = 0.0;
+  /// Bit-flip enumeration (run_bitflip_fuzz): every `flip_stride`-th byte
+  /// of every persisted file, at each of these bit positions.
+  std::size_t flip_stride = 37;
+  std::vector<unsigned> flip_bits = {0, 5};
+  /// Small memtable/levels so the workload exercises flush + compaction +
+  /// WAL rotation + manifest swaps, not just the log.
+  LsmOptions lsm{.memtable_bytes = 1024, .runs_per_level = 2, .max_levels = 3};
+};
+
+struct CrashFuzzResult {
+  std::uint64_t crash_points = 0;  // (op, tear) pairs exercised
+  std::uint64_t device_ops = 0;    // mutating ops in the fault-free run
+  std::uint64_t workload_ops = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t replayed_records_total = 0;
+
+  // Invariant violations (pass() requires all zero).
+  std::uint64_t acked_losses = 0;       // an acked write did not survive
+  std::uint64_t prefix_violations = 0;  // state matches no workload prefix
+  std::uint64_t reopen_mismatches = 0;  // second recovery != first
+  std::uint64_t unexpected_corruption = 0;  // corruption report, no flips
+
+  // Bit-flip mode accounting.
+  std::uint64_t flip_points = 0;
+  std::uint64_t corruption_detected = 0;  // refused to open (checksum caught)
+  std::uint64_t safe_tail_drops = 0;   // opened to a *reported* shorter prefix
+  std::uint64_t corruption_missed = 0;  // flip left no observable trace
+  std::uint64_t corruption_served = 0;  // opened to a non-prefix state: BAD
+
+  /// False when the run used a lying disk (drop_sync_rate > 0): acked
+  /// durability cannot be promised on hardware that drops fsyncs, but
+  /// prefix consistency still can — and is still enforced.
+  bool expect_acked_durable = true;
+
+  bool pass() const noexcept {
+    return prefix_violations == 0 && reopen_mismatches == 0 &&
+           unexpected_corruption == 0 && corruption_served == 0 &&
+           corruption_missed == 0 &&
+           (!expect_acked_durable || acked_losses == 0);
+  }
+
+  /// Sum counters (and-ing the expectation flags) for multi-seed sweeps.
+  void merge(const CrashFuzzResult& other);
+};
+
+/// Crash at every device-op boundary × every tear offset. Deterministic for
+/// a fixed config.
+CrashFuzzResult run_crash_fuzz(const CrashFuzzConfig& config);
+
+/// Flip bits across every persisted artifact of a cleanly-written store and
+/// require checksum detection. Deterministic for a fixed config.
+CrashFuzzResult run_bitflip_fuzz(const CrashFuzzConfig& config);
+
+}  // namespace rb::storage

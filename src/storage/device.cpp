@@ -1,0 +1,237 @@
+#include "storage/device.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rb::storage {
+
+/// --- MemDevice --------------------------------------------------------------
+
+void MemDevice::check_alive() const {
+  if (crashed_) throw DeviceCrashed{"MemDevice: crashed"};
+}
+
+void MemDevice::finish_op() {
+  const std::uint64_t op = op_counter_++;
+  if (!crash_fired_ && plan_.crash().has_value() &&
+      op == plan_.crash()->op) {
+    crash_fired_ = true;
+    crashed_ = true;
+    throw DeviceCrashed{"MemDevice: injected crash at op " +
+                        std::to_string(op)};
+  }
+}
+
+void MemDevice::append(const std::string& file, std::string_view data) {
+  check_alive();
+  files_[file].visible.append(data.data(), data.size());
+  finish_op();
+}
+
+void MemDevice::sync(const std::string& file) {
+  check_alive();
+  // Dying mid-fsync persists nothing: consume the op slot first.
+  const std::uint64_t sync_ordinal = sync_counter_++;
+  finish_op();
+  if (plan_.sync_dropped(sync_ordinal)) return;  // the disk lied
+  const auto it = files_.find(file);
+  if (it == files_.end()) return;  // fsync of a missing file: nothing to do
+  it->second.durable = it->second.visible;
+  it->second.tear_eligible = true;
+  it->second.existence_durable = true;
+}
+
+void MemDevice::truncate(const std::string& file, std::uint64_t size) {
+  check_alive();
+  const auto it = files_.find(file);
+  if (it != files_.end() && it->second.visible.size() > size) {
+    it->second.visible.resize(size);
+    it->second.tear_eligible = false;
+  }
+  finish_op();
+}
+
+void MemDevice::rename(const std::string& from, const std::string& to) {
+  check_alive();
+  const auto it = files_.find(from);
+  if (it == files_.end())
+    throw DeviceError{"MemDevice: rename of missing file " + from};
+  File moved = std::move(it->second);
+  files_.erase(it);
+  // Journaled metadata: the swap is atomic and immediately durable, carrying
+  // whatever of the payload was synced.
+  moved.existence_durable = true;
+  files_[to] = std::move(moved);
+  finish_op();
+}
+
+void MemDevice::remove(const std::string& file) {
+  check_alive();
+  files_.erase(file);
+  finish_op();
+}
+
+bool MemDevice::exists(const std::string& file) const {
+  check_alive();
+  return files_.count(file) != 0;
+}
+
+std::uint64_t MemDevice::size(const std::string& file) const {
+  check_alive();
+  const auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.visible.size();
+}
+
+std::string MemDevice::read(const std::string& file) const {
+  check_alive();
+  const auto it = files_.find(file);
+  if (it == files_.end())
+    throw DeviceError{"MemDevice: read of missing file " + file};
+  return it->second.visible;
+}
+
+std::vector<std::string> MemDevice::list() const {
+  check_alive();
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+void MemDevice::reopen() {
+  const std::uint64_t tear =
+      plan_.crash().has_value() ? plan_.crash()->tear_bytes : 0;
+  for (auto it = files_.begin(); it != files_.end();) {
+    File& file = it->second;
+    std::string survivor = file.durable;
+    if (file.tear_eligible && file.visible.size() > file.durable.size() &&
+        file.visible.compare(0, file.durable.size(), file.durable) == 0) {
+      const std::uint64_t tail = file.visible.size() - file.durable.size();
+      survivor.append(file.visible, file.durable.size(),
+                      static_cast<std::size_t>(std::min(tear, tail)));
+    }
+    if (!file.existence_durable && survivor.empty()) {
+      it = files_.erase(it);  // the directory never persisted this entry
+      continue;
+    }
+    file.durable = std::move(survivor);
+    file.visible = file.durable;
+    file.tear_eligible = true;
+    ++it;
+  }
+  for (const auto& flip : plan_.flips()) {
+    const auto it = files_.find(flip.file);
+    if (it == files_.end() || flip.byte >= it->second.durable.size()) continue;
+    const char mask = static_cast<char>(1u << flip.bit);
+    it->second.durable[flip.byte] ^= mask;
+    it->second.visible[flip.byte] ^= mask;
+  }
+  crashed_ = false;  // crash_fired_ stays: the point does not re-fire
+}
+
+void MemDevice::corrupt_byte(const std::string& file, std::uint64_t byte,
+                             unsigned bit) {
+  const auto it = files_.find(file);
+  if (it == files_.end())
+    throw DeviceError{"MemDevice: corrupt_byte on missing file " + file};
+  if (byte >= it->second.visible.size())
+    throw DeviceError{"MemDevice: corrupt_byte offset out of range"};
+  const char mask = static_cast<char>(1u << (bit & 7u));
+  it->second.visible[byte] ^= mask;
+  if (byte < it->second.durable.size()) it->second.durable[byte] ^= mask;
+}
+
+/// --- FileDevice -------------------------------------------------------------
+
+FileDevice::FileDevice(std::string root) : root_{std::move(root)} {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec && !std::filesystem::is_directory(root_))
+    throw DeviceError{"FileDevice: cannot create " + root_};
+}
+
+std::string FileDevice::path_of(const std::string& file) const {
+  if (file.empty() || file.find('/') != std::string::npos ||
+      file.find("..") != std::string::npos) {
+    throw DeviceError{"FileDevice: illegal file name " + file};
+  }
+  return root_ + "/" + file;
+}
+
+void FileDevice::append(const std::string& file, std::string_view data) {
+  std::FILE* f = std::fopen(path_of(file).c_str(), "ab");
+  if (f == nullptr) throw DeviceError{"FileDevice: cannot open " + file};
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  if (!ok) throw DeviceError{"FileDevice: short write to " + file};
+}
+
+void FileDevice::sync(const std::string& file) {
+  const int fd = ::open(path_of(file).c_str(), O_WRONLY);
+  if (fd < 0) return;  // fsync of a missing file: nothing to persist
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw DeviceError{"FileDevice: fsync failed on " + file};
+}
+
+void FileDevice::truncate(const std::string& file, std::uint64_t size) {
+  const std::string path = path_of(file);
+  std::error_code ec;
+  const auto current = std::filesystem::file_size(path, ec);
+  if (ec || current <= size) return;
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+    throw DeviceError{"FileDevice: truncate failed on " + file};
+}
+
+void FileDevice::rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(path_of(from), path_of(to), ec);
+  if (ec) throw DeviceError{"FileDevice: rename " + from + " -> " + to};
+  // Persist the directory entry so the swap survives power loss.
+  const int dir = ::open(root_.c_str(), O_RDONLY);
+  if (dir >= 0) {
+    ::fsync(dir);
+    ::close(dir);
+  }
+}
+
+void FileDevice::remove(const std::string& file) {
+  std::error_code ec;
+  std::filesystem::remove(path_of(file), ec);
+}
+
+bool FileDevice::exists(const std::string& file) const {
+  return std::filesystem::exists(path_of(file));
+}
+
+std::uint64_t FileDevice::size(const std::string& file) const {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path_of(file), ec);
+  return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+std::string FileDevice::read(const std::string& file) const {
+  std::ifstream in{path_of(file), std::ios::binary};
+  if (!in) throw DeviceError{"FileDevice: read of missing file " + file};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> FileDevice::list() const {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator{root_}) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace rb::storage

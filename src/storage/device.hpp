@@ -1,0 +1,178 @@
+#pragma once
+// Pluggable storage device layer under the LSM store.
+//
+// A Device is a flat namespace of append-only-ish files with the five
+// operations a crash-consistent store actually needs: append, fsync,
+// truncate, atomic rename, remove. Two backends:
+//
+//  * FileDevice — real files in a directory (POSIX fsync), for running the
+//    store against an actual disk;
+//  * MemDevice — a deterministic in-memory disk that models exactly what a
+//    real one guarantees across power loss: per file it tracks the *durable*
+//    image (what fsync has persisted) separately from the *visible* one
+//    (what the process has written), and an injected
+//    faults::StorageFaultPlan can crash it at any mutating-operation
+//    boundary, tear unsynced appends at arbitrary byte offsets, silently
+//    drop fsyncs, and flip bits in the durable image at reopen. This is the
+//    substrate the crash-point recovery fuzzer (storage/crashfuzz.hpp)
+//    enumerates.
+//
+// Error taxonomy (shared by the WAL/manifest/recovery units built on top):
+// DeviceError for I/O failure, DeviceCrashed once an injected crash fires,
+// CorruptionError when a checksum catches damaged persisted state —
+// corruption is always reported, never silently dropped.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/storage.hpp"
+
+namespace rb::storage {
+
+/// I/O failure (missing file, unwritable directory, short write).
+class DeviceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The injected crash point fired: the simulated process is dead and every
+/// further device call refuses until MemDevice::reopen().
+class DeviceCrashed : public DeviceError {
+ public:
+  using DeviceError::DeviceError;
+};
+
+/// A checksum detected damaged persisted state (torn past the frame level,
+/// bit-flipped, or truncated where truncation is not a legal crash artifact).
+class CorruptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Append `data` to `file`, creating it if absent. Not durable until
+  /// sync(file).
+  virtual void append(const std::string& file, std::string_view data) = 0;
+
+  /// Make every prior write to `file` durable (fsync).
+  virtual void sync(const std::string& file) = 0;
+
+  /// Shrink `file` to `size` bytes (no-op if already smaller). Durable
+  /// after the next sync(file).
+  virtual void truncate(const std::string& file, std::uint64_t size) = 0;
+
+  /// Atomically replace `to` with `from` (rename(2) semantics; `from` must
+  /// exist). Treated as durable once it returns, like a journaled metadata
+  /// operation.
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Delete `file` (no-op if absent). Durable once it returns.
+  virtual void remove(const std::string& file) = 0;
+
+  virtual bool exists(const std::string& file) const = 0;
+  /// Size in bytes; 0 for a missing file.
+  virtual std::uint64_t size(const std::string& file) const = 0;
+  /// Whole-file read. Throws DeviceError if the file does not exist.
+  virtual std::string read(const std::string& file) const = 0;
+  /// All file names, sorted.
+  virtual std::vector<std::string> list() const = 0;
+};
+
+/// Deterministic in-memory device with an injectable fault surface.
+class MemDevice final : public Device {
+ public:
+  MemDevice() = default;
+  explicit MemDevice(faults::StorageFaultPlan plan) : plan_{std::move(plan)} {}
+
+  void append(const std::string& file, std::string_view data) override;
+  void sync(const std::string& file) override;
+  void truncate(const std::string& file, std::uint64_t size) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& file) override;
+  bool exists(const std::string& file) const override;
+  std::uint64_t size(const std::string& file) const override;
+  std::string read(const std::string& file) const override;
+  std::vector<std::string> list() const override;
+
+  /// True after the injected crash fired (every mutating call and read
+  /// throws DeviceCrashed until reopen()).
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Simulate the machine coming back: volatile state is discarded — each
+  /// file keeps its durable image plus at most crash().tear_bytes surviving
+  /// bytes of its unsynced appended tail — then any scheduled bit flips are
+  /// applied to the survivors. Also usable without a crash (models a clean
+  /// restart that lost the page cache). The consumed crash point does not
+  /// re-fire.
+  void reopen();
+
+  /// Mutating operations executed so far (the crash-point axis).
+  std::uint64_t ops() const noexcept { return op_counter_; }
+  /// Syncs executed so far (the drop-sync axis); includes dropped ones.
+  std::uint64_t syncs() const noexcept { return sync_counter_; }
+
+  /// Directly flip one bit in both the durable and visible image — a media
+  /// error that does not need a restart to surface (scrub tests). Throws
+  /// DeviceError when `file` is absent or `byte` is out of range.
+  void corrupt_byte(const std::string& file, std::uint64_t byte, unsigned bit);
+
+ private:
+  struct File {
+    std::string durable;  // survives a crash
+    std::string visible;  // what read() serves
+    /// The unsynced delta is a pure append (tearable). An unsynced truncate
+    /// clears this: the conservative survivor is then the durable image.
+    bool tear_eligible = true;
+    /// A real (non-dropped) fsync or a rename made this file's *existence*
+    /// durable. A file never made durable whose survivor is empty vanishes
+    /// at reopen, like an entry the directory never persisted.
+    bool existence_durable = false;
+  };
+
+  /// Crash/op accounting shared by every mutating call. Applied *before*
+  /// the operation's effect for syncs (dying mid-fsync persists nothing)
+  /// and *after* it for appends/truncates/renames/removes (the operation
+  /// reached the volatile state; the ack did not reach the caller).
+  void check_alive() const;
+  void finish_op();
+
+  std::map<std::string, File> files_;
+  faults::StorageFaultPlan plan_;
+  std::uint64_t op_counter_ = 0;
+  std::uint64_t sync_counter_ = 0;
+  bool crashed_ = false;
+  bool crash_fired_ = false;
+};
+
+/// Real files under `root` (created if missing). No fault surface; sync is
+/// a real fsync. Paths never escape `root` — file names with '/' or ".."
+/// are rejected with DeviceError.
+class FileDevice final : public Device {
+ public:
+  explicit FileDevice(std::string root);
+
+  void append(const std::string& file, std::string_view data) override;
+  void sync(const std::string& file) override;
+  void truncate(const std::string& file, std::uint64_t size) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& file) override;
+  bool exists(const std::string& file) const override;
+  std::uint64_t size(const std::string& file) const override;
+  std::string read(const std::string& file) const override;
+  std::vector<std::string> list() const override;
+
+  const std::string& root() const noexcept { return root_; }
+
+ private:
+  std::string path_of(const std::string& file) const;
+
+  std::string root_;
+};
+
+}  // namespace rb::storage

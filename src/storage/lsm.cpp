@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <bit>
+#include <set>
 #include <stdexcept>
 
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "storage/device.hpp"
+#include "storage/manifest.hpp"
+#include "storage/recovery.hpp"
+#include "storage/wal.hpp"
 
 namespace rb::storage {
 
@@ -18,6 +23,10 @@ struct StorageMetrics {
   obs::Counter* bytes_internal;
   obs::Counter* bloom_hits;       // filter passed; the run was probed
   obs::Counter* bloom_negatives;  // filter ruled the run out; probe skipped
+  obs::Counter* wal_appends;      // records framed into the WAL
+  obs::Counter* wal_replayed;     // records replayed by recovery
+  obs::Counter* recoveries;       // durable opens of an existing device
+  obs::Counter* scrub_corruptions;  // artifacts scrub flagged
 
   static StorageMetrics& get() {
     auto& r = obs::Registry::global();
@@ -25,13 +34,18 @@ struct StorageMetrics {
                             &r.counter("storage.compactions"),
                             &r.counter("storage.bytes_written_internal"),
                             &r.counter("storage.bloom_hits"),
-                            &r.counter("storage.bloom_negatives")};
+                            &r.counter("storage.bloom_negatives"),
+                            &r.counter("storage.wal_appends"),
+                            &r.counter("storage.wal_replayed"),
+                            &r.counter("storage.recoveries"),
+                            &r.counter("storage.scrub_corruptions_detected")};
     return m;
   }
 };
 
-/// RAII wall-clock span for flush/compaction work. The LSM runs in real
-/// time (no simulated clock), so the ts axis is wall-derived picoseconds.
+/// RAII wall-clock span for flush/compaction/recovery work. The LSM runs in
+/// real time (no simulated clock), so the ts axis is wall-derived
+/// picoseconds.
 class StorageSpan {
  public:
   StorageSpan(const char* name, std::vector<obs::TraceArg> args)
@@ -113,9 +127,11 @@ SsTable::SsTable(std::vector<Entry> entries)
   }
 }
 
-std::optional<SsTable::Hit> SsTable::get(std::string_view key) const {
+std::optional<SsTable::Hit> SsTable::get(std::string_view key,
+                                         bool* bloom_skipped) const {
+  if (bloom_skipped != nullptr) *bloom_skipped = false;
   if (!bloom_.may_contain(key)) {
-    ++bloom_negatives;
+    if (bloom_skipped != nullptr) *bloom_skipped = true;
     return std::nullopt;
   }
   const auto it = std::lower_bound(
@@ -125,15 +141,122 @@ std::optional<SsTable::Hit> SsTable::get(std::string_view key) const {
   return Hit{it->value, it->tombstone};
 }
 
+void LsmOptions::validate() const {
+  if (memtable_bytes == 0) {
+    throw LsmOptionsError{"memtable_bytes",
+                          "must be > 0 (a 0-byte memtable would flush on "
+                          "every write)"};
+  }
+  if (runs_per_level < 2) {
+    throw LsmOptionsError{"runs_per_level",
+                          "must be >= 2 (size-tiered compaction needs at "
+                          "least two runs to merge)"};
+  }
+  if (max_levels == 0) {
+    throw LsmOptionsError{"max_levels",
+                          "must be >= 1 (flushes need a level to land in)"};
+  }
+}
+
+/// Durable-mode wiring: the device, the live manifest image, the open WAL
+/// writer, and the run-file names mirroring levels_ (level_files[l][r] is
+/// the file behind levels_[l][r]).
+struct LsmStore::Durable {
+  explicit Durable(Device& dev) : device{dev} {}
+
+  Device& device;
+  ManifestData manifest;
+  std::unique_ptr<WalWriter> wal;
+  std::vector<std::vector<std::string>> level_files;
+};
+
 LsmStore::LsmStore(LsmOptions options) : options_{options} {
-  if (options_.memtable_bytes == 0 || options_.runs_per_level < 2 ||
-      options_.max_levels == 0)
-    throw std::invalid_argument{"LsmStore: bad options"};
+  options_.validate();
+}
+
+LsmStore::LsmStore(LsmOptions options, Device& device) : options_{options} {
+  options_.validate();
+  durable_ = std::make_unique<Durable>(device);
+  const StorageSpan span{"open", {}};
+  auto existing = read_manifest(device);
+  if (!existing.has_value()) {
+    // Fresh device (or one that died before its first manifest landed — no
+    // manifest means no write was ever acked): initialize and sweep strays.
+    durable_->manifest.wal_file = wal_file_name(1);
+    durable_->manifest.next_file_number = 2;
+    write_manifest(device, durable_->manifest);
+    sweep_orphans();
+  } else {
+    durable_->manifest = std::move(*existing);
+    recovery_.recovered_existing = true;
+    // Rebuild the level structure from the manifest, verifying every run.
+    for (const auto& level : durable_->manifest.levels) {
+      levels_.emplace_back();
+      durable_->level_files.emplace_back();
+      for (const auto& run_file : level) {
+        levels_.back().emplace_back(read_sstable(device, run_file));
+        durable_->level_files.back().push_back(run_file);
+        ++recovery_.runs_loaded;
+      }
+    }
+    // Replay the WAL's valid prefix into the memtable. A torn tail is the
+    // legal crash artifact: truncate it away so the writer appends after
+    // the last valid frame. A corrupt record mid-prefix is not: refuse to
+    // open rather than silently serve a hole.
+    const WalReplay replay = replay_wal(device, durable_->manifest.wal_file);
+    if (replay.tail == WalTail::kCorrupt) {
+      throw CorruptionError{"recovery: corrupt WAL record in " +
+                            durable_->manifest.wal_file};
+    }
+    for (const WalRecord& record : replay.records) {
+      const bool tombstone = record.type == WalRecord::Type::kErase;
+      memtable_bytes_ +=
+          record.key.size() + (tombstone ? 1 : record.value.size());
+      memtable_[record.key] = MemEntry{record.value, tombstone};
+    }
+    recovery_.wal_records_replayed = replay.records.size();
+    recovery_.wal_bytes_dropped = replay.dropped_bytes;
+    recovery_.wal_tail_torn = replay.tail == WalTail::kTorn;
+    if (replay.tail == WalTail::kTorn) {
+      device.truncate(durable_->manifest.wal_file, replay.valid_bytes);
+      device.sync(durable_->manifest.wal_file);
+    }
+    sweep_orphans();
+    if (obs::enabled()) {
+      auto& m = StorageMetrics::get();
+      m.recoveries->add();
+      m.wal_replayed->add(replay.records.size());
+    }
+  }
+  durable_->wal =
+      std::make_unique<WalWriter>(device, durable_->manifest.wal_file);
+  maybe_flush();  // a replayed WAL may already exceed the memtable budget
+}
+
+LsmStore::~LsmStore() = default;
+
+void LsmStore::sweep_orphans() {
+  std::set<std::string> referenced{kManifestFile, durable_->manifest.wal_file};
+  for (const auto& level : durable_->manifest.levels) {
+    referenced.insert(level.begin(), level.end());
+  }
+  for (const std::string& file : durable_->device.list()) {
+    if (referenced.count(file) != 0) continue;
+    durable_->device.remove(file);
+    ++recovery_.orphan_files_removed;
+  }
 }
 
 void LsmStore::put(std::string key, std::string value) {
   ++stats_.puts;
   stats_.bytes_written_user += key.size() + value.size();
+  if (durable_) {
+    const std::uint64_t before = durable_->wal->appended_bytes();
+    durable_->wal->append(WalRecord{WalRecord::Type::kPut, key, value});
+    ++stats_.wal_appends;
+    stats_.bytes_written_wal += durable_->wal->appended_bytes() - before;
+    if (obs::enabled()) StorageMetrics::get().wal_appends->add();
+  }
   memtable_bytes_ += key.size() + value.size();
   memtable_[std::move(key)] = MemEntry{std::move(value), false};
   maybe_flush();
@@ -142,9 +265,26 @@ void LsmStore::put(std::string key, std::string value) {
 void LsmStore::erase(std::string key) {
   ++stats_.deletes;
   stats_.bytes_written_user += key.size() + 1;
+  if (durable_) {
+    const std::uint64_t before = durable_->wal->appended_bytes();
+    durable_->wal->append(WalRecord{WalRecord::Type::kErase, key, ""});
+    ++stats_.wal_appends;
+    stats_.bytes_written_wal += durable_->wal->appended_bytes() - before;
+    if (obs::enabled()) StorageMetrics::get().wal_appends->add();
+  }
   memtable_bytes_ += key.size() + 1;
   memtable_[std::move(key)] = MemEntry{"", true};
   maybe_flush();
+}
+
+std::uint64_t LsmStore::sync() {
+  if (!durable_) return 0;
+  const std::uint64_t acked = durable_->wal->sync();
+  if (acked > 0) {
+    ++stats_.wal_syncs;
+    stats_.wal_synced_records += acked;
+  }
+  return acked;
 }
 
 template <typename Fn>
@@ -178,11 +318,10 @@ std::optional<std::string> LsmStore::get(std::string_view key) const {
     return mem->second.value;
   }
   std::optional<std::string> result;
-  bool found = false;
   for_each_run_newest_first([&](const SsTable& run) {
-    const auto before = run.bloom_negatives;
-    const auto hit = run.get(key);
-    if (run.bloom_negatives > before) {
+    bool bloom_skipped = false;
+    const auto hit = run.get(key, &bloom_skipped);
+    if (bloom_skipped) {
       ++stats_.bloom_skips;
       if (obs::enabled()) StorageMetrics::get().bloom_negatives->add();
       return true;  // filter said no; keep searching older runs
@@ -190,13 +329,11 @@ std::optional<std::string> LsmStore::get(std::string_view key) const {
     ++stats_.sstable_probes;
     if (obs::enabled()) StorageMetrics::get().bloom_hits->add();
     if (hit) {
-      found = true;
       if (!hit->tombstone) result = hit->value;
       return false;  // newest occurrence wins; stop
     }
     return true;
   });
-  (void)found;
   return result;
 }
 
@@ -237,9 +374,22 @@ void LsmStore::flush() {
   for (auto& [key, entry] : memtable_) {
     entries.push_back(SsTable::Entry{key, entry.value, entry.tombstone});
   }
+  // Durable order of operations: the run file is written and fsynced
+  // *before* the memtable is dropped and before any manifest references it;
+  // a crash at any boundary leaves either the old manifest + full WAL (the
+  // run file is an orphan, swept at recovery) or the new manifest + rotated
+  // WAL. Both recover to the same store state.
+  std::string run_file;
+  if (durable_) {
+    run_file = sst_file_name(durable_->manifest.next_file_number++);
+    write_sstable(durable_->device, run_file, entries);
+  }
   memtable_.clear();
   memtable_bytes_ = 0;
-  if (levels_.empty()) levels_.emplace_back();
+  if (levels_.empty()) {
+    levels_.emplace_back();
+    if (durable_) durable_->level_files.emplace_back();
+  }
   SsTable run{std::move(entries)};
   stats_.bytes_written_internal += run.size_bytes();
   if (obs::enabled()) {
@@ -249,6 +399,19 @@ void LsmStore::flush() {
   }
   levels_[0].push_back(std::move(run));
   ++stats_.flushes;
+  if (durable_) {
+    durable_->level_files[0].push_back(run_file);
+    // Rotate the WAL: everything it logged now lives in a synced run, so
+    // the manifest swap both publishes the run and retires the log.
+    const std::string old_wal = durable_->manifest.wal_file;
+    durable_->manifest.wal_file =
+        wal_file_name(durable_->manifest.next_file_number++);
+    durable_->manifest.levels = durable_->level_files;
+    write_manifest(durable_->device, durable_->manifest);
+    durable_->device.remove(old_wal);
+    durable_->wal = std::make_unique<WalWriter>(durable_->device,
+                                                durable_->manifest.wal_file);
+  }
   compact(0);
 }
 
@@ -273,6 +436,11 @@ void LsmStore::compact(std::size_t level) {
       merged[e.key] = e;
     }
   }
+  std::vector<std::string> retired_files;
+  if (durable_) {
+    retired_files = std::move(durable_->level_files[level]);
+    durable_->level_files[level].clear();
+  }
   levels_[level].clear();
   std::vector<SsTable::Entry> entries;
   entries.reserve(merged.size());
@@ -284,15 +452,49 @@ void LsmStore::compact(std::size_t level) {
   ++stats_.compactions;
   if (obs::enabled()) StorageMetrics::get().compactions->add();
   if (!entries.empty()) {
+    std::string run_file;
+    if (durable_) {
+      run_file = sst_file_name(durable_->manifest.next_file_number++);
+      write_sstable(durable_->device, run_file, entries);
+    }
     SsTable run{std::move(entries)};
     stats_.bytes_written_internal += run.size_bytes();
     if (obs::enabled())
       StorageMetrics::get().bytes_internal->add(run.size_bytes());
-    if (levels_.size() <= level + 1 && !last_level) levels_.emplace_back();
+    if (levels_.size() <= level + 1 && !last_level) {
+      levels_.emplace_back();
+      if (durable_) durable_->level_files.emplace_back();
+    }
     auto& target = last_level ? levels_[level] : levels_[level + 1];
     target.push_back(std::move(run));
+    if (durable_) {
+      auto& target_files = last_level ? durable_->level_files[level]
+                                      : durable_->level_files[level + 1];
+      target_files.push_back(run_file);
+    }
+  }
+  if (durable_) {
+    // Publish the merge, then retire the inputs (crash in between leaves
+    // orphans, swept at recovery; never dangling references).
+    durable_->manifest.levels = durable_->level_files;
+    write_manifest(durable_->device, durable_->manifest);
+    for (const std::string& file : retired_files) {
+      durable_->device.remove(file);
+    }
   }
   if (!last_level) compact(level + 1);
+}
+
+ScrubReport LsmStore::scrub() const {
+  if (!durable_) return ScrubReport{};
+  const StorageSpan span{"scrub", {}};
+  ScrubReport report = scrub_device(durable_->device);
+  ++stats_.scrubs;
+  stats_.scrub_corruptions += report.corruptions();
+  if (obs::enabled() && report.corruptions() > 0) {
+    StorageMetrics::get().scrub_corruptions->add(report.corruptions());
+  }
+  return report;
 }
 
 }  // namespace rb::storage

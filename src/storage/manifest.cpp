@@ -1,0 +1,104 @@
+#include "storage/manifest.hpp"
+
+#include <cstdio>
+
+#include "storage/wal.hpp"
+
+namespace rb::storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'B', 'M', '1'};
+constexpr std::uint32_t kMaxLevels = 1u << 10;
+constexpr std::uint32_t kMaxRunsPerLevel = 1u << 20;
+constexpr std::uint32_t kMaxNameLen = 1u << 10;
+
+std::string numbered(const char* prefix, const char* suffix,
+                     std::uint64_t number) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%010llu%s", prefix,
+                static_cast<unsigned long long>(number), suffix);
+  return buf;
+}
+
+void append_name(std::string& out, const std::string& name) {
+  append_u32(out, static_cast<std::uint32_t>(name.size()));
+  out += name;
+}
+
+std::string read_name(ByteReader& in) {
+  const std::uint32_t len = in.u32();
+  if (len > kMaxNameLen)
+    throw CorruptionError{"manifest: implausible name length"};
+  return std::string{in.bytes(len)};
+}
+
+}  // namespace
+
+std::string sst_file_name(std::uint64_t number) {
+  return numbered("sst-", ".run", number);
+}
+
+std::string wal_file_name(std::uint64_t number) {
+  return numbered("wal-", ".log", number);
+}
+
+std::string encode_manifest(const ManifestData& data) {
+  std::string payload;
+  append_u64(payload, data.next_file_number);
+  append_name(payload, data.wal_file);
+  append_u32(payload, static_cast<std::uint32_t>(data.levels.size()));
+  for (const auto& level : data.levels) {
+    append_u32(payload, static_cast<std::uint32_t>(level.size()));
+    for (const auto& run : level) append_name(payload, run);
+  }
+  std::string out{kMagic, sizeof kMagic};
+  append_u32(out, crc32c(payload));
+  out += payload;
+  return out;
+}
+
+ManifestData decode_manifest(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 ||
+      bytes.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    throw CorruptionError{"manifest: bad magic"};
+  }
+  ByteReader in{bytes.substr(sizeof kMagic)};
+  const std::uint32_t crc = in.u32();
+  const std::string_view payload = bytes.substr(sizeof(kMagic) + 4);
+  if (crc32c(payload) != crc)
+    throw CorruptionError{"manifest: checksum mismatch"};
+  ByteReader body{payload};
+  ManifestData data;
+  data.next_file_number = body.u64();
+  data.wal_file = read_name(body);
+  const std::uint32_t level_count = body.u32();
+  if (level_count > kMaxLevels)
+    throw CorruptionError{"manifest: implausible level count"};
+  data.levels.resize(level_count);
+  for (auto& level : data.levels) {
+    const std::uint32_t runs = body.u32();
+    if (runs > kMaxRunsPerLevel)
+      throw CorruptionError{"manifest: implausible run count"};
+    level.reserve(runs);
+    for (std::uint32_t r = 0; r < runs; ++r) level.push_back(read_name(body));
+  }
+  if (!body.exhausted())
+    throw CorruptionError{"manifest: trailing bytes"};
+  return data;
+}
+
+void write_manifest(Device& device, const ManifestData& data) {
+  // Replace any stale tmp (a previous swap that died pre-rename).
+  device.remove(kManifestTmpFile);
+  device.append(kManifestTmpFile, encode_manifest(data));
+  device.sync(kManifestTmpFile);
+  device.rename(kManifestTmpFile, kManifestFile);
+}
+
+std::optional<ManifestData> read_manifest(const Device& device) {
+  if (!device.exists(kManifestFile)) return std::nullopt;
+  return decode_manifest(device.read(kManifestFile));
+}
+
+}  // namespace rb::storage

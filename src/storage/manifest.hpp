@@ -1,0 +1,53 @@
+#pragma once
+// Checksummed manifest: the single durable root of an LSM store.
+//
+// The manifest records the store's entire file-level structure — the active
+// WAL file, every SSTable run per level (oldest→newest within a level, level
+// 0 newest), and the next file number — under a magic header and a CRC32C.
+// It is replaced, never edited: write_manifest writes the full image to
+// MANIFEST.tmp, fsyncs it, then atomically renames it over MANIFEST. A crash
+// on either side of the rename leaves a complete, checksummed manifest; the
+// referenced files are always synced before the manifest that references
+// them (write-ahead ordering), so whichever manifest survives describes only
+// durable state. Files the surviving manifest does not reference are orphans
+// and are swept at recovery.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/device.hpp"
+
+namespace rb::storage {
+
+inline constexpr const char* kManifestFile = "MANIFEST";
+inline constexpr const char* kManifestTmpFile = "MANIFEST.tmp";
+
+/// Canonical data file names: zero-padded so directory listings sort in
+/// creation order.
+std::string sst_file_name(std::uint64_t number);
+std::string wal_file_name(std::uint64_t number);
+
+struct ManifestData {
+  std::uint64_t next_file_number = 1;
+  std::string wal_file;
+  /// levels[0] is the newest level; within a level, later runs are newer.
+  std::vector<std::vector<std::string>> levels;
+
+  bool operator==(const ManifestData&) const = default;
+};
+
+/// Serialize (exposed for tests; write_manifest is the durable path).
+std::string encode_manifest(const ManifestData& data);
+/// Parse + verify. Throws CorruptionError on bad magic, CRC, or structure.
+ManifestData decode_manifest(std::string_view bytes);
+
+/// Durably install `data` as the current manifest (tmp + fsync + rename).
+void write_manifest(Device& device, const ManifestData& data);
+
+/// Read the current manifest; nullopt when none exists (fresh device).
+/// Throws CorruptionError when one exists but fails verification.
+std::optional<ManifestData> read_manifest(const Device& device);
+
+}  // namespace rb::storage

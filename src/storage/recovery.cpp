@@ -1,0 +1,114 @@
+#include "storage/recovery.hpp"
+
+namespace rb::storage {
+
+namespace {
+
+constexpr std::size_t kBlockPayloadTarget = 4096;
+constexpr std::uint32_t kMaxBlockPayload = 1u << 28;
+
+void append_entry(std::string& payload, const SsTable::Entry& entry) {
+  payload.push_back(entry.tombstone ? 1 : 0);
+  append_u32(payload, static_cast<std::uint32_t>(entry.key.size()));
+  payload += entry.key;
+  append_u32(payload, static_cast<std::uint32_t>(entry.value.size()));
+  payload += entry.value;
+}
+
+void flush_block(Device& device, const std::string& file, std::string& payload,
+                 std::uint32_t count) {
+  std::string block;
+  block.reserve(8 + 4 + payload.size());
+  std::string body;
+  body.reserve(4 + payload.size());
+  append_u32(body, count);
+  body += payload;
+  append_u32(block, crc32c(body));
+  append_u32(block, static_cast<std::uint32_t>(body.size()));
+  block += body;
+  device.append(file, block);
+  payload.clear();
+}
+
+}  // namespace
+
+void write_sstable(Device& device, const std::string& file,
+                   const std::vector<SsTable::Entry>& entries) {
+  if (device.exists(file))
+    throw DeviceError{"write_sstable: " + file + " already exists"};
+  std::string payload;
+  std::uint32_t count = 0;
+  for (const auto& entry : entries) {
+    append_entry(payload, entry);
+    ++count;
+    if (payload.size() >= kBlockPayloadTarget) {
+      flush_block(device, file, payload, count);
+      count = 0;
+    }
+  }
+  if (count > 0) flush_block(device, file, payload, count);
+  device.sync(file);
+}
+
+std::vector<SsTable::Entry> read_sstable(const Device& device,
+                                         const std::string& file) {
+  if (!device.exists(file))
+    throw CorruptionError{"sstable: missing run file " + file};
+  const std::string data = device.read(file);
+  std::vector<SsTable::Entry> entries;
+  try {
+    ByteReader in{data};
+    while (!in.exhausted()) {
+      const std::uint32_t crc = in.u32();
+      const std::uint32_t size = in.u32();
+      if (size > kMaxBlockPayload)
+        throw CorruptionError{"sstable: implausible block size"};
+      const std::string_view body = in.bytes(size);
+      if (crc32c(body) != crc)
+        throw CorruptionError{"sstable: block checksum mismatch"};
+      ByteReader block{body};
+      const std::uint32_t count = block.u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        SsTable::Entry entry;
+        entry.tombstone = block.u8() != 0;
+        entry.key = std::string{block.bytes(block.u32())};
+        entry.value = std::string{block.bytes(block.u32())};
+        entries.push_back(std::move(entry));
+      }
+      if (!block.exhausted())
+        throw CorruptionError{"sstable: trailing bytes in block"};
+    }
+  } catch (const CorruptionError& e) {
+    throw CorruptionError{std::string{e.what()} + " in " + file};
+  }
+  return entries;
+}
+
+ScrubReport scrub_device(const Device& device) {
+  ScrubReport report;
+  if (!device.exists(kManifestFile)) return report;  // fresh: nothing to check
+  ManifestData manifest;
+  try {
+    manifest = decode_manifest(device.read(kManifestFile));
+  } catch (const CorruptionError&) {
+    report.manifest_ok = false;
+    return report;  // nothing else is reachable without the root
+  }
+  for (const auto& level : manifest.levels) {
+    for (const auto& run : level) {
+      ++report.runs_checked;
+      try {
+        report.entries_checked += read_sstable(device, run).size();
+      } catch (const CorruptionError&) {
+        report.corrupt_files.push_back(run);
+      }
+    }
+  }
+  const WalReplay replay = replay_wal(device, manifest.wal_file);
+  report.wal_records_checked = replay.records.size();
+  report.wal_tail_torn = replay.tail == WalTail::kTorn;
+  report.wal_ok = replay.tail != WalTail::kCorrupt;
+  return report;
+}
+
+}  // namespace rb::storage

@@ -1,0 +1,60 @@
+#pragma once
+// SSTable block persistence, recovery accounting, and the scrub pass.
+//
+// SSTable file format: a sequence of CRC32C-checksummed blocks,
+//   [crc u32][size u32][payload: count u32, then per entry
+//                       tombstone u8, klen u32, key, vlen u32, value]
+// split at ~4 KiB payload boundaries. SSTable files are written and fsynced
+// in full *before* any manifest references them, so — unlike the WAL — a
+// truncated or checksum-failing block in a referenced run is never a legal
+// crash artifact: read_sstable throws CorruptionError, and scrub_device
+// reports the damaged file by name instead of silently dropping the run.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/device.hpp"
+#include "storage/lsm.hpp"
+#include "storage/manifest.hpp"
+#include "storage/wal.hpp"
+
+namespace rb::storage {
+
+/// Write `entries` (sorted, deduplicated) as checksummed blocks and fsync.
+/// The file must not already exist.
+void write_sstable(Device& device, const std::string& file,
+                   const std::vector<SsTable::Entry>& entries);
+
+/// Load and verify a run. Throws CorruptionError on any damaged or
+/// truncated block, naming the file.
+std::vector<SsTable::Entry> read_sstable(const Device& device,
+                                         const std::string& file);
+
+// (RecoveryInfo — what LsmStore's recovering constructor found — lives in
+// storage/lsm.hpp next to the store that exposes it.)
+
+/// Scrub outcome: every corrupt artifact is *named*; nothing is repaired or
+/// dropped here. `clean()` is the all-good summary.
+struct ScrubReport {
+  std::uint64_t runs_checked = 0;
+  std::uint64_t entries_checked = 0;
+  std::uint64_t wal_records_checked = 0;
+  bool manifest_ok = true;
+  bool wal_ok = true;        // false on a corrupt (not merely torn) tail
+  bool wal_tail_torn = false;
+  std::vector<std::string> corrupt_files;  // runs that failed verification
+
+  std::uint64_t corruptions() const noexcept {
+    return corrupt_files.size() + (manifest_ok ? 0 : 1) + (wal_ok ? 0 : 1);
+  }
+  bool clean() const noexcept { return corruptions() == 0; }
+};
+
+/// Verify every persisted artifact the manifest references: the manifest
+/// itself, each SSTable run's block checksums, and the WAL's record prefix.
+/// Read-only; never throws on corruption (the report carries it). A device
+/// with no manifest scrubs clean (nothing to verify).
+ScrubReport scrub_device(const Device& device);
+
+}  // namespace rb::storage

@@ -1,0 +1,180 @@
+#include "storage/wal.hpp"
+
+#include <array>
+
+namespace rb::storage {
+
+namespace {
+
+/// A frame claiming a payload larger than this is treated as corrupt, not
+/// torn: it bounds how far a flipped size field can masquerade as "the rest
+/// of the file is my payload".
+constexpr std::uint32_t kMaxPayload = 1u << 28;
+
+constexpr std::size_t kHeaderBytes = 8;  // crc u32 + size u32
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);  // reflected poly
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > data_.size())
+    throw CorruptionError{"ByteReader: truncated record"};
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(static_cast<unsigned char>(data_[pos_++]));
+}
+
+std::string_view ByteReader::bytes(std::size_t n) {
+  need(n);
+  const std::string_view v = data_.substr(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+std::string encode_wal_record(const WalRecord& record) {
+  std::string payload;
+  payload.reserve(5 + record.key.size() + record.value.size());
+  payload.push_back(static_cast<char>(record.type));
+  append_u32(payload, static_cast<std::uint32_t>(record.key.size()));
+  payload += record.key;
+  payload += record.value;
+
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  append_u32(frame, crc32c(payload));
+  append_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+WalWriter::WalWriter(Device& device, std::string file)
+    : device_{device}, file_{std::move(file)} {}
+
+void WalWriter::append(const WalRecord& record) {
+  const std::string frame = encode_wal_record(record);
+  device_.append(file_, frame);
+  ++appended_;
+  appended_bytes_ += frame.size();
+}
+
+std::uint64_t WalWriter::sync() {
+  const std::uint64_t pending = appended_ - synced_;
+  if (pending == 0) return 0;
+  device_.sync(file_);
+  synced_ = appended_;
+  return pending;
+}
+
+WalReplay replay_wal(const Device& device, const std::string& file) {
+  WalReplay out;
+  if (!device.exists(file)) return out;
+  const std::string data = device.read(file);
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t remaining = data.size() - pos;
+    if (remaining < kHeaderBytes) {
+      out.tail = WalTail::kTorn;
+      break;
+    }
+    ByteReader header{std::string_view{data}.substr(pos, kHeaderBytes)};
+    const std::uint32_t crc = header.u32();
+    const std::uint32_t size = header.u32();
+    if (size > kMaxPayload) {
+      out.tail = WalTail::kCorrupt;
+      break;
+    }
+    if (remaining - kHeaderBytes < size) {
+      out.tail = WalTail::kTorn;
+      break;
+    }
+    const std::string_view payload =
+        std::string_view{data}.substr(pos + kHeaderBytes, size);
+    if (crc32c(payload) != crc) {
+      out.tail = WalTail::kCorrupt;
+      break;
+    }
+    WalRecord record;
+    try {
+      ByteReader body{payload};
+      const std::uint8_t type = body.u8();
+      if (type != static_cast<std::uint8_t>(WalRecord::Type::kPut) &&
+          type != static_cast<std::uint8_t>(WalRecord::Type::kErase)) {
+        throw CorruptionError{"wal: unknown record type"};
+      }
+      record.type = static_cast<WalRecord::Type>(type);
+      const std::uint32_t klen = body.u32();
+      record.key = std::string{body.bytes(klen)};
+      record.value = std::string{body.bytes(body.remaining())};
+    } catch (const CorruptionError&) {
+      // Structurally invalid under a valid CRC cannot be a torn write.
+      out.tail = WalTail::kCorrupt;
+      break;
+    }
+    out.records.push_back(std::move(record));
+    pos += kHeaderBytes + size;
+    out.valid_bytes = pos;
+  }
+  out.dropped_bytes = data.size() - out.valid_bytes;
+  if (pos >= data.size()) out.tail = WalTail::kClean;
+  return out;
+}
+
+}  // namespace rb::storage

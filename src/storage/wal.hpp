@@ -1,0 +1,121 @@
+#pragma once
+// Write-ahead log with CRC32C-checksummed record framing and group commit.
+//
+// Frame layout (all integers little-endian):
+//   [crc32c u32][size u32][payload: type u8, klen u32, key, value]
+// `size` is the payload length; the value length is implied. The checksum
+// covers the payload only — a frame whose payload is fully present but
+// fails its CRC can never be a legal crash artifact (power loss truncates,
+// it does not rewrite), so replay classifies it as corruption rather than a
+// torn tail.
+//
+// Group commit: WalWriter::append frames a record into the device file
+// (volatile); nothing is acked until sync() — one fsync covers every record
+// appended since the last one. The LSM store calls append on each put/erase
+// and lets callers batch syncs, which is where the durable-put overhead
+// measured by bench_ext_crash_recovery comes from.
+//
+// Also here: the little-endian codec helpers (ByteReader/append_u32/...)
+// shared by the manifest and SSTable block formats.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/device.hpp"
+
+namespace rb::storage {
+
+/// CRC32C (Castagnoli), table-driven. `seed` chains incremental updates.
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0);
+
+/// --- Little-endian codec helpers -------------------------------------------
+
+void append_u32(std::string& out, std::uint32_t v);
+void append_u64(std::string& out, std::uint64_t v);
+
+/// Bounds-checked little-endian reader over a byte string. Throws
+/// CorruptionError on overrun (persisted formats) — the caller decides
+/// whether that means torn or corrupt.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_{data} {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint8_t u8();
+  std::string_view bytes(std::size_t n);
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// --- WAL records ------------------------------------------------------------
+
+struct WalRecord {
+  enum class Type : std::uint8_t { kPut = 1, kErase = 2 };
+  Type type = Type::kPut;
+  std::string key;
+  std::string value;  // empty for kErase
+
+  bool operator==(const WalRecord&) const = default;
+};
+
+/// One framed record (exposed for tests and the crash fuzzer's byte math).
+std::string encode_wal_record(const WalRecord& record);
+
+class WalWriter {
+ public:
+  /// Appends continue at the current end of `file` (which must hold only
+  /// valid frames — recovery truncates the torn tail before handing the
+  /// file back to a writer).
+  WalWriter(Device& device, std::string file);
+
+  /// Frame and append one record (volatile until sync()).
+  void append(const WalRecord& record);
+
+  /// Group commit: make every appended record durable. Returns the number
+  /// of records this call acked (0 when nothing was pending — the device
+  /// is not touched in that case, keeping op counts deterministic).
+  std::uint64_t sync();
+
+  std::uint64_t appended_records() const noexcept { return appended_; }
+  std::uint64_t synced_records() const noexcept { return synced_; }
+  std::uint64_t appended_bytes() const noexcept { return appended_bytes_; }
+  const std::string& file() const noexcept { return file_; }
+
+ private:
+  Device& device_;
+  std::string file_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t synced_ = 0;
+  std::uint64_t appended_bytes_ = 0;
+};
+
+/// How a WAL scan ended.
+enum class WalTail : std::uint8_t {
+  kClean,    // file ends exactly on a frame boundary
+  kTorn,     // incomplete final frame — the legal crash artifact; discard
+  kCorrupt,  // a complete frame failed its CRC — detected corruption
+};
+
+struct WalReplay {
+  std::vector<WalRecord> records;  // the valid prefix
+  std::uint64_t valid_bytes = 0;   // frame-aligned prefix length
+  std::uint64_t dropped_bytes = 0; // bytes past the valid prefix
+  WalTail tail = WalTail::kClean;
+};
+
+/// Scan `file` and return the longest valid record prefix. A missing file
+/// reads as an empty clean log. Never throws on torn/corrupt content — the
+/// classification is in the result; recovery decides the policy.
+WalReplay replay_wal(const Device& device, const std::string& file);
+
+}  // namespace rb::storage

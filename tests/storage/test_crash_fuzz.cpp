@@ -1,0 +1,94 @@
+#include "storage/crashfuzz.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb::storage {
+namespace {
+
+// CI-sized config: a shorter workload than the bench sweep but the same
+// machinery — flushes, compactions, WAL rotations and manifest swaps all
+// happen inside it (memtable_bytes = 1024 with ~16-byte entries).
+CrashFuzzConfig quick(std::uint64_t seed) {
+  CrashFuzzConfig config;
+  config.seed = seed;
+  config.ops = 120;
+  config.key_space = 32;
+  config.sync_every = 5;
+  config.tears = {0, 3, 17};
+  return config;
+}
+
+TEST(CrashFuzz, EveryCrashPointRecoversConsistently) {
+  const CrashFuzzResult result = run_crash_fuzz(quick(1));
+  EXPECT_GT(result.device_ops, 100u);
+  EXPECT_EQ(result.crash_points, result.device_ops * 3);  // x tears
+  EXPECT_EQ(result.acked_losses, 0u);
+  EXPECT_EQ(result.prefix_violations, 0u);
+  EXPECT_EQ(result.reopen_mismatches, 0u);
+  EXPECT_EQ(result.unexpected_corruption, 0u);
+  EXPECT_GT(result.replayed_records_total, 0u);
+  EXPECT_TRUE(result.pass());
+}
+
+TEST(CrashFuzz, IsDeterministicForAFixedConfig) {
+  CrashFuzzConfig config = quick(7);
+  config.ops = 60;
+  config.tears = {0, 5};
+  const CrashFuzzResult a = run_crash_fuzz(config);
+  const CrashFuzzResult b = run_crash_fuzz(config);
+  EXPECT_EQ(a.crash_points, b.crash_points);
+  EXPECT_EQ(a.device_ops, b.device_ops);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.replayed_records_total, b.replayed_records_total);
+  EXPECT_TRUE(a.pass());
+}
+
+TEST(CrashFuzz, LyingDiskStillGivesPrefixConsistency) {
+  CrashFuzzConfig config = quick(3);
+  config.ops = 80;
+  config.tears = {0, 9};
+  config.drop_sync_rate = 0.3;
+  const CrashFuzzResult result = run_crash_fuzz(config);
+  // Acked durability is forfeit on a disk that drops fsyncs — but the store
+  // must still recover to *some* workload prefix or loudly refuse to open.
+  EXPECT_FALSE(result.expect_acked_durable);
+  EXPECT_EQ(result.prefix_violations, 0u);
+  EXPECT_EQ(result.reopen_mismatches, 0u);
+  EXPECT_TRUE(result.pass());
+}
+
+TEST(CrashFuzz, EveryBitFlipIsDetectedOrSafelyReported) {
+  CrashFuzzConfig config = quick(5);
+  config.ops = 100;
+  config.flip_stride = 23;
+  const CrashFuzzResult result = run_bitflip_fuzz(config);
+  EXPECT_GT(result.flip_points, 50u);
+  // Most flips make the store refuse to open; a flip in a WAL length field
+  // may instead read as a torn tail (reported drop). Neither silent serving
+  // of corrupt data nor an invisible flip is allowed.
+  EXPECT_GT(result.corruption_detected, 0u);
+  EXPECT_EQ(result.corruption_served, 0u);
+  EXPECT_EQ(result.corruption_missed, 0u);
+  EXPECT_TRUE(result.pass());
+}
+
+TEST(CrashFuzz, MergeAccumulatesAcrossSeeds) {
+  CrashFuzzConfig config = quick(11);
+  config.ops = 40;
+  config.tears = {0};
+  CrashFuzzResult total = run_crash_fuzz(config);
+  const std::uint64_t first_points = total.crash_points;
+  config.seed = 12;
+  total.merge(run_crash_fuzz(config));
+  EXPECT_GT(total.crash_points, first_points);
+  EXPECT_TRUE(total.pass());
+}
+
+TEST(CrashFuzz, RejectsDegenerateConfig) {
+  CrashFuzzConfig config;
+  config.ops = 0;
+  EXPECT_THROW(run_crash_fuzz(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rb::storage

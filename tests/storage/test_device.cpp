@@ -1,0 +1,207 @@
+#include "storage/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "faults/plan.hpp"
+#include "faults/storage.hpp"
+
+namespace rb::storage {
+namespace {
+
+TEST(MemDevice, AppendReadRoundTrip) {
+  MemDevice device;
+  device.append("f", "hello ");
+  device.append("f", "world");
+  EXPECT_TRUE(device.exists("f"));
+  EXPECT_EQ(device.size("f"), 11u);
+  EXPECT_EQ(device.read("f"), "hello world");
+  EXPECT_FALSE(device.exists("g"));
+  EXPECT_EQ(device.size("g"), 0u);
+  EXPECT_THROW(device.read("g"), DeviceError);
+}
+
+TEST(MemDevice, UnsyncedDataDiesAtReopen) {
+  MemDevice device;
+  device.append("f", "durable");
+  device.sync("f");
+  device.append("f", " volatile");
+  device.reopen();  // clean restart that lost the page cache
+  EXPECT_EQ(device.read("f"), "durable");
+}
+
+TEST(MemDevice, CrashFiresAtScheduledOpAndBlocksFurtherUse) {
+  faults::StorageFaultPlan plan;
+  plan.crash_at(2);  // ops: append, sync, append(crashes)
+  MemDevice device{plan};
+  device.append("f", "one");
+  device.sync("f");
+  EXPECT_THROW(device.append("f", "two"), DeviceCrashed);
+  EXPECT_TRUE(device.crashed());
+  EXPECT_THROW(device.append("f", "x"), DeviceCrashed);
+  EXPECT_THROW(device.read("f"), DeviceCrashed);
+  device.reopen();
+  EXPECT_FALSE(device.crashed());
+  EXPECT_EQ(device.read("f"), "one");
+  // The consumed crash point does not re-fire.
+  device.append("f", "more");
+  EXPECT_EQ(device.read("f"), "onemore");
+}
+
+TEST(MemDevice, TearKeepsPrefixOfUnsyncedTail) {
+  faults::StorageFaultPlan plan;
+  plan.crash_at(3, 4);  // 4 bytes of the unsynced tail survive
+  MemDevice device{plan};
+  device.append("f", "base-");
+  device.sync("f");
+  device.append("f", "abcdefgh");
+  EXPECT_THROW(device.append("f", "never"), DeviceCrashed);
+  device.reopen();
+  EXPECT_EQ(device.read("f"), "base-abcd");
+}
+
+TEST(MemDevice, CrashDuringSyncPersistsNothingNew) {
+  faults::StorageFaultPlan plan;
+  plan.crash_at(1);  // the sync itself crashes
+  MemDevice device{plan};
+  device.append("f", "data");
+  EXPECT_THROW(device.sync("f"), DeviceCrashed);
+  device.reopen();
+  EXPECT_FALSE(device.exists("f"));
+}
+
+TEST(MemDevice, DroppedSyncLiesAboutDurability) {
+  faults::StorageFaultPlan plan;
+  plan.drop_sync(0);
+  plan.crash_at(2);
+  MemDevice device{plan};
+  device.append("f", "data");
+  device.sync("f");  // acked but silently dropped
+  EXPECT_THROW(device.append("f", "x"), DeviceCrashed);
+  device.reopen();
+  EXPECT_FALSE(device.exists("f"));
+}
+
+TEST(MemDevice, RenameIsAtomicAndDurable) {
+  faults::StorageFaultPlan plan;
+  plan.crash_at(3);  // append, sync, rename(durable), then crash on next op
+  MemDevice device{plan};
+  device.append("tmp", "payload");
+  device.sync("tmp");
+  device.rename("tmp", "final");
+  EXPECT_THROW(device.append("other", "x"), DeviceCrashed);
+  device.reopen();
+  EXPECT_FALSE(device.exists("tmp"));
+  EXPECT_EQ(device.read("final"), "payload");
+}
+
+TEST(MemDevice, BitFlipSurfacesAtReopen) {
+  faults::StorageFaultPlan plan;
+  plan.flip_bit("f", 1, 0);
+  MemDevice device{plan};
+  device.append("f", "abc");
+  device.sync("f");
+  device.reopen();
+  EXPECT_EQ(device.read("f"), std::string{"a"} + static_cast<char>('b' ^ 1) +
+                                  "c");
+}
+
+TEST(MemDevice, CorruptByteFlipsInPlace) {
+  MemDevice device;
+  device.append("f", std::string_view{"\x00", 1});
+  device.sync("f");
+  device.corrupt_byte("f", 0, 7);
+  EXPECT_EQ(device.read("f")[0], static_cast<char>(0x80));
+  EXPECT_THROW(device.corrupt_byte("f", 5, 0), DeviceError);
+  EXPECT_THROW(device.corrupt_byte("missing", 0, 0), DeviceError);
+}
+
+TEST(MemDevice, ListIsSortedAndTruncateShrinks) {
+  MemDevice device;
+  device.append("b", "22");
+  device.append("a", "1");
+  device.append("c", "333");
+  const auto files = device.list();
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+  device.truncate("c", 1);
+  EXPECT_EQ(device.read("c"), "3");
+  device.remove("b");
+  EXPECT_FALSE(device.exists("b"));
+  device.remove("b");  // idempotent
+}
+
+TEST(MemDevice, OpsCountsMutationsOnly) {
+  MemDevice device;
+  device.append("f", "x");
+  device.sync("f");
+  (void)device.read("f");
+  (void)device.exists("f");
+  (void)device.list();
+  EXPECT_EQ(device.ops(), 2u);
+  EXPECT_EQ(device.syncs(), 1u);
+}
+
+class FileDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("rb_filedev_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_F(FileDeviceTest, RoundTripAndListing) {
+  FileDevice device{root_};
+  device.append("wal.log", "rec1");
+  device.append("wal.log", "rec2");
+  device.sync("wal.log");
+  device.append("tmp", "manifest");
+  device.rename("tmp", "MANIFEST");
+  EXPECT_EQ(device.read("wal.log"), "rec1rec2");
+  EXPECT_EQ(device.read("MANIFEST"), "manifest");
+  EXPECT_FALSE(device.exists("tmp"));
+  const auto files = device.list();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "MANIFEST");
+  EXPECT_EQ(files[1], "wal.log");
+  device.truncate("wal.log", 4);
+  EXPECT_EQ(device.read("wal.log"), "rec1");
+  device.remove("wal.log");
+  EXPECT_FALSE(device.exists("wal.log"));
+}
+
+TEST_F(FileDeviceTest, RejectsEscapingNames) {
+  FileDevice device{root_};
+  EXPECT_THROW(device.append("../escape", "x"), DeviceError);
+  EXPECT_THROW(device.append("a/b", "x"), DeviceError);
+}
+
+TEST(StorageFaultPlan, ValidatesInputs) {
+  faults::StorageFaultPlan plan;
+  EXPECT_THROW(plan.flip_bit("f", 0, 8), faults::PlanValidationError);
+  EXPECT_THROW(plan.flip_bit("", 0, 0), faults::PlanValidationError);
+  EXPECT_THROW(faults::make_random_storage_plan(0, 4, 0.0, 1),
+               faults::PlanValidationError);
+  EXPECT_THROW(faults::make_random_storage_plan(10, 4, 1.5, 1),
+               faults::PlanValidationError);
+  const auto random = faults::make_random_storage_plan(100, 16, 0.5, 7);
+  ASSERT_TRUE(random.crash().has_value());
+  EXPECT_LT(random.crash()->op, 100u);
+  EXPECT_LE(random.crash()->tear_bytes, 16u);
+  EXPECT_FALSE(random.empty());
+}
+
+}  // namespace
+}  // namespace rb::storage

@@ -156,7 +156,7 @@ TEST(Lsm, BloomFiltersSkipProbesOnMisses) {
 
 TEST(Lsm, BloomCountersExportThroughObs) {
   auto& registry = obs::Registry::global();
-  registry.clear();
+  registry.reset_for_test();
   obs::set_enabled(true);
   LsmStore store{tiny()};
   for (int i = 0; i < 300; ++i) {
@@ -176,7 +176,7 @@ TEST(Lsm, BloomCountersExportThroughObs) {
   EXPECT_EQ(negatives, store.stats().bloom_skips);
   EXPECT_EQ(registry.counter("storage.bloom_hits").value(),
             store.stats().sstable_probes);
-  registry.clear();
+  registry.reset_for_test();
 }
 
 TEST(Lsm, MatchesStdMapUnderRandomWorkload) {
@@ -230,6 +230,104 @@ TEST(Lsm, RejectsBadOptions) {
   bad = LsmOptions{};
   bad.runs_per_level = 1;
   EXPECT_THROW(LsmStore{bad}, std::invalid_argument);
+}
+
+TEST(Lsm, OptionsErrorsAreTypedAndNameTheField) {
+  LsmOptions bad;
+  bad.memtable_bytes = 0;
+  try {
+    bad.validate();
+    FAIL() << "expected LsmOptionsError";
+  } catch (const LsmOptionsError& e) {
+    EXPECT_EQ(e.field(), "memtable_bytes");
+    EXPECT_NE(std::string{e.what()}.find("LsmOptions.memtable_bytes"),
+              std::string::npos);
+  }
+
+  bad = LsmOptions{};
+  bad.runs_per_level = 1;  // a single-run level could never merge
+  try {
+    bad.validate();
+    FAIL() << "expected LsmOptionsError";
+  } catch (const LsmOptionsError& e) {
+    EXPECT_EQ(e.field(), "runs_per_level");
+  }
+
+  bad = LsmOptions{};
+  bad.max_levels = 0;  // nowhere to flush to
+  try {
+    LsmStore store{bad};
+    FAIL() << "expected LsmOptionsError";
+  } catch (const LsmOptionsError& e) {
+    EXPECT_EQ(e.field(), "max_levels");
+  }
+
+  EXPECT_NO_THROW(LsmOptions{}.validate());
+}
+
+TEST(Lsm, ScanTombstoneShadowsLowerLevelMidRange) {
+  LsmStore store{tiny()};
+  store.put("a", "1");
+  store.put("m", "mid");
+  store.put("z", "9");
+  store.flush();  // values now in a run
+  store.erase("m");
+  store.flush();  // tombstone in a *newer* run above the value
+  const auto all = store.scan("a", "zz");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "a");
+  EXPECT_EQ(all[1].first, "z");
+  // The shadow holds when the tombstone is still in the memtable too.
+  store.put("m", "back");
+  store.flush();
+  store.erase("m");
+  EXPECT_EQ(store.scan("a", "zz").size(), 2u);
+}
+
+TEST(Lsm, ScanEmptyAndDegenerateRanges) {
+  LsmStore store{tiny()};
+  store.put("b", "2");
+  store.put("c", "3");
+  store.flush();
+  EXPECT_TRUE(store.scan("b", "b").empty());  // lo == hi: empty [b, b)
+  EXPECT_TRUE(store.scan("x", "a").empty());  // inverted range
+  EXPECT_TRUE(LsmStore{tiny()}.scan("", "").empty());  // empty store
+  const auto from_lo = store.scan("b", "");
+  ASSERT_EQ(from_lo.size(), 2u);  // empty hi = unbounded
+  EXPECT_EQ(from_lo[0].first, "b");
+}
+
+TEST(Lsm, ScanSeesWritesAcrossFlushBoundary) {
+  LsmStore store{tiny()};
+  store.put("a", "old");
+  store.put("b", "keep");
+  store.flush();
+  store.put("a", "new");   // overwrites the flushed version
+  store.put("c", "fresh"); // memtable-only
+  const auto all = store.scan("", "");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], (std::pair<std::string, std::string>{"a", "new"}));
+  EXPECT_EQ(all[1], (std::pair<std::string, std::string>{"b", "keep"}));
+  EXPECT_EQ(all[2], (std::pair<std::string, std::string>{"c", "fresh"}));
+}
+
+TEST(Lsm, BloomSkipStatsSurviveCompaction) {
+  LsmStore store{tiny()};
+  for (int i = 0; i < 100; ++i)
+    store.put("present" + std::to_string(i), std::string(24, 'v'));
+  store.flush();
+  for (int i = 0; i < 200; ++i)
+    (void)store.get("absent" + std::to_string(i));
+  const auto skips_before = store.stats().bloom_skips;
+  EXPECT_GT(skips_before, 0u);
+  // Force more flushes until a compaction destroys the probed runs. The
+  // accumulated skip statistic must not be lost with them (stats() is the
+  // single source of truth; runs keep no counters of their own).
+  const auto compactions_before = store.stats().compactions;
+  for (int i = 0; i < 200; ++i)
+    store.put("filler" + std::to_string(i), std::string(24, 'f'));
+  EXPECT_GT(store.stats().compactions, compactions_before);
+  EXPECT_GE(store.stats().bloom_skips, skips_before);
 }
 
 /// Memtable-size sweep: semantics must not depend on flush cadence.
