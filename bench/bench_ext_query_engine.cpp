@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -74,7 +75,10 @@ Tables make_tables(std::size_t n_orders, std::uint64_t seed) {
 Query make_query(const Tables& t, bool items_probe) {
   Query q = items_probe ? Query(t.lineitems) : Query(t.orders);
   q.join(items_probe ? t.orders : t.lineitems, "order_id", "order_id")
-      .where_int("amount", [](std::int64_t a) { return a >= 20'000; })
+      // Range form so the vectorized engine takes the SIMD selection path;
+      // the interpreter evaluates the identical lo <= a < hi predicate.
+      .where_between("amount", 20'000,
+                     std::numeric_limits<std::int64_t>::max())
       .group_by("customer", Aggregate::kSum, "amount", "revenue")
       .order_by("revenue", true)
       .limit(10);
@@ -186,7 +190,8 @@ int main(int argc, char** argv) {
     auto plan =
         rb::query::exec::PlanBuilder(store, "lineitems")
             .join(tables.orders, "order_id", "order_id")
-            .filter_int("amount", [](std::int64_t a) { return a >= 20'000; })
+            .filter_between("amount", 20'000,
+                            std::numeric_limits<std::int64_t>::max())
             .group_by("customer", Aggregate::kSum, "amount", "revenue")
             .order_by("revenue", true)
             .limit(10)

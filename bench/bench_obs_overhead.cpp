@@ -18,8 +18,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
+#include "accel/simd/simd.hpp"
 #include "bench_util.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
@@ -327,6 +329,92 @@ double time_wal_us(const WalInstance& in, Sink& sink, int reps,
   return std::chrono::duration<double, std::micro>(t1 - t0).count() / reps;
 }
 
+/// --- SIMD selection-scan instrumentation ------------------------------------
+//
+// Same claim, fourth hot loop: the dispatched SIMD kernel layer's per-batch
+// telemetry tail (query/exec/operators.cpp). FilterInt's range path mirrors
+// rows scanned into accel.simd_rows{kernel=select_between} strictly behind
+// the obs::enabled() guard — one add per BATCH, after the kernel returns.
+// The kernel below is the shipping dispatched select_between (AVX-512 on
+// capable hosts), the fastest loop in the repo and therefore the hardest
+// place for the disabled tail to hide.
+
+struct SimdGuardedSink {
+  Counter* rows;
+
+  SimdGuardedSink()
+      : rows{&rb::obs::Registry::global().counter(
+            "accel.simd_rows",
+            rb::obs::Labels{{"kernel", "select_between"}})} {}
+
+  void on_batch(std::uint64_t n) {
+    if (rb::obs::enabled()) rows->add(n);
+  }
+};
+
+struct SimdNoopSink {
+  NoopCounter rows;
+  void on_batch(std::uint64_t) {}
+};
+
+struct SimdInstance {
+  // 64B-aligned like the engine's column buffers; an unaligned 64B vector
+  // load splits two cache lines and halves effective L1 bandwidth.
+  std::int64_t* values;
+  std::uint32_t* sel;
+  std::size_t rows;
+  std::size_t batch;
+
+  SimdInstance(std::size_t n, std::size_t b)
+      : values{static_cast<std::int64_t*>(
+            std::aligned_alloc(64, n * sizeof(std::int64_t)))},
+        sel{static_cast<std::uint32_t*>(
+            std::aligned_alloc(64, ((n * sizeof(std::uint32_t) + 63) / 64) *
+                                       64))},
+        rows{n},
+        batch{b} {
+    std::uint64_t x = 0x2545F4914F6CDD1DULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      values[i] = static_cast<std::int64_t>(x % 1000);
+    }
+  }
+  ~SimdInstance() {
+    std::free(values);
+    std::free(sel);
+  }
+  SimdInstance(const SimdInstance&) = delete;
+  SimdInstance& operator=(const SimdInstance&) = delete;
+};
+
+/// One batch through the dispatched kernel — deliberately NOT templated on
+/// the sink (same reason as water_fill above).
+[[gnu::noinline]] std::size_t simd_scan_batch(const std::int64_t* values,
+                                              std::size_t n,
+                                              std::uint32_t* sel) {
+  return rb::accel::simd::kernels().select_between(values, n, 250, 750, sel);
+}
+
+template <typename Sink>
+double time_simd_us(const SimdInstance& in, Sink& sink, int reps,
+                    double& checksum) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    std::size_t total = 0;
+    for (std::size_t base = 0; base < in.rows; base += in.batch) {
+      const std::size_t n = std::min(in.batch, in.rows - base);
+      total += simd_scan_batch(in.values + base, n, in.sel);
+      sink.on_batch(n);
+    }
+    checksum += static_cast<double>(total);
+  }
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / reps;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -481,10 +569,67 @@ int main(int argc, char** argv) {
   report.metric("wal_guarded_disabled_us_per_pass", wal_guarded_us);
   report.metric("wal_overhead_pct", wal_overhead_pct);
   report.metric("wal_pass", wal_overhead_pct < 2.0);
-  report.metric("all_pass", overhead_pct < 2.0 && op_overhead_pct < 2.0 &&
-                                wal_overhead_pct < 2.0);
 
   bench::note("the storage.wal_appends mirror costs one relaxed atomic load");
   bench::note("per put — noise-level next to the CRC32C frame encode.");
+
+  // --- SIMD selection-scan per-batch tail -----------------------------------
+  // Cache-resident sizing on purpose: this is the regime where the kernel
+  // is fastest (GRows/s, not DRAM bandwidth) and the per-batch tail is
+  // therefore proportionally largest — the hardest version of the <2% bar.
+  // (A DRAM-streaming sweep would evict the g_enabled line between batches
+  // and measure the cache miss, not the shipping guard.)
+  bench::heading("OBS-OVH (simd)",
+                 "Disabled-telemetry overhead on the SIMD selection scan");
+  constexpr std::size_t kSimdRows = 1 << 14;
+  constexpr std::size_t kSimdBatch = 1024;
+  constexpr int kSimdReps = 500;
+  report.config("simd_rows", std::int64_t{kSimdRows});
+  report.config("simd_batch", std::int64_t{kSimdBatch});
+  report.config("simd_isa", accel::simd::to_string(accel::simd::active_isa()));
+
+  const SimdInstance simd_instance{kSimdRows, kSimdBatch};
+  SimdNoopSink simd_noop;
+  SimdGuardedSink simd_guarded;
+  (void)time_simd_us(simd_instance, simd_noop, 1, checksum);  // warm caches
+
+  std::vector<double> simd_ratios;
+  double simd_noop_us = 1e300, simd_guarded_us = 1e300;
+  simd_ratios.reserve(kAttempts);
+  for (int a = 0; a < kAttempts; ++a) {
+    double n = 0.0, g = 0.0;
+    if (a % 2 == 0) {
+      n = time_simd_us(simd_instance, simd_noop, kSimdReps, checksum);
+      g = time_simd_us(simd_instance, simd_guarded, kSimdReps, checksum);
+    } else {
+      g = time_simd_us(simd_instance, simd_guarded, kSimdReps, checksum);
+      n = time_simd_us(simd_instance, simd_noop, kSimdReps, checksum);
+    }
+    simd_noop_us = std::min(simd_noop_us, n);
+    simd_guarded_us = std::min(simd_guarded_us, g);
+    simd_ratios.push_back(g / n);
+  }
+  std::sort(simd_ratios.begin(), simd_ratios.end());
+  const double simd_overhead_pct = (simd_ratios[kAttempts / 2] - 1.0) * 100.0;
+
+  std::printf("%-28s %14.1f us/pass  (%s kernel)\n",
+              "no-op sink (compile-time)", simd_noop_us,
+              accel::simd::to_string(accel::simd::active_isa()));
+  std::printf("%-28s %14.1f us/pass\n", "guarded sink (obs disabled)",
+              simd_guarded_us);
+  std::printf("%-28s %+14.2f %%   (accept: < 2%%)\n", "overhead",
+              simd_overhead_pct);
+  std::printf("(checksum %.3e)\n", checksum);
+
+  report.metric("simd_noop_us_per_pass", simd_noop_us);
+  report.metric("simd_guarded_disabled_us_per_pass", simd_guarded_us);
+  report.metric("simd_overhead_pct", simd_overhead_pct);
+  report.metric("simd_pass", simd_overhead_pct < 2.0);
+  report.metric("all_pass", overhead_pct < 2.0 && op_overhead_pct < 2.0 &&
+                                wal_overhead_pct < 2.0 &&
+                                simd_overhead_pct < 2.0);
+
+  bench::note("the accel.simd_rows mirror costs one relaxed atomic load per");
+  bench::note("1024-row batch — noise-level even on the widest-vector scan.");
   return 0;
 }

@@ -21,6 +21,14 @@ const std::uint64_t* HashTable64::find(std::uint64_t key) const noexcept {
   }
 }
 
+void HashTable64::find_batch(const std::uint64_t* keys, std::size_t n,
+                             std::uint64_t* values,
+                             std::uint8_t* found) const noexcept {
+  simd::kernels().hash_find_batch(
+      reinterpret_cast<const std::uint64_t*>(slots_.data()), mask_, keys, n,
+      values, found);
+}
+
 void HashTable64::grow() {
   std::vector<Slot> old = std::move(slots_);
   const std::size_t cap = old.size() * 2;

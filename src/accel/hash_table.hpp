@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "accel/simd/simd.hpp"
+
 namespace rb::accel {
 
 /// Maps uint64 keys to uint64 values with upsert-by-combine semantics.
@@ -42,6 +44,13 @@ class HashTable64 {
   /// Returns pointer to the value for `key`, or nullptr when absent.
   const std::uint64_t* find(std::uint64_t key) const noexcept;
 
+  /// Batched lookup through the dispatched SIMD probe kernel: for each of
+  /// the n keys, values[i] = stored value and found[i] = 1 when present,
+  /// else values[i] = 0 and found[i] = 0. Bit-identical to calling find()
+  /// per key (same hash, same probe order, same key-0 remap).
+  void find_batch(const std::uint64_t* keys, std::size_t n,
+                  std::uint64_t* values, std::uint8_t* found) const noexcept;
+
   std::size_t size() const noexcept { return size_; }
 
   /// Visit every (key, value) pair.
@@ -57,8 +66,12 @@ class HashTable64 {
     std::uint64_t key;
     std::uint64_t value;
   };
-  static constexpr std::uint64_t kEmpty = 0;
-  static constexpr std::uint64_t kZeroSentinel = 0x8000'0000'0000'0000ULL;
+  // The SIMD probe kernel (simd::hash_find_batch) reads slots_ as a raw
+  // word array, so the layout and the hashing constants are shared with
+  // accel/simd/simd.hpp — keep them in lockstep.
+  static_assert(sizeof(Slot) == 2 * sizeof(std::uint64_t));
+  static constexpr std::uint64_t kEmpty = simd::kHashEmpty;
+  static constexpr std::uint64_t kZeroSentinel = simd::kHashZeroSentinel;
 
   static std::uint64_t encode(std::uint64_t key) noexcept {
     return key == 0 ? kZeroSentinel : key;
@@ -68,7 +81,7 @@ class HashTable64 {
   }
 
   std::size_t probe_start(std::uint64_t k) const noexcept {
-    return static_cast<std::size_t>(k * 0x9e3779b97f4a7c15ULL) & mask_;
+    return static_cast<std::size_t>(k * simd::kHashMul) & mask_;
   }
 
   void grow();

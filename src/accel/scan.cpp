@@ -1,34 +1,31 @@
 #include "accel/scan.hpp"
 
+#include "accel/simd/simd.hpp"
+
 namespace rb::accel {
+
+// The scan block now routes through the runtime-dispatched SIMD layer; the
+// scalar kernel table preserves the original predicated loops bit-for-bit.
 
 std::vector<std::uint32_t> select_between(std::span<const std::int64_t> values,
                                           std::int64_t lo, std::int64_t hi) {
   std::vector<std::uint32_t> out(values.size());
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    // Predicated write: always store, advance conditionally (no branch).
-    out[n] = static_cast<std::uint32_t>(i);
-    n += static_cast<std::size_t>(values[i] >= lo && values[i] < hi);
-  }
+  const std::size_t n =
+      simd::kernels().select_between(values.data(), values.size(), lo, hi,
+                                     out.data());
   out.resize(n);
   return out;
 }
 
 std::size_t count_between(std::span<const std::int64_t> values,
                           std::int64_t lo, std::int64_t hi) noexcept {
-  std::size_t n = 0;
-  for (const auto v : values) {
-    n += static_cast<std::size_t>(v >= lo && v < hi);
-  }
-  return n;
+  return simd::kernels().count_between(values.data(), values.size(), lo, hi);
 }
 
 std::int64_t sum_selected(std::span<const std::int64_t> values,
                           std::span<const std::uint32_t> indices) {
-  std::int64_t sum = 0;
-  for (const auto i : indices) sum += values[i];
-  return sum;
+  return simd::kernels().sum_selected(values.data(), indices.data(),
+                                      indices.size());
 }
 
 }  // namespace rb::accel

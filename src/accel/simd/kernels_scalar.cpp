@@ -1,0 +1,101 @@
+// Scalar kernel table — the always-correct fallback and the differential
+// oracle every SIMD table is fuzz-compared against. Loops are branch-free
+// (predicated) where it pays, matching the original accel/scan.cpp style.
+
+#include "accel/simd/simd.hpp"
+
+namespace rb::accel::simd {
+
+namespace {
+
+std::size_t select_between_scalar(const std::int64_t* values, std::size_t n,
+                                  std::int64_t lo, std::int64_t hi,
+                                  std::uint32_t* out) noexcept {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Predicated write: always store, advance conditionally (no branch).
+    out[m] = static_cast<std::uint32_t>(i);
+    m += static_cast<std::size_t>(values[i] >= lo && values[i] < hi);
+  }
+  return m;
+}
+
+std::size_t count_between_scalar(const std::int64_t* values, std::size_t n,
+                                 std::int64_t lo, std::int64_t hi) noexcept {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m += static_cast<std::size_t>(values[i] >= lo && values[i] < hi);
+  }
+  return m;
+}
+
+std::int64_t sum_selected_scalar(const std::int64_t* values,
+                                 const std::uint32_t* indices,
+                                 std::size_t n) noexcept {
+  // uint64 accumulator: overflow wraps identically on every ISA.
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += static_cast<std::uint64_t>(values[indices[i]]);
+  }
+  return static_cast<std::int64_t>(sum);
+}
+
+std::size_t select_greater_scalar(const std::int64_t* values, std::size_t n,
+                                  std::int64_t threshold,
+                                  std::uint32_t* out) noexcept {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[m] = static_cast<std::uint32_t>(i);
+    m += static_cast<std::size_t>(values[i] > threshold);
+  }
+  return m;
+}
+
+std::size_t select_less_scalar(const std::int64_t* values, std::size_t n,
+                               std::int64_t threshold,
+                               std::uint32_t* out) noexcept {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[m] = static_cast<std::uint32_t>(i);
+    m += static_cast<std::size_t>(values[i] < threshold);
+  }
+  return m;
+}
+
+void hash_find_batch_scalar(const std::uint64_t* slot_words,
+                            std::uint64_t mask, const std::uint64_t* keys,
+                            std::size_t n, std::uint64_t* values,
+                            std::uint8_t* found) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i] == 0 ? kHashZeroSentinel : keys[i];
+    std::uint64_t pos = (k * kHashMul) & mask;
+    for (;;) {
+      const std::uint64_t slot_key = slot_words[pos * 2];
+      if (slot_key == kHashEmpty) {
+        values[i] = 0;
+        found[i] = 0;
+        break;
+      }
+      if (slot_key == k) {
+        values[i] = slot_words[pos * 2 + 1];
+        found[i] = 1;
+        break;
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+}
+
+constexpr Kernels kScalarKernels{
+    Isa::kScalar,          select_between_scalar, count_between_scalar,
+    sum_selected_scalar,   select_greater_scalar, select_less_scalar,
+    hash_find_batch_scalar,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels* scalar_table() noexcept { return &kScalarKernels; }
+}  // namespace detail
+
+}  // namespace rb::accel::simd

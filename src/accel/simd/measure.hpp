@@ -1,0 +1,32 @@
+#pragma once
+// Measured tuned-vs-generic kernel gaps. E2/E8 previously argued the
+// abstraction gap from modeled path_efficiency constants only; these
+// helpers time the dispatched SIMD kernel against its scalar twin on the
+// running CPU so the benches can report measured numbers, falling back to
+// the modeled constants (nullopt here) when no SIMD unit is usable.
+
+#include <cstdint>
+#include <optional>
+
+#include "accel/simd/simd.hpp"
+
+namespace rb::accel::simd {
+
+struct MeasuredKernel {
+  Isa isa = Isa::kScalar;  // the tuned ISA that was timed
+  double scalar_ms = 0.0;
+  double tuned_ms = 0.0;
+  double speedup = 1.0;  // scalar_ms / tuned_ms
+};
+
+/// Time select_between (scalar vs best ISA) over `rows` int64 values with
+/// ~50% selectivity. nullopt when the best ISA is scalar. Restores the
+/// active ISA on exit.
+std::optional<MeasuredKernel> measure_select_scan(std::uint64_t rows);
+
+/// Time hash_find_batch (scalar vs best ISA): probe `probe_rows` keys
+/// (~50% hit rate) against a HashTable64-shaped slot array. nullopt when
+/// the best ISA is scalar. Restores the active ISA on exit.
+std::optional<MeasuredKernel> measure_join_probe(std::uint64_t probe_rows);
+
+}  // namespace rb::accel::simd

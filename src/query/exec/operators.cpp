@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "accel/simd/simd.hpp"
+
 namespace rb::query::exec {
 
 namespace {
 
 /// Sentinel for "no further entry" in the join match chains.
 constexpr std::int32_t kChainEnd = -1;
+
+/// Per-kernel SIMD row counter (obs::enabled() checked by callers).
+obs::Counter* simd_rows_counter(const char* kernel) {
+  return &obs::Registry::global().counter("accel.simd_rows",
+                                          {{"kernel", kernel}});
+}
 
 }  // namespace
 
@@ -91,12 +99,37 @@ FilterInt::FilterInt(const SchemaPtr& in, std::string column,
   out_schema_ = in;
 }
 
+FilterInt::FilterInt(const SchemaPtr& in, std::string column, std::int64_t lo,
+                     std::int64_t hi, std::function<bool(std::int64_t)> pred)
+    : FilterInt{in, std::move(column), std::move(pred)} {
+  is_range_ = true;
+  lo_ = lo;
+  hi_ = hi;
+}
+
 void FilterInt::do_push(ColumnBatch& batch) {
   const auto& values = batch.ints(col_);
-  sel_scratch_.clear();
-  batch.for_each_active([&](std::uint32_t r) {
-    if (pred_(values[r])) sel_scratch_.push_back(r);
-  });
+  if (is_range_ && !batch.has_selection()) {
+    // Dense batch with a known range: one call into the dispatched SIMD
+    // selection kernel. Produces exactly the ascending index list the
+    // scalar predicate loop below would.
+    const std::size_t n = batch.row_count();
+    sel_scratch_.resize(n);
+    const std::size_t m = accel::simd::kernels().select_between(
+        values.data(), n, lo_, hi_, sel_scratch_.data());
+    sel_scratch_.resize(m);
+    if (obs::enabled()) {
+      if (c_simd_rows_ == nullptr) {
+        c_simd_rows_ = simd_rows_counter("select_between");
+      }
+      c_simd_rows_->add(n);
+    }
+  } else {
+    sel_scratch_.clear();
+    batch.for_each_active([&](std::uint32_t r) {
+      if (pred_(values[r])) sel_scratch_.push_back(r);
+    });
+  }
   batch.set_selection(std::move(sel_scratch_));
   sel_scratch_ = {};
   emit(batch);
@@ -209,18 +242,36 @@ void HashJoin::flush_pairs(const ColumnBatch& batch) {
 
 void HashJoin::do_push(ColumnBatch& batch) {
   const auto& keys = batch.ints(left_key_col_);
+  // Vertical probe: gather the active keys, look them all up in one
+  // find_batch call (gather-based on wide ISAs), then walk match chains in
+  // row order. Emission order and mid-chain flush points are identical to
+  // the per-row find() loop this replaces.
+  probe_rows_.clear();
+  probe_keys_.clear();
   batch.for_each_active([&](std::uint32_t l) {
-    const std::uint64_t* found =
-        table_.find(static_cast<std::uint64_t>(keys[l]));
-    if (found == nullptr) return;
+    probe_rows_.push_back(l);
+    probe_keys_.push_back(static_cast<std::uint64_t>(keys[l]));
+  });
+  const std::size_t n = probe_keys_.size();
+  probe_vals_.resize(n);
+  probe_found_.resize(n);
+  table_.find_batch(probe_keys_.data(), n, probe_vals_.data(),
+                    probe_found_.data());
+  if (obs::enabled()) {
+    if (c_simd_rows_ == nullptr) c_simd_rows_ = simd_rows_counter("hash_probe");
+    c_simd_rows_->add(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (probe_found_[i] == 0) continue;
+    const std::uint32_t l = probe_rows_[i];
     std::int32_t e = static_cast<std::int32_t>(
-        chains_[static_cast<std::size_t>(*found)].first);
+        chains_[static_cast<std::size_t>(probe_vals_[i])].first);
     while (e != kChainEnd) {
       pairs_.emplace_back(l, entry_row_[static_cast<std::size_t>(e)]);
       if (pairs_.size() >= batch_capacity_) flush_pairs(batch);
       e = entry_next_[static_cast<std::size_t>(e)];
     }
-  });
+  }
   flush_pairs(batch);
 }
 
@@ -287,9 +338,34 @@ void GroupAggregate::do_push(ColumnBatch& batch) {
     });
   } else {
     const auto& keys = batch.ints(key_col_);
+    // Batched slot lookup: probe every active key in one SIMD find_batch
+    // call, then accumulate in row order. A miss means a new group — or an
+    // intra-batch duplicate of one — and falls back to slot_for, which
+    // inserts on first touch and finds the slot on the second, so slot
+    // assignment order matches the per-row loop exactly.
+    probe_rows_.clear();
+    probe_keys_.clear();
     batch.for_each_active([&](std::uint32_t r) {
-      accumulate(slot_for(static_cast<std::uint64_t>(keys[r])), values[r]);
+      probe_rows_.push_back(r);
+      probe_keys_.push_back(static_cast<std::uint64_t>(keys[r]));
     });
+    const std::size_t n = probe_keys_.size();
+    probe_vals_.resize(n);
+    probe_found_.resize(n);
+    table_.find_batch(probe_keys_.data(), n, probe_vals_.data(),
+                      probe_found_.data());
+    if (obs::enabled()) {
+      if (c_simd_rows_ == nullptr) {
+        c_simd_rows_ = simd_rows_counter("group_probe");
+      }
+      c_simd_rows_->add(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t slot =
+          probe_found_[i] != 0 ? static_cast<std::uint32_t>(probe_vals_[i])
+                               : slot_for(probe_keys_[i]);
+      accumulate(slot, values[probe_rows_[i]]);
+    }
   }
 }
 
@@ -456,6 +532,44 @@ void TopK::do_push(ColumnBatch& batch) {
   const auto cmp = [this](const Entry& a, const Entry& b) {
     return better(a, b);
   };
+  if (heap_.size() == k_ && !batch.has_selection()) {
+    // Fused sift: pre-filter the dense batch with the SIMD strict-compare
+    // kernel against the worst kept value. The threshold only ratchets
+    // tighter as entries are replaced, so filtering against the *initial*
+    // threshold admits a superset of what the scalar loop admits, and each
+    // survivor is re-checked against the live heap front. The compare is
+    // strict because a tie always loses to the incumbent (the incoming
+    // entry's seq is larger). Sequence numbers of filtered-out rows are
+    // reconstructed as seq_base + row, valid only for dense batches.
+    const std::size_t n = batch.row_count();
+    sift_scratch_.resize(n);
+    const std::int64_t threshold = heap_.front().v;
+    const auto& kn = accel::simd::kernels();
+    const std::size_t m =
+        descending_
+            ? kn.select_greater(keys.data(), n, threshold,
+                                sift_scratch_.data())
+            : kn.select_less(keys.data(), n, threshold, sift_scratch_.data());
+    if (obs::enabled()) {
+      if (c_simd_rows_ == nullptr) c_simd_rows_ = simd_rows_counter("topk_sift");
+      c_simd_rows_->add(n);
+    }
+    const std::uint64_t seq_base = seq_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t r = sift_scratch_[i];
+      const Entry e{keys[r], seq_base + r, 0};
+      if (better(e, heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), cmp);
+        Entry kept = e;
+        kept.slot = heap_.back().slot;
+        store_row(batch, r, kept.slot);
+        heap_.back() = kept;
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
+      }
+    }
+    seq_ = seq_base + n;
+    return;
+  }
   batch.for_each_active([&](std::uint32_t r) {
     const Entry e{keys[r], seq_++, 0};
     if (heap_.size() < k_) {

@@ -156,6 +156,11 @@ class FilterInt : public Operator {
  public:
   FilterInt(const SchemaPtr& in, std::string column,
             std::function<bool(std::int64_t)> pred);
+  /// Range form (lo <= v < hi). Dense batches run the dispatched SIMD
+  /// selection kernel; batches that already carry a selection vector fall
+  /// back to `pred`, which computes the same predicate.
+  FilterInt(const SchemaPtr& in, std::string column, std::int64_t lo,
+            std::int64_t hi, std::function<bool(std::int64_t)> pred);
 
  protected:
   void do_push(ColumnBatch& batch) override;
@@ -163,7 +168,11 @@ class FilterInt : public Operator {
  private:
   std::size_t col_;
   std::function<bool(std::int64_t)> pred_;
+  bool is_range_ = false;
+  std::int64_t lo_ = 0;
+  std::int64_t hi_ = 0;
   std::vector<std::uint32_t> sel_scratch_;
+  obs::Counter* c_simd_rows_ = nullptr;
 };
 
 /// Selection-vector filter on a string column.
@@ -220,6 +229,14 @@ class HashJoin : public Operator {
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs_;
   std::unique_ptr<ColumnBatch> out_batch_;
+
+  // Scratch for the batched (vertical, SIMD-gather) probe: active row
+  // indices, their keys, and find_batch results for one input batch.
+  std::vector<std::uint32_t> probe_rows_;
+  std::vector<std::uint64_t> probe_keys_;
+  std::vector<std::uint64_t> probe_vals_;
+  std::vector<std::uint8_t> probe_found_;
+  obs::Counter* c_simd_rows_ = nullptr;
 };
 
 /// Blocking hash aggregation: SUM / COUNT / MIN / MAX of an int column per
@@ -256,6 +273,13 @@ class GroupAggregate : public Operator {
   std::vector<Acc> accs_;
   std::unordered_map<std::string, std::uint64_t> dict_codes_;
   std::vector<std::string> dictionary_;
+
+  // Scratch for the batched slot lookup on the int-key path.
+  std::vector<std::uint32_t> probe_rows_;
+  std::vector<std::uint64_t> probe_keys_;
+  std::vector<std::uint64_t> probe_vals_;
+  std::vector<std::uint8_t> probe_found_;
+  obs::Counter* c_simd_rows_ = nullptr;
 
   std::unique_ptr<ColumnBatch> out_batch_;
 };
@@ -317,6 +341,8 @@ class TopK : public Operator {
   std::vector<std::vector<std::int64_t>> int_store_;   // k slots per column
   std::vector<std::vector<std::string>> str_store_;
   std::vector<std::size_t> col_slot_;
+  std::vector<std::uint32_t> sift_scratch_;  // SIMD pre-filter survivors
+  obs::Counter* c_simd_rows_ = nullptr;
   std::unique_ptr<ColumnBatch> out_batch_;
 };
 

@@ -57,8 +57,13 @@ Table Plan::run(const ExecOptions& opts, ExecStats* stats) const {
           [&](const auto& s) {
             using S = std::decay_t<decltype(s)>;
             if constexpr (std::is_same_v<S, FilterIntStage>) {
-              ops.push_back(
-                  std::make_unique<FilterInt>(schema, s.column, s.pred));
+              if (s.is_range) {
+                ops.push_back(std::make_unique<FilterInt>(schema, s.column,
+                                                          s.lo, s.hi, s.pred));
+              } else {
+                ops.push_back(
+                    std::make_unique<FilterInt>(schema, s.column, s.pred));
+              }
             } else if constexpr (std::is_same_v<S, FilterStringStage>) {
               ops.push_back(
                   std::make_unique<FilterString>(schema, s.column, s.pred));
@@ -199,6 +204,14 @@ PlanBuilder& PlanBuilder::filter_int(std::string column,
                                      std::function<bool(std::int64_t)> pred) {
   plan_.owned_stages_.push_back(
       FilterIntStage{std::move(column), std::move(pred)});
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::filter_between(std::string column, std::int64_t lo,
+                                         std::int64_t hi) {
+  plan_.owned_stages_.push_back(FilterIntStage{
+      std::move(column),
+      [lo, hi](std::int64_t v) { return v >= lo && v < hi; }, true, lo, hi});
   return *this;
 }
 

@@ -97,6 +97,10 @@ class PlanBuilder {
 
   PlanBuilder& filter_int(std::string column,
                           std::function<bool(std::int64_t)> pred);
+  /// Range filter (lo <= v < hi) carrying the bounds so FilterInt can run
+  /// the dispatched SIMD selection kernel instead of the opaque predicate.
+  PlanBuilder& filter_between(std::string column, std::int64_t lo,
+                              std::int64_t hi);
   PlanBuilder& filter_string(std::string column,
                              std::function<bool(const std::string&)> pred);
   PlanBuilder& join(Table right, std::string left_key,

@@ -300,6 +300,16 @@ Query& Query::where_int(std::string column,
   return *this;
 }
 
+Query& Query::where_between(std::string column, std::int64_t lo,
+                            std::int64_t hi) {
+  // The pred is built from (lo, hi), so the interpreter and the SIMD range
+  // path evaluate the same predicate by construction.
+  stages_.push_back(FilterIntStage{
+      std::move(column),
+      [lo, hi](std::int64_t v) { return v >= lo && v < hi; }, true, lo, hi});
+  return *this;
+}
+
 Query& Query::where_string(std::string column,
                            std::function<bool(const std::string&)> pred) {
   stages_.push_back(FilterStringStage{std::move(column), std::move(pred)});

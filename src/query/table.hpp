@@ -91,6 +91,14 @@ enum class Aggregate : std::uint8_t { kSum, kCount, kMin, kMax };
 struct FilterIntStage {
   std::string column;
   std::function<bool(std::int64_t)> pred;
+  // Range metadata set by where_between/filter_between: when is_range is
+  // true, pred is exactly `lo <= v && v < hi`, so the vectorized engine may
+  // run the dispatched SIMD range kernel instead of calling the opaque
+  // std::function per row. Both paths compute the same predicate; the
+  // interpreter always uses pred.
+  bool is_range = false;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
 };
 struct FilterStringStage {
   std::string column;
@@ -135,6 +143,11 @@ class Query {
   /// Keep rows where `pred(value)` holds for the int column `column`.
   Query& where_int(std::string column,
                    std::function<bool(std::int64_t)> pred);
+
+  /// Keep rows with lo <= value < hi for the int column `column`.
+  /// Semantically identical to where_int with that predicate, but carries
+  /// the range so the vectorized engine can use the SIMD selection kernel.
+  Query& where_between(std::string column, std::int64_t lo, std::int64_t hi);
 
   /// Keep rows where `pred(value)` holds for the string column `column`.
   Query& where_string(std::string column,
